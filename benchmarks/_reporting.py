@@ -1,0 +1,14 @@
+"""Shared table registry for the benchmark harness.
+
+Benchmarks register their formatted paper tables here; the conftest's
+``pytest_terminal_summary`` hook prints everything at the end of the run.
+"""
+
+from __future__ import annotations
+
+TABLES: dict[str, str] = {}
+
+
+def report_table(name: str, text: str) -> None:
+    """Register a formatted experiment table for the end-of-run summary."""
+    TABLES[name] = text

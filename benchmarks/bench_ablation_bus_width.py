@@ -1,0 +1,46 @@
+"""Ablation: the shared output-writeback bus width.
+
+DESIGN.md calls the serial shared bus the reason per-layer speedups
+saturate below N (Table I shows 7.3-7.9x, not 8x).  This ablation sweeps
+the bus width: a too-narrow bus caps the whole benefit; widening beyond
+the default gives diminishing returns because compute becomes the limiter.
+"""
+
+from dataclasses import replace
+
+from _reporting import report_table
+
+from repro.arch import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, times
+from repro.perf import compare_designs, simulate
+from repro.tech import foundry_m3d_pdk
+from repro.workloads import resnet18
+
+BUS_WIDTHS = (32, 64, 128, 256, 512)
+
+
+def _sweep(pdk):
+    network = resnet18()
+    rows = []
+    for bits in BUS_WIDTHS:
+        baseline = replace(baseline_2d_design(pdk), writeback_bus_bits=bits)
+        m3d = replace(m3d_design(pdk), writeback_bus_bits=bits)
+        benefit = compare_designs(
+            simulate(baseline, network, pdk), simulate(m3d, network, pdk))
+        rows.append((bits, benefit.speedup, benefit.edp_benefit))
+    return rows
+
+
+def test_bench_ablation_bus_width(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(_sweep, pdk)
+    speedups = [speedup for _, speedup, _ in rows]
+    # The serial bus is load-bearing: narrowing it erodes the benefit, and
+    # speedups are monotone in the bus width.
+    assert speedups == sorted(speedups)
+    assert speedups[0] < 0.8 * speedups[-1]
+    table = format_table(
+        "Ablation — shared writeback bus width (ResNet-18, default 128b)",
+        ["bus bits", "speedup", "EDP benefit"],
+        [[bits, times(s), times(e)] for bits, s, e in rows])
+    report_table("ablation_bus", table)

@@ -1,0 +1,43 @@
+"""Ablation: the peripheral blockage term in the CS-count derivation.
+
+Eq. 2 as printed is N = floor(1 + gamma_cells); our refinement subtracts
+the memory-peripheral blockage the paper describes in Sec. II.  The term
+is what makes the 12 MB Fig. 9 endpoint land at N = 1 (benefit 1x, as the
+paper reports) instead of N = 2.
+"""
+
+from _reporting import report_table
+
+from repro.arch import baseline_2d_design, derive_parallel_cs_count
+from repro.experiments.reporting import format_table
+from repro.tech import foundry_m3d_pdk
+from repro.units import MEGABYTE
+
+CAPACITIES_MB = (12, 16, 32, 64, 128)
+
+
+def _sweep(pdk):
+    rows = []
+    for megabytes in CAPACITIES_MB:
+        baseline = baseline_2d_design(pdk, int(megabytes * MEGABYTE))
+        with_blockage = derive_parallel_cs_count(
+            baseline.area.cells, baseline.area.peripherals,
+            baseline.area.cs_unit)
+        without_blockage = derive_parallel_cs_count(
+            baseline.area.cells, 0.0, baseline.area.cs_unit)
+        rows.append((megabytes, with_blockage, without_blockage))
+    return rows
+
+
+def test_bench_ablation_peripheral_blockage(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(_sweep, pdk)
+    by_mb = {mb: (w, wo) for mb, w, wo in rows}
+    # The blockage term is what pins the 12 MB endpoint at N = 1.
+    assert by_mb[12] == (1, 2)
+    assert by_mb[64][0] == 8
+    table = format_table(
+        "Ablation — peripheral blockage in the Eq. 2 CS derivation",
+        ["capacity", "N (with blockage)", "N (paper Eq. 2 verbatim)"],
+        [[f"{mb} MB", w, wo] for mb, w, wo in rows])
+    report_table("ablation_perif", table)

@@ -1,0 +1,16 @@
+"""Extension: computing sub-systems in the BEOL CNFET tier."""
+
+from _reporting import report_table
+
+from repro.experiments.ext_beol_logic import format_beol_logic, run_beol_logic
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_ext_beol_logic(benchmark):
+    pdk = foundry_m3d_pdk()
+    result = benchmark(run_beol_logic, pdk)
+    assert result.cnfet_cs > 0
+    assert result.cnfet_fmax > 20e6  # the derated CSs still close timing
+    assert result.edp_benefit > result.baseline_edp_benefit
+    assert result.thermal_ok
+    report_table("ext_beol_logic", format_beol_logic(result))

@@ -1,0 +1,18 @@
+"""Extension: the M3D principle across BEOL memory technologies."""
+
+from _reporting import report_table
+
+from repro.experiments.ext_memtech import format_memtech, run_memtech
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_ext_memory_technologies(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(run_memtech, pdk)
+    by_name = {row.technology.name: row for row in rows}
+    # Sparser cells free more silicon -> more CSs; denser cells fewer.
+    assert by_name["stt_mram"].n_cs > by_name["rram"].n_cs
+    assert by_name["pcm"].n_cs < by_name["rram"].n_cs
+    # Every BEOL technology still shows a multi-x benefit.
+    assert all(row.edp_benefit > 3.0 for row in rows)
+    report_table("ext_memtech", format_memtech(rows))

@@ -1,0 +1,17 @@
+"""Extension: operand precision vs capacity and benefit."""
+
+from _reporting import report_table
+
+from repro.experiments.ext_precision import format_precision, run_precision
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_ext_precision(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(run_precision, pdk)
+    by_bits = {row.precision_bits: row for row in rows}
+    # 16-bit weights halve the effective capacity: fewer models fit.
+    assert len(by_bits[16].models_fitting) < len(by_bits[8].models_fitting)
+    # Lower precision loads weight slabs faster -> mildly better benefit.
+    assert by_bits[4].edp_benefit >= by_bits[16].edp_benefit
+    report_table("ext_precision", format_precision(rows))

@@ -1,0 +1,16 @@
+"""Fig. 10b-c / Obs. 7: access-FET width relaxation sweep (Case 1)."""
+
+from _reporting import report_table
+
+from repro.experiments.fig10 import format_fig10c, run_fig10c
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_fig10c_fet_width(benchmark):
+    pdk = foundry_m3d_pdk()
+    results = benchmark(run_fig10c, pdk)
+    by_delta = {r.delta: r for r in results}
+    assert abs(by_delta[1.6].edp_benefit - by_delta[1.0].edp_benefit) \
+        < 0.05 * by_delta[1.0].edp_benefit
+    assert by_delta[2.5].edp_benefit > 1.0
+    report_table("fig10c", format_fig10c(results))

@@ -1,0 +1,14 @@
+"""Fig. 2: the full physical design case study (2D and M3D flows)."""
+
+from _reporting import report_table
+
+from repro.experiments.casestudy import format_case_study, run_case_study
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_fig2_case_study(benchmark):
+    pdk = foundry_m3d_pdk()
+    result = benchmark(run_case_study, pdk)
+    assert result.iso_footprint and result.iso_capacity
+    assert result.m3d.design.n_cs == 8
+    report_table("fig2", format_case_study(result))

@@ -1,0 +1,13 @@
+"""Fig. 7 / Table II: six architectures, mapper vs analytical framework."""
+
+from _reporting import report_table
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_fig7_architectures(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(run_fig7, pdk)
+    assert all(row.edp_disagreement < 0.10 for row in rows)
+    report_table("fig7", format_fig7(rows))

@@ -1,0 +1,14 @@
+"""Fig. 9 / Obs. 6: M3D benefit vs baseline RRAM capacity."""
+
+from _reporting import report_table
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_fig9_capacity(benchmark):
+    pdk = foundry_m3d_pdk()
+    points = benchmark(run_fig9, pdk)
+    assert points[0].n_cs == 1
+    assert points[-1].edp_benefit > 6.0
+    report_table("fig9", format_fig9(points))

@@ -1,0 +1,17 @@
+"""The paper's Fig. 1 contrast: folding-only M3D vs new design points."""
+
+from _reporting import report_table
+
+from repro.experiments.folding import format_folding, run_folding
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_folding_vs_architecture(benchmark):
+    pdk = foundry_m3d_pdk()
+    result = benchmark(run_folding, pdk)
+    # Folding alone lands in the prior-work band ([3-4]: ~1.1-1.4x)...
+    assert 1.05 < result.folded_edp_benefit < 1.5
+    # ...while the architectural design points deliver the paper's 5.7x.
+    assert result.architectural_edp_benefit > 5.0
+    assert result.architectural_advantage > 3.5
+    report_table("folding", format_folding(result))

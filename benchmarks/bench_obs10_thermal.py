@@ -1,0 +1,11 @@
+"""Obs. 10 / Eq. 17: thermal ceiling on stacked tier pairs."""
+
+from _reporting import report_table
+
+from repro.experiments.fig10 import format_obs10, run_obs10
+
+
+def test_bench_obs10_thermal(benchmark):
+    rows = benchmark(run_obs10)
+    assert rows[0].max_pairs > rows[-1].max_pairs
+    report_table("obs10", format_obs10(rows))

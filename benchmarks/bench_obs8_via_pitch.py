@@ -1,0 +1,16 @@
+"""Obs. 8 / Case 2: ILV pitch sweep."""
+
+from _reporting import report_table
+
+from repro.experiments.fig10 import format_obs8, run_obs8
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_obs8_via_pitch(benchmark):
+    pdk = foundry_m3d_pdk()
+    results = benchmark(run_obs8, pdk)
+    by_beta = {r.beta: r for r in results}
+    assert abs(by_beta[1.3].edp_benefit - by_beta[1.0].edp_benefit) \
+        < 0.05 * by_beta[1.0].edp_benefit
+    assert by_beta[1.6].edp_benefit < 2.0
+    report_table("obs8", format_obs8(results))

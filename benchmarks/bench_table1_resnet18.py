@@ -1,0 +1,14 @@
+"""Table I: per-layer ResNet-18 benefits."""
+
+from _reporting import report_table
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.tech import foundry_m3d_pdk
+
+
+def test_bench_table1_resnet18(benchmark):
+    pdk = foundry_m3d_pdk()
+    rows = benchmark(run_table1, pdk)
+    total = rows[-1]
+    assert abs(total.speedup - 5.64) / 5.64 < 0.05
+    report_table("table1", format_table1(rows))

@@ -1,0 +1,22 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one table/figure of the paper and registers its
+formatted output through :func:`_reporting.report_table`; the tables are
+printed in the terminal summary (visible even under pytest's output
+capture), so a ``pytest benchmarks/ --benchmark-only`` run ends with the
+full set of paper-comparable tables.
+"""
+
+from __future__ import annotations
+
+from _reporting import TABLES
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "paper tables and figures (reproduced)")
+    for name in sorted(TABLES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(TABLES[name])

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the analytical framework (paper Sec. III).
+
+Reproduces the four framework studies:
+
+* Fig. 9  — RRAM capacity vs benefit (Obs. 6),
+* Fig. 10c — BEOL access-FET width relaxation tolerance (Obs. 7),
+* Obs. 8  — ILV via-pitch tolerance,
+* Fig. 10d — interleaved compute+memory tier pairs (Obs. 9),
+
+plus the Fig. 8 bandwidth-vs-parallelism grids (Obs. 5).
+"""
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.experiments.fig10 import (
+    format_fig10c,
+    format_fig10d,
+    format_obs8,
+    run_fig10c,
+    run_fig10d,
+    run_obs8,
+)
+from repro.tech import foundry_m3d_pdk
+
+
+def main() -> None:
+    pdk = foundry_m3d_pdk()
+    print(format_fig9(run_fig9(pdk)))
+    print()
+    print(format_fig10c(run_fig10c(pdk)))
+    print()
+    print(format_obs8(run_obs8(pdk)))
+    print()
+    print(format_fig10d(run_fig10d(pdk)))
+    print()
+    print(format_fig8(run_fig8()))
+
+
+if __name__ == "__main__":
+    main()

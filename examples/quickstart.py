@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline result in ~20 lines.
+
+Builds the Sec. II 2D baseline (Si CMOS + 64 MB on-chip RRAM, one computing
+sub-system) and the iso-footprint, iso-capacity M3D design (RRAM access FETs
+moved to the BEOL CNFET tier, freeing silicon for 8 parallel computing
+sub-systems), then runs ResNet-18 inference on both.
+
+Expected output: ~5.6x speedup at ~1.0x energy -> ~5.7x EDP benefit
+(paper Table I total: 5.64x / 0.99x / 5.66x).
+"""
+
+from repro import (
+    baseline_2d_design,
+    compare_designs,
+    foundry_m3d_pdk,
+    m3d_design,
+    resnet18,
+    simulate,
+)
+from repro.units import to_mm2
+
+
+def main() -> None:
+    pdk = foundry_m3d_pdk()
+
+    baseline = baseline_2d_design(pdk)
+    m3d = m3d_design(pdk)
+    print(f"2D baseline: {baseline.n_cs} CS, "
+          f"{to_mm2(baseline.area.footprint):.0f} mm^2 footprint")
+    print(f"M3D design : {m3d.n_cs} CS, "
+          f"{to_mm2(m3d.area.footprint):.0f} mm^2 footprint (iso)")
+
+    network = resnet18()
+    benefit = compare_designs(
+        simulate(baseline, network, pdk),
+        simulate(m3d, network, pdk),
+    )
+    print(f"\nResNet-18 inference, M3D vs 2D:")
+    print(f"  speedup       {benefit.speedup:.2f}x   (paper: 5.64x)")
+    print(f"  energy        {benefit.energy_benefit:.2f}x   (paper: 0.99x)")
+    print(f"  EDP benefit   {benefit.edp_benefit:.2f}x   (paper: 5.66x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "Ultra-Dense 3D Physical Design Unlocks New
+Architectural Design Points with Large Benefits" (DATE 2023).
+
+Quickstart::
+
+    from repro import (
+        foundry_m3d_pdk, baseline_2d_design, m3d_design,
+        simulate, compare_designs, resnet18,
+    )
+
+    pdk = foundry_m3d_pdk()
+    baseline = baseline_2d_design(pdk)     # Si CMOS + RRAM, 1 CS
+    m3d = m3d_design(pdk)                  # iso-footprint M3D, 8 CSs
+    benefit = compare_designs(
+        simulate(baseline, resnet18(), pdk),
+        simulate(m3d, resnet18(), pdk),
+    )
+    print(f"EDP benefit: {benefit.edp_benefit:.2f}x")   # ~5.7x
+
+Subpackages
+-----------
+* :mod:`repro.tech` — PDK stand-in: devices, RRAM, ILVs, stack-up, cells.
+* :mod:`repro.arch` — accelerator architectures (case study + Table II).
+* :mod:`repro.workloads` — DNN models (AlexNet, VGG, ResNet family).
+* :mod:`repro.perf` — cycle-level performance/energy simulator.
+* :mod:`repro.core` — the paper's analytical framework (Sec. III).
+* :mod:`repro.mapper` — ZigZag-style mapping DSE (Fig. 7 comparator).
+* :mod:`repro.physical` — block-level RTL-to-GDS flow (Fig. 4b).
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    FloorplanError,
+    MappingError,
+    ModelError,
+    ReproError,
+)
+from repro.tech import foundry_m3d_pdk
+from repro.arch import baseline_2d_design, case_study_cs, m3d_design
+from repro.workloads import (
+    alexnet,
+    build_network,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet152,
+    vgg16,
+)
+from repro.perf import compare_designs, simulate
+from repro.core import (
+    DesignPoint,
+    Workload,
+    analyze_network,
+    edp_benefit,
+    energy,
+    execution_time,
+    speedup,
+)
+from repro.physical import run_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ModelError",
+    "FloorplanError",
+    "MappingError",
+    "foundry_m3d_pdk",
+    "baseline_2d_design",
+    "m3d_design",
+    "case_study_cs",
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet152",
+    "build_network",
+    "simulate",
+    "compare_designs",
+    "Workload",
+    "DesignPoint",
+    "execution_time",
+    "energy",
+    "speedup",
+    "edp_benefit",
+    "analyze_network",
+    "run_flow",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Accelerator architecture substrate.
+
+Defines the processing element, the weight-stationary systolic array, the
+SRAM/RRAM memory hierarchy, and whole-chip accelerator designs — including
+the Sec. II case-study accelerator (a refined Chimera-class design [9, 10])
+and the six Table II architectures used in Fig. 7.
+"""
+
+from repro.arch.pe import PEConfig, default_pe
+from repro.arch.systolic import SystolicArrayConfig, default_systolic_array
+from repro.arch.memory import MemoryLevelSpec, MemoryHierarchySpec, sram_buffer_area
+from repro.arch.accelerator import (
+    AcceleratorDesign,
+    AreaBreakdown,
+    ComputingSubsystem,
+    baseline_2d_design,
+    case_study_cs,
+    derive_parallel_cs_count,
+    m3d_design,
+)
+from repro.arch.table2 import ArchitectureSpec, table_ii_architectures
+
+__all__ = [
+    "PEConfig",
+    "default_pe",
+    "SystolicArrayConfig",
+    "default_systolic_array",
+    "MemoryLevelSpec",
+    "MemoryHierarchySpec",
+    "sram_buffer_area",
+    "ComputingSubsystem",
+    "AreaBreakdown",
+    "AcceleratorDesign",
+    "case_study_cs",
+    "baseline_2d_design",
+    "m3d_design",
+    "derive_parallel_cs_count",
+    "ArchitectureSpec",
+    "table_ii_architectures",
+]

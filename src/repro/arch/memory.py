@@ -1,0 +1,136 @@
+"""Memory hierarchy specifications.
+
+Two consumers:
+
+* the area model (:mod:`repro.arch.accelerator`) needs buffer capacities to
+  size the computing sub-system, and
+* the ZigZag-style mapper (:mod:`repro.mapper`) needs per-level capacities,
+  access energies, and bandwidths to cost temporal mappings for the Table II
+  architectures.
+
+Levels follow the Table II columns: per-PE registers, local (per-PE-group)
+SRAM, global SRAM, and on-chip RRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.pdk import PDK
+
+
+class Operand(enum.Enum):
+    """DNN operand kinds a buffer level may hold."""
+
+    WEIGHT = "W"
+    INPUT = "I"
+    OUTPUT = "O"
+
+
+class MemoryKind(enum.Enum):
+    """Physical memory type of a level."""
+
+    REGISTER = "register"
+    SRAM = "sram"
+    RRAM = "rram"
+
+
+@dataclass(frozen=True)
+class MemoryLevelSpec:
+    """One level of the on-chip memory hierarchy.
+
+    Attributes:
+        name: Level name, e.g. ``"local_W"``.
+        kind: Physical memory type.
+        operands: Operand kinds stored at this level.
+        capacity_bits: Capacity in bits (total across the CS).
+        width_bits: Access width, bits per cycle.
+        instances: Number of physical instances (e.g. one per PE).
+    """
+
+    name: str
+    kind: MemoryKind
+    operands: tuple[Operand, ...]
+    capacity_bits: int
+    width_bits: int = 128
+    instances: int = 1
+
+    def __post_init__(self) -> None:
+        require(len(self.operands) > 0, "a level must hold at least one operand")
+        require(self.capacity_bits >= 1, "capacity must be >= 1 bit")
+        require(self.width_bits >= 1, "width must be >= 1 bit")
+        require(self.instances >= 1, "instances must be >= 1")
+
+    @property
+    def total_capacity_bits(self) -> int:
+        """Capacity across all instances, bits."""
+        return self.capacity_bits * self.instances
+
+    @property
+    def energy_per_bit(self) -> float:
+        """Access energy, J/bit, by memory kind."""
+        if self.kind == MemoryKind.REGISTER:
+            return constants.REGISTER_ENERGY_PER_BIT
+        if self.kind == MemoryKind.SRAM:
+            return constants.SRAM_ENERGY_PER_BIT
+        return constants.RRAM_READ_ENERGY_PER_BIT
+
+    def area(self, pdk: PDK) -> float:
+        """Silicon footprint of this level in m^2 (registers and SRAM only;
+        RRAM lives in the BEOL tier and is accounted separately)."""
+        if self.kind == MemoryKind.REGISTER:
+            return self.total_capacity_bits * constants.REGISTER_AREA_PER_BIT
+        if self.kind == MemoryKind.SRAM:
+            return pdk.sram_macro_area(self.total_capacity_bits)
+        return 0.0
+
+
+@dataclass(frozen=True)
+class MemoryHierarchySpec:
+    """An ordered on-chip memory hierarchy, innermost (registers) first.
+
+    Attributes:
+        levels: Levels inner to outer; the outermost weight level is
+            normally the on-chip RRAM.
+    """
+
+    levels: tuple[MemoryLevelSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require(len(self.levels) > 0, "hierarchy needs at least one level")
+        names = [level.name for level in self.levels]
+        require(len(names) == len(set(names)), "level names must be unique")
+
+    def levels_for(self, operand: Operand) -> tuple[MemoryLevelSpec, ...]:
+        """Levels holding ``operand``, inner to outer."""
+        return tuple(level for level in self.levels if operand in level.operands)
+
+    def level(self, name: str) -> MemoryLevelSpec:
+        """Look up a level by name."""
+        for candidate in self.levels:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no memory level named {name!r}")
+
+    def on_chip_sram_bits(self) -> int:
+        """Total SRAM bits (buffer area driver)."""
+        return sum(level.total_capacity_bits for level in self.levels
+                   if level.kind == MemoryKind.SRAM)
+
+    def register_bits(self) -> int:
+        """Total register-file bits."""
+        return sum(level.total_capacity_bits for level in self.levels
+                   if level.kind == MemoryKind.REGISTER)
+
+    def silicon_area(self, pdk: PDK) -> float:
+        """Total silicon footprint of register + SRAM levels, m^2."""
+        return sum(level.area(pdk) for level in self.levels)
+
+
+def sram_buffer_area(pdk: PDK, capacity_bits: int) -> float:
+    """Convenience: footprint of one SRAM buffer macro, m^2."""
+    require(capacity_bits >= 0, "capacity must be non-negative")
+    return pdk.sram_macro_area(capacity_bits)

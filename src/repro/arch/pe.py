@@ -1,0 +1,67 @@
+"""Processing element (PE) model.
+
+Each PE of the weight-stationary systolic array holds a stationary weight,
+multiplies it with the input streaming through, and accumulates into the
+partial sum moving down its column.  The gate count sets the PE's silicon
+area; the per-MAC energy comes from the technology constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.pdk import PDK
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """One processing element.
+
+    Attributes:
+        precision_bits: Operand precision (weights and activations).
+        weight_reg_bits: Stationary weight storage per PE, bits.
+        input_reg_bits: Input pipeline register, bits.
+        output_reg_bits: Partial-sum register, bits.
+        gate_count: Logic gate-equivalents (MAC + control), excluding the
+            registers counted above.
+    """
+
+    precision_bits: int = 8
+    weight_reg_bits: int = 8
+    input_reg_bits: int = 8
+    output_reg_bits: int = 24
+    gate_count: int = constants.PE_GATE_COUNT
+
+    def __post_init__(self) -> None:
+        require(self.precision_bits >= 1, "precision must be >= 1 bit")
+        require(self.weight_reg_bits >= self.precision_bits,
+                "weight register must hold one weight")
+        require(self.input_reg_bits >= 0, "input register bits must be non-negative")
+        require(self.output_reg_bits >= self.precision_bits,
+                "output register must hold at least one operand")
+        require(self.gate_count >= 1, "gate count must be >= 1")
+
+    @property
+    def register_bits(self) -> int:
+        """Total register storage per PE, bits."""
+        return self.weight_reg_bits + self.input_reg_bits + self.output_reg_bits
+
+    def area(self, pdk: PDK) -> float:
+        """PE silicon footprint in m^2 (logic gates, registers folded in)."""
+        return pdk.silicon_library.area_for_gates(self.gate_count)
+
+    @property
+    def mac_energy(self) -> float:
+        """Energy per multiply-accumulate, joules."""
+        return constants.MAC8_ENERGY_130NM * (self.precision_bits / 8.0) ** 2
+
+    def leakage(self, pdk: PDK) -> float:
+        """Static power of one PE in watts."""
+        return pdk.silicon_library.leakage_for_gates(self.gate_count)
+
+
+def default_pe() -> PEConfig:
+    """The case-study PE: 8-bit weight-stationary MAC."""
+    return PEConfig()

@@ -1,0 +1,125 @@
+"""Weight-stationary systolic array configuration and tiling rules.
+
+The case-study computing sub-system is a 16x16 systolic array of PEs using a
+weight-stationary dataflow ([10]): a 16 (input-channel rows) x 16 (output-
+channel columns) slab of weights is loaded, inputs stream through for the
+whole output feature map, partial sums accumulate down the columns, then the
+next (r, s) kernel position / channel tile is loaded.
+
+The tiling arithmetic here is what the performance model consumes:
+
+* ``k_tiles`` — output-channel tiles; also the layer's partitioning limit
+  across parallel CSs (the paper's N#).
+* ``slab_count`` — total weight slabs streamed, including the first-layer
+  optimization of packing C x R weight rows onto the array rows when the
+  input-channel count is shallow (C < rows), which is what keeps the
+  7x7 / 3-channel stem layer from wasting 13/16 of the array.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.arch.pe import PEConfig, default_pe
+from repro.workloads.layers import Layer, LayerKind
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """A rows x cols weight-stationary systolic array.
+
+    Attributes:
+        rows: Input-channel dimension of the array.
+        cols: Output-channel dimension of the array.
+        pe: Processing element configuration.
+        enable_row_packing: Apply the first-layer C x R row-packing mapping
+            for shallow-channel convolutions (disable for ablation).
+    """
+
+    rows: int = 16
+    cols: int = 16
+    pe: PEConfig = default_pe()
+    enable_row_packing: bool = True
+
+    def __post_init__(self) -> None:
+        require(self.rows >= 1, "rows must be >= 1")
+        require(self.cols >= 1, "cols must be >= 1")
+
+    @property
+    def pe_count(self) -> int:
+        """Total PEs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """P_peak of one array: MACs per cycle at full utilization."""
+        return self.pe_count
+
+    @property
+    def fill_drain_cycles(self) -> int:
+        """Pipeline fill + drain overhead per weight slab."""
+        return self.rows + self.cols
+
+    def k_tiles(self, layer: Layer) -> int:
+        """Output-channel tiles — the layer's partition limit N#.
+
+        Grouped convolutions tile per group: a tile cannot mix output
+        channels whose input channels differ.
+        """
+        groups = layer.channel_groups
+        per_group = max(1, math.ceil(layer.out_channels / groups / self.cols))
+        return groups * per_group
+
+    def _group_in_channels(self, layer: Layer) -> int:
+        return layer.in_channels // layer.channel_groups
+
+    def uses_row_packing(self, layer: Layer) -> bool:
+        """True when the shallow-channel C x R row-packing mapping applies
+        (the stem layer, and every depthwise group)."""
+        if not self.enable_row_packing:
+            return False
+        if layer.kind != LayerKind.CONV:
+            return False
+        return self._group_in_channels(layer) < self.rows and layer.kernel > 1
+
+    def row_tiles(self, layer: Layer) -> int:
+        """Input-side tiles per output-channel tile (within one group)."""
+        group_c = self._group_in_channels(layer)
+        if self.uses_row_packing(layer):
+            return max(1, math.ceil(group_c * layer.kernel / self.rows))
+        return max(1, math.ceil(group_c / self.rows))
+
+    def kernel_passes(self, layer: Layer) -> int:
+        """Weight-slab passes per (K-tile, row-tile) pair.
+
+        Normally R * S kernel positions; with row packing the R dimension is
+        spatial on the array, leaving S passes.
+        """
+        if layer.kind != LayerKind.CONV:
+            return 1
+        if self.uses_row_packing(layer):
+            return layer.kernel
+        return layer.kernel * layer.kernel
+
+    def slab_count(self, layer: Layer) -> int:
+        """Total weight slabs streamed for the layer on one array."""
+        return self.k_tiles(layer) * self.row_tiles(layer) * self.kernel_passes(layer)
+
+    def stream_cycles_per_slab(self, layer: Layer) -> int:
+        """Input-streaming cycles per slab (one per output pixel) + fill."""
+        if layer.kind == LayerKind.FC:
+            positions = 1
+        else:
+            positions = layer.out_size * layer.out_size
+        return positions + self.fill_drain_cycles
+
+    def weight_bits_per_slab(self) -> int:
+        """Weight bits loaded per slab."""
+        return self.pe_count * self.pe.precision_bits
+
+
+def default_systolic_array() -> SystolicArrayConfig:
+    """The case-study 16x16 weight-stationary array."""
+    return SystolicArrayConfig()

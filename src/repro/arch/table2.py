@@ -1,0 +1,186 @@
+"""The six accelerator architectures of the paper's Table II.
+
+Each row pins a spatial unrolling (K, C, OX, OY — output channels, input
+channels, output width, output height), per-PE / per-PE-group register sizes,
+local and global SRAM buffers, and the on-chip RRAM capacity.  All six are
+normalized to the same total PE count (1024) and the same 256 MB RRAM, per
+the Fig. 7 caption.  Arch 1-5 are variants of popular accelerators [14-18];
+Arch 6 is the Sec. II case-study design.
+
+These specs feed two independent evaluators for Fig. 7: the analytical
+framework (:mod:`repro.core`) and the ZigZag-style mapper
+(:mod:`repro.mapper`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.arch.memory import (
+    MemoryHierarchySpec,
+    MemoryKind,
+    MemoryLevelSpec,
+    Operand,
+)
+from repro.units import BYTE, KILOBYTE, MEGABYTE
+
+
+@dataclass(frozen=True)
+class SpatialUnrolling:
+    """Spatial (parallel) loop dimensions of a PE array.
+
+    A dimension of 1 means the loop is not spatially unrolled.
+
+    Attributes:
+        k: Output channels unrolled across PEs.
+        c: Input channels unrolled across PEs.
+        ox: Output width unrolled across PEs.
+        oy: Output height unrolled across PEs.
+    """
+
+    k: int = 1
+    c: int = 1
+    ox: int = 1
+    oy: int = 1
+
+    def __post_init__(self) -> None:
+        for dim in (self.k, self.c, self.ox, self.oy):
+            require(dim >= 1, "spatial dimensions must be >= 1")
+
+    @property
+    def pe_count(self) -> int:
+        """Total PEs implied by the unrolling."""
+        return self.k * self.c * self.ox * self.oy
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """One Table II row.
+
+    Attributes:
+        index: Architecture number (1-6).
+        name: Short descriptive name.
+        spatial: Spatial unrolling of the PE array.
+        hierarchy: Register / local / global SRAM hierarchy.
+        rram_capacity_bits: On-chip RRAM capacity.
+    """
+
+    index: int
+    name: str
+    spatial: SpatialUnrolling
+    hierarchy: MemoryHierarchySpec
+    rram_capacity_bits: int = 256 * MEGABYTE
+
+    def __post_init__(self) -> None:
+        require(1 <= self.index <= 6, "Table II has architectures 1-6")
+        require(self.spatial.pe_count == 1024,
+                "Table II architectures are normalized to 1024 PEs")
+
+
+def _hierarchy(
+    reg_w_bits: float,
+    reg_o_bits: float,
+    reg_i_bits: float,
+    pe_count: int,
+    local_levels: tuple[tuple[str, Operand, int], ...],
+    global_bits: int,
+    rram_bits: int,
+) -> MemoryHierarchySpec:
+    levels: list[MemoryLevelSpec] = []
+    if reg_w_bits:
+        levels.append(MemoryLevelSpec(
+            name="reg_W", kind=MemoryKind.REGISTER, operands=(Operand.WEIGHT,),
+            capacity_bits=int(reg_w_bits), width_bits=max(8, int(reg_w_bits)),
+            instances=pe_count))
+    if reg_i_bits:
+        levels.append(MemoryLevelSpec(
+            name="reg_I", kind=MemoryKind.REGISTER, operands=(Operand.INPUT,),
+            capacity_bits=int(reg_i_bits), width_bits=max(8, int(reg_i_bits)),
+            instances=pe_count))
+    if reg_o_bits:
+        levels.append(MemoryLevelSpec(
+            name="reg_O", kind=MemoryKind.REGISTER, operands=(Operand.OUTPUT,),
+            capacity_bits=int(reg_o_bits), width_bits=max(8, int(reg_o_bits)),
+            instances=pe_count))
+    for name, operand, bits in local_levels:
+        levels.append(MemoryLevelSpec(
+            name=name, kind=MemoryKind.SRAM, operands=(operand,),
+            capacity_bits=bits, width_bits=256))
+    levels.append(MemoryLevelSpec(
+        name="global_sram", kind=MemoryKind.SRAM,
+        operands=(Operand.INPUT, Operand.OUTPUT),
+        capacity_bits=global_bits, width_bits=256))
+    levels.append(MemoryLevelSpec(
+        name="rram", kind=MemoryKind.RRAM, operands=(Operand.WEIGHT,),
+        capacity_bits=rram_bits, width_bits=256))
+    return MemoryHierarchySpec(levels=tuple(levels))
+
+
+def table_ii_architectures() -> tuple[ArchitectureSpec, ...]:
+    """Build all six Table II architecture specs."""
+    rram = 256 * MEGABYTE
+    arch1 = ArchitectureSpec(
+        index=1, name="arch1_kc_oxy",
+        spatial=SpatialUnrolling(k=16, c=16, ox=2, oy=2),
+        hierarchy=_hierarchy(
+            reg_w_bits=1 * BYTE, reg_o_bits=2 * BYTE, reg_i_bits=0, pe_count=1024,
+            local_levels=(
+                ("local_W", Operand.WEIGHT, 64 * KILOBYTE),
+                ("local_I", Operand.INPUT, 64 * KILOBYTE),
+                ("local_O", Operand.OUTPUT, 256 * KILOBYTE),
+            ),
+            global_bits=2 * MEGABYTE, rram_bits=rram),
+        rram_capacity_bits=rram)
+    arch2 = ArchitectureSpec(
+        index=2, name="arch2_small_kc",
+        spatial=SpatialUnrolling(k=8, c=8, ox=4, oy=4),
+        hierarchy=_hierarchy(
+            reg_w_bits=1 * BYTE, reg_o_bits=2 * BYTE, reg_i_bits=0, pe_count=1024,
+            local_levels=(("local_W", Operand.WEIGHT, 32 * KILOBYTE),),
+            global_bits=2 * MEGABYTE, rram_bits=rram),
+        rram_capacity_bits=rram)
+    arch3 = ArchitectureSpec(
+        index=3, name="arch3_big_regs",
+        spatial=SpatialUnrolling(k=32, c=32),
+        hierarchy=_hierarchy(
+            reg_w_bits=128 * BYTE, reg_o_bits=1 * KILOBYTE, reg_i_bits=0,
+            pe_count=1024,
+            local_levels=(),
+            global_bits=2 * MEGABYTE, rram_bits=rram),
+        rram_capacity_bits=rram)
+    arch4 = ArchitectureSpec(
+        index=4, name="arch4_k_heavy",
+        spatial=SpatialUnrolling(k=32, c=2, ox=4, oy=4),
+        hierarchy=_hierarchy(
+            reg_w_bits=1 * BYTE, reg_o_bits=2 * BYTE, reg_i_bits=0, pe_count=1024,
+            local_levels=(
+                ("local_W", Operand.WEIGHT, 64 * KILOBYTE),
+                ("local_I", Operand.INPUT, 32 * KILOBYTE),
+            ),
+            global_bits=2 * MEGABYTE, rram_bits=rram),
+        rram_capacity_bits=rram)
+    arch5 = ArchitectureSpec(
+        index=5, name="arch5_spatial_oxy",
+        spatial=SpatialUnrolling(k=32, ox=8, oy=4),
+        hierarchy=_hierarchy(
+            reg_w_bits=1 * BYTE, reg_o_bits=4 * BYTE, reg_i_bits=0, pe_count=1024,
+            local_levels=(
+                ("local_W", Operand.WEIGHT, 1 * KILOBYTE),
+                ("local_I", Operand.INPUT, 1 * KILOBYTE),
+            ),
+            global_bits=2 * MEGABYTE, rram_bits=rram),
+        rram_capacity_bits=rram)
+    arch6 = ArchitectureSpec(
+        index=6, name="arch6_case_study",
+        spatial=SpatialUnrolling(k=32, c=32),
+        hierarchy=_hierarchy(
+            reg_w_bits=int(2.2 * BYTE), reg_o_bits=1 * BYTE,
+            reg_i_bits=0, pe_count=1024,
+            local_levels=(
+                ("local_I", Operand.INPUT, 32 * KILOBYTE),
+                ("local_O", Operand.OUTPUT, 32 * KILOBYTE),
+            ),
+            global_bits=int(0.5 * MEGABYTE), rram_bits=rram),
+        rram_capacity_bits=rram)
+    return (arch1, arch2, arch3, arch4, arch5, arch6)

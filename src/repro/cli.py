@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro table1               # Table I
+    python -m repro fig5 fig9            # several at once
+    python -m repro all                  # everything
+
+Each experiment prints the same rows/series the paper reports (and that
+the benchmark harness regenerates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    format_case_study,
+    format_fig5,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_fig10c,
+    format_fig10d,
+    format_obs3,
+    format_obs8,
+    format_obs10,
+    format_table1,
+    run_case_study,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10c,
+    run_fig10d,
+    run_obs3,
+    run_obs8,
+    run_obs10,
+    run_table1,
+)
+from repro.tech import foundry_m3d_pdk
+
+
+def _with_pdk(run: Callable, fmt: Callable) -> Callable[[], str]:
+    def runner() -> str:
+        return fmt(run(foundry_m3d_pdk()))
+    return runner
+
+
+def _no_pdk(run: Callable, fmt: Callable) -> Callable[[], str]:
+    def runner() -> str:
+        return fmt(run())
+    return runner
+
+
+#: Experiment name -> (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
+    "casestudy": ("Fig. 2 + Obs. 2: physical design case study",
+                  _with_pdk(run_case_study, format_case_study)),
+    "fig5": ("Fig. 5: whole-model benefits",
+             _with_pdk(run_fig5, format_fig5)),
+    "table1": ("Table I: per-layer ResNet-18 benefits",
+               _with_pdk(run_table1, format_table1)),
+    "fig7": ("Fig. 7: Table II architectures, two evaluators",
+             _with_pdk(run_fig7, format_fig7)),
+    "fig8": ("Fig. 8 / Obs. 5: bandwidth vs CS count",
+             _no_pdk(run_fig8, format_fig8)),
+    "fig9": ("Fig. 9 / Obs. 6: RRAM capacity sweep",
+             _with_pdk(run_fig9, format_fig9)),
+    "fig10c": ("Fig. 10c / Obs. 7: access-FET width relaxation",
+               _with_pdk(run_fig10c, format_fig10c)),
+    "obs8": ("Obs. 8: ILV via pitch sweep",
+             _with_pdk(run_obs8, format_obs8)),
+    "fig10d": ("Fig. 10d / Obs. 9: interleaved tier pairs",
+               _with_pdk(run_fig10d, format_fig10d)),
+    "obs3": ("Obs. 3: SRAM-class 2D baseline",
+             _with_pdk(run_obs3, format_obs3)),
+    "obs10": ("Obs. 10: thermal tier ceiling",
+              _no_pdk(run_obs10, format_obs10)),
+}
+
+
+def _register_extensions() -> None:
+    """Extension studies (beyond the paper's evaluation section)."""
+    from repro.experiments.ext_batching import format_batching, run_batching
+    from repro.experiments.ext_beol_logic import (
+        format_beol_logic,
+        run_beol_logic,
+    )
+    from repro.experiments.ext_memtech import format_memtech, run_memtech
+    from repro.experiments.ext_precision import format_precision, run_precision
+
+    EXPERIMENTS["ext-memtech"] = (
+        "Extension: BEOL memory technologies",
+        _with_pdk(run_memtech, format_memtech))
+    EXPERIMENTS["ext-beol-logic"] = (
+        "Extension: CSs in the BEOL CNFET tier",
+        _with_pdk(run_beol_logic, format_beol_logic))
+    EXPERIMENTS["ext-precision"] = (
+        "Extension: operand precision sweep",
+        _with_pdk(run_precision, format_precision))
+    EXPERIMENTS["ext-batching"] = (
+        "Extension: transformer token batching",
+        _with_pdk(run_batching, format_batching))
+
+
+_register_extensions()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the DATE 2023 ultra-dense "
+                    "3D physical design paper.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment names (see 'list'), or 'all'")
+    return parser
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Names accepted on the command line."""
+    return tuple(EXPERIMENTS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = args.experiments or ["list"]
+    if names == ["validate"]:
+        from repro.validate import main as validate_main
+        return validate_main()
+    if names == ["report"]:
+        from repro.report import main as report_main
+        return report_main()
+    if names == ["list"]:
+        print("available experiments:")
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"  {name:10s} {description}")
+        print("  all        run every experiment")
+        print("  validate   check every headline claim against the paper")
+        print("  report     full reproduction report (tables + validation)")
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'python -m repro list'", file=sys.stderr)
+        return 2
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(EXPERIMENTS[name][1]())
+    return 0

@@ -1,0 +1,87 @@
+"""The paper's analytical framework (Sec. III) — the primary contribution.
+
+* :mod:`repro.core.framework` — Eqs. 1-8 exactly as published: roofline
+  execution times, energies with idle terms, and EDP benefits.
+* :mod:`repro.core.params` — extraction of the framework's scalar inputs
+  (gamma ratios, bandwidths, energies) from concrete designs.
+* :mod:`repro.core.network_model` — per-layer analytical evaluation of a DNN
+  on a 2D/M3D design pair (the model validated within 10% of the simulator).
+* :mod:`repro.core.relaxed_fet` — Case 1: BEOL access-FET width relaxation.
+* :mod:`repro.core.via_pitch` — Case 2: ILV pitch scaling.
+* :mod:`repro.core.multitier` — Case 3: interleaved compute/memory tiers.
+* :mod:`repro.core.thermal` — Eq. 17 thermal stack model.
+* :mod:`repro.core.insights` — Obs. 5/6 design-space sweeps.
+"""
+
+from repro.core.framework import (
+    DesignPoint,
+    Workload,
+    edp_benefit,
+    energy,
+    execution_time,
+    speedup,
+)
+from repro.core.params import FrameworkParams, params_from_designs
+from repro.core.network_model import (
+    AnalyticalLayerResult,
+    AnalyticalNetworkResult,
+    analyze_network,
+)
+from repro.core.relaxed_fet import RelaxedFETResult, relaxed_fet_study, sweep_fet_width
+from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch, via_pitch_study
+from repro.core.multitier import MultiTierResult, multitier_study, sweep_tiers
+from repro.core.thermal import (
+    ThermalStack,
+    max_tier_pairs,
+    temperature_rise,
+)
+from repro.core.insights import (
+    BandwidthCSPoint,
+    sweep_bandwidth_vs_cs,
+    sweep_rram_capacity,
+)
+from repro.core.allocate import Allocation, AllocationResult, optimize_freed_silicon
+from repro.core.dse import DesignCandidate, explore, pareto_frontier
+from repro.core.roofline import RooflineModel, RooflinePoint, roofline
+from repro.core.sensitivity import Elasticity, elasticity, sensitivity_profile
+
+__all__ = [
+    "Workload",
+    "DesignPoint",
+    "execution_time",
+    "energy",
+    "speedup",
+    "edp_benefit",
+    "FrameworkParams",
+    "params_from_designs",
+    "AnalyticalLayerResult",
+    "AnalyticalNetworkResult",
+    "analyze_network",
+    "RelaxedFETResult",
+    "relaxed_fet_study",
+    "sweep_fet_width",
+    "ViaPitchResult",
+    "via_pitch_study",
+    "sweep_via_pitch",
+    "MultiTierResult",
+    "multitier_study",
+    "sweep_tiers",
+    "ThermalStack",
+    "temperature_rise",
+    "max_tier_pairs",
+    "BandwidthCSPoint",
+    "sweep_bandwidth_vs_cs",
+    "sweep_rram_capacity",
+    "Allocation",
+    "AllocationResult",
+    "optimize_freed_silicon",
+    "DesignCandidate",
+    "explore",
+    "pareto_frontier",
+    "RooflinePoint",
+    "RooflineModel",
+    "roofline",
+    "Elasticity",
+    "elasticity",
+    "sensitivity_profile",
+]

@@ -1,0 +1,100 @@
+"""Freed-silicon allocation: CSs vs bandwidth, automated (Obs. 5).
+
+Obs. 5 gives the rule of thumb — compute-bound workloads want the freed
+silicon spent on parallel CSs, memory-bound workloads on memory
+peripherals (bandwidth).  This module turns the rule into an optimizer:
+given a workload's arithmetic profile and the freed area (in CS units), it
+enumerates every split between extra CSs and extra weight channels,
+evaluates each with the Eq. 1-8 framework, and returns the best design
+point.
+
+Channel cost is expressed in CS-area units: the case-study peripherals
+(one 256-bit channel) occupy ~0.48 of a CS, so a broadside channel is
+charged ``CHANNEL_AREA_COST`` CS units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.core.framework import DesignPoint, Workload, edp_benefit
+
+#: Area of one additional 256-bit weight channel (peripherals + wiring),
+#: in units of one CS area — derived from the case-study gamma_perif.
+CHANNEL_AREA_COST = 0.5
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One candidate split of the freed silicon.
+
+    Attributes:
+        extra_cs: CSs added beyond the baseline's single CS.
+        extra_channels: Weight channels added beyond the baseline's one.
+        edp_benefit: Eq. 8 benefit of the resulting design point.
+    """
+
+    extra_cs: int
+    extra_channels: int
+    edp_benefit: float
+
+    @property
+    def n_cs(self) -> int:
+        """Total parallel CSs."""
+        return 1 + self.extra_cs
+
+    @property
+    def channels(self) -> int:
+        """Total weight channels."""
+        return 1 + self.extra_channels
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of the allocation search.
+
+    Attributes:
+        best: The winning allocation.
+        candidates: Every evaluated allocation (for plotting the frontier).
+    """
+
+    best: Allocation
+    candidates: tuple[Allocation, ...] = field(default_factory=tuple)
+
+    @property
+    def prefers_compute(self) -> bool:
+        """True when the winner spends more area on CSs than channels."""
+        return (self.best.extra_cs
+                >= self.best.extra_channels * CHANNEL_AREA_COST)
+
+
+def optimize_freed_silicon(
+    workload: Workload,
+    base: DesignPoint,
+    freed_cs_units: float,
+    channel_area_cost: float = CHANNEL_AREA_COST,
+) -> AllocationResult:
+    """Search the best split of ``freed_cs_units`` of silicon.
+
+    The baseline is ``base`` (N = 1, one channel of bandwidth B).  Each
+    extra CS costs one unit; each extra channel costs
+    ``channel_area_cost`` units and adds B of aggregate bandwidth.
+    """
+    require(freed_cs_units >= 0, "freed area must be non-negative")
+    require(channel_area_cost > 0, "channel cost must be positive")
+    candidates: list[Allocation] = []
+    max_cs = int(freed_cs_units)
+    for extra_cs in range(0, max_cs + 1):
+        remaining = freed_cs_units - extra_cs
+        max_channels = int(remaining / channel_area_cost)
+        for extra_channels in range(0, max_channels + 1):
+            point = base.with_n_cs(1 + extra_cs).with_bandwidth(
+                base.bandwidth_bits_per_cycle * (1 + extra_channels))
+            candidates.append(Allocation(
+                extra_cs=extra_cs,
+                extra_channels=extra_channels,
+                edp_benefit=edp_benefit(workload, base, point),
+            ))
+    best = max(candidates, key=lambda c: c.edp_benefit)
+    return AllocationResult(best=best, candidates=tuple(candidates))

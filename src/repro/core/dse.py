@@ -1,0 +1,134 @@
+"""Joint design-space exploration over the paper's four knobs.
+
+Sections III-D/E/F study one knob at a time (FET width delta, via pitch
+beta, tier pairs Y) around the capacity sweep of Obs. 6.  This module
+explores the *joint* space: a full-factorial grid over
+(capacity, delta, beta, Y), each point evaluated with the same simulator
+pipeline as the single-knob studies, plus a Pareto-frontier extractor over
+(footprint, EDP benefit) — the "which chips are worth building" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.core.relaxed_fet import reoptimized_2d_cs_count
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import Network, resnet18
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated point of the joint design space.
+
+    Attributes:
+        capacity_bits: On-chip memory capacity.
+        delta: Access-FET width relaxation.
+        beta: ILV pitch factor.
+        tier_pairs: Interleaved compute+memory pairs Y.
+        n_cs: Parallel CSs of the M3D design.
+        n_cs_2d: CSs of the (possibly enlarged) 2D baseline.
+        footprint: Common chip footprint, m^2.
+        speedup: Workload speedup.
+        edp_benefit: Workload EDP benefit.
+    """
+
+    capacity_bits: int
+    delta: float
+    beta: float
+    tier_pairs: int
+    n_cs: int
+    n_cs_2d: int
+    footprint: float
+    speedup: float
+    edp_benefit: float
+
+    def dominates(self, other: "DesignCandidate") -> bool:
+        """True when this point is no worse on both Pareto axes and
+        strictly better on at least one (smaller footprint, larger EDP)."""
+        no_worse = (self.footprint <= other.footprint
+                    and self.edp_benefit >= other.edp_benefit)
+        better = (self.footprint < other.footprint
+                  or self.edp_benefit > other.edp_benefit)
+        return no_worse and better
+
+
+def evaluate_design_point(
+    pdk: PDK,
+    network: Network,
+    capacity_bits: int,
+    delta: float = 1.0,
+    beta: float = 1.0,
+    tier_pairs: int = 1,
+) -> DesignCandidate:
+    """Evaluate one joint design point with the simulator pipeline."""
+    require(tier_pairs >= 1, "need at least one tier pair")
+    scaled = pdk.with_ilv_pitch_factor(beta)
+    original = baseline_2d_design(scaled, capacity_bits)
+    single = m3d_design(scaled, capacity_bits, access_width_factor=delta)
+    m3d = m3d_design(scaled, capacity_bits, access_width_factor=delta,
+                     n_cs=single.n_cs * tier_pairs)
+    n_2d = reoptimized_2d_cs_count(
+        grown_footprint=single.area.footprint,
+        original_footprint=original.area.footprint,
+        cs_area=original.area.cs_unit,
+    )
+    baseline = baseline_2d_design(
+        scaled, capacity_bits, n_cs=n_2d, footprint=single.area.footprint)
+    benefit = compare_designs(
+        simulate(baseline, network, scaled),
+        simulate(m3d, network, scaled),
+    )
+    return DesignCandidate(
+        capacity_bits=capacity_bits,
+        delta=delta,
+        beta=beta,
+        tier_pairs=tier_pairs,
+        n_cs=m3d.n_cs,
+        n_cs_2d=n_2d,
+        footprint=single.area.footprint,
+        speedup=benefit.speedup,
+        edp_benefit=benefit.edp_benefit,
+    )
+
+
+def explore(
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacities_bits: Iterable[int] = (32 * MEGABYTE, 64 * MEGABYTE,
+                                      128 * MEGABYTE),
+    deltas: Iterable[float] = (1.0, 1.6, 2.0),
+    betas: Iterable[float] = (1.0, 1.3),
+    tier_pairs: Iterable[int] = (1, 2),
+) -> tuple[DesignCandidate, ...]:
+    """Full-factorial sweep over the joint design space."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    points: list[DesignCandidate] = []
+    for capacity in capacities_bits:
+        for delta in deltas:
+            for beta in betas:
+                for pairs in tier_pairs:
+                    points.append(evaluate_design_point(
+                        pdk, network, capacity, delta, beta, pairs))
+    return tuple(points)
+
+
+def pareto_frontier(
+    candidates: Iterable[DesignCandidate],
+) -> tuple[DesignCandidate, ...]:
+    """Non-dominated subset over (minimize footprint, maximize EDP benefit),
+    sorted by footprint."""
+    pool = list(candidates)
+    require(len(pool) > 0, "need at least one candidate")
+    frontier = [
+        candidate for candidate in pool
+        if not any(other.dominates(candidate) for other in pool)
+    ]
+    return tuple(sorted(frontier, key=lambda c: c.footprint))

@@ -1,0 +1,100 @@
+"""Case 3 (Sec. III-F): multiple interleaved M3D compute & memory tiers.
+
+Stacking Y pairs of compute and memory tiers multiplies the parallel CS
+count (each pair brings its own memory banks, peripherals and therefore its
+own bandwidth): N(Y) = Y * N(1).  Benefits grow with Y but plateau once the
+total CS count exceeds the workload's parallelizable partitions (Fig. 10d),
+and Eq. 17's thermal stack puts a hard ceiling on Y (Obs. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.perf.compare import BenefitReport, compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import Network, resnet18
+from repro.core.thermal import ThermalStack, temperature_rise
+
+
+@dataclass(frozen=True)
+class MultiTierResult:
+    """Outcome of the Case 3 analysis at one tier-pair count.
+
+    Attributes:
+        pairs: Y — interleaved compute+memory tier pairs (1 = case study).
+        n_cs: Total parallel CSs, Y * N(1).
+        benefit: Benefit comparison against the single-tier 2D baseline.
+        temperature_rise: Eq. 17 stack temperature rise, K.
+        thermal_ok: True when the rise fits the budget (Obs. 10).
+    """
+
+    pairs: int
+    n_cs: int
+    benefit: BenefitReport
+    temperature_rise: float
+    thermal_ok: bool
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the 2D baseline."""
+        return self.benefit.speedup
+
+    @property
+    def energy_benefit(self) -> float:
+        """Energy benefit over the 2D baseline."""
+        return self.benefit.energy_benefit
+
+    @property
+    def edp_benefit(self) -> float:
+        """EDP benefit over the 2D baseline."""
+        return self.benefit.edp_benefit
+
+
+def multitier_study(
+    pairs: int,
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+    stack: ThermalStack | None = None,
+) -> MultiTierResult:
+    """Evaluate the benefit of an M3D chip with ``pairs`` tier pairs."""
+    require(pairs >= 1, "need at least one tier pair")
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    stack = stack if stack is not None else ThermalStack()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    single = m3d_design(pdk, capacity_bits)
+    design = m3d_design(pdk, capacity_bits, n_cs=pairs * single.n_cs)
+    baseline_report = simulate(baseline, network, pdk)
+    m3d_report = simulate(design, network, pdk)
+    benefit = compare_designs(baseline_report, m3d_report)
+    # Average chip power split uniformly across the pairs for Eq. 17.
+    per_pair_power = m3d_report.average_power / pairs
+    rise = temperature_rise([per_pair_power] * pairs, stack)
+    return MultiTierResult(
+        pairs=pairs,
+        n_cs=design.n_cs,
+        benefit=benefit,
+        temperature_rise=rise,
+        thermal_ok=rise <= stack.max_rise,
+    )
+
+
+def sweep_tiers(
+    max_pairs: int = 8,
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+    stack: ThermalStack | None = None,
+) -> tuple[MultiTierResult, ...]:
+    """The Fig. 10d sweep: EDP benefit vs tier-pair count."""
+    require(max_pairs >= 1, "max_pairs must be >= 1")
+    return tuple(
+        multitier_study(pairs, pdk, network, capacity_bits, stack)
+        for pairs in range(1, max_pairs + 1)
+    )

@@ -1,0 +1,121 @@
+"""Case 1 (Sec. III-D): relaxed M3D memory-access-FET drive strength.
+
+A BEOL access FET with weaker drive (e.g. a newly integrated CNFET) must be
+wider by a factor delta to supply the cell current, growing the M3D bit-cell
+footprint.  While delta * A_cells fits inside the original footprint nothing
+changes; beyond that both chips grow to the new footprint and the enlarged
+*2D baseline* is re-optimized with extra parallel CSs (Eq. 9) sharing its
+single weight channel, while the M3D design also gains CSs in the extra
+silicon.  Eqs. 10-12 then give the surviving benefit.
+
+Obs. 7 (reproduced by :func:`sweep_fet_width`): benefits are flat up to
+delta ~1.6 and small benefits survive to delta ~2.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import (
+    AcceleratorDesign,
+    baseline_2d_design,
+    m3d_design,
+)
+from repro.perf.compare import BenefitReport, compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import Network, resnet18
+
+
+@dataclass(frozen=True)
+class RelaxedFETResult:
+    """Outcome of the Case 1 analysis at one width-relaxation factor.
+
+    Attributes:
+        delta: Access-FET width relaxation factor (>= 1).
+        footprint: Common (possibly grown) footprint of both chips, m^2.
+        n_cs_2d: CSs in the re-optimized 2D baseline (Eq. 9).
+        n_cs_m3d: CSs in the M3D design at this delta.
+        benefit: Full benefit comparison at this delta.
+    """
+
+    delta: float
+    footprint: float
+    n_cs_2d: int
+    n_cs_m3d: int
+    benefit: BenefitReport
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of M3D over the re-optimized 2D baseline (Eq. 10)."""
+        return self.benefit.speedup
+
+    @property
+    def energy_benefit(self) -> float:
+        """Energy benefit over the re-optimized baseline (Eq. 11 ratio)."""
+        return self.benefit.energy_benefit
+
+    @property
+    def edp_benefit(self) -> float:
+        """EDP benefit (Eq. 12)."""
+        return self.benefit.edp_benefit
+
+
+def reoptimized_2d_cs_count(
+    grown_footprint: float,
+    original_footprint: float,
+    cs_area: float,
+) -> int:
+    """Eq. 9: CSs a commensurately enlarged 2D baseline can host."""
+    require(cs_area > 0, "CS area must be positive")
+    extra = grown_footprint - original_footprint
+    if extra <= 0:
+        return 1
+    return 1 + math.floor(extra / cs_area)
+
+
+def relaxed_fet_study(
+    delta: float,
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> RelaxedFETResult:
+    """Evaluate the iso-capacity benefit at one width relaxation ``delta``."""
+    require(delta >= 1.0, "delta must be >= 1")
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    original = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits, access_width_factor=delta)
+    n_2d = reoptimized_2d_cs_count(
+        grown_footprint=m3d.area.footprint,
+        original_footprint=original.area.footprint,
+        cs_area=original.area.cs_unit,
+    )
+    baseline = baseline_2d_design(
+        pdk, capacity_bits, n_cs=n_2d, footprint=m3d.area.footprint)
+    benefit = compare_designs(
+        simulate(baseline, network, pdk),
+        simulate(m3d, network, pdk),
+    )
+    return RelaxedFETResult(
+        delta=delta,
+        footprint=m3d.area.footprint,
+        n_cs_2d=n_2d,
+        n_cs_m3d=m3d.n_cs,
+        benefit=benefit,
+    )
+
+
+def sweep_fet_width(
+    deltas: tuple[float, ...] = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5, 2.75, 3.0),
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[RelaxedFETResult, ...]:
+    """The Fig. 10b-c sweep over access-FET width relaxation."""
+    return tuple(
+        relaxed_fet_study(delta, pdk, network, capacity_bits) for delta in deltas
+    )

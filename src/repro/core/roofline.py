@@ -1,0 +1,96 @@
+"""Per-layer roofline coordinates (after Gables [12], the paper's Eq. 1 base).
+
+For each layer of a network on a design this computes the classic roofline
+pair — operational intensity (ops per byte of weight traffic) on x,
+achieved throughput (ops/cycle) on y — plus the design's two ceilings
+(peak compute, bandwidth-limited slope).  Layers hugging the bandwidth
+slope are the ones Obs. 5 says to feed with channels; layers on the flat
+ceiling want CSs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import AcceleratorDesign
+from repro.perf.simulator import AcceleratorSimulator
+from repro.workloads.layers import Layer, LayerKind
+from repro.workloads.models import Network
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's roofline coordinates on one design.
+
+    Attributes:
+        layer: Layer name.
+        intensity: Operational intensity, MACs per weight byte.
+        achieved: Achieved throughput, MACs per cycle (whole chip).
+        bound: "compute" or "memory", from the nearest ceiling.
+    """
+
+    layer: str
+    intensity: float
+    achieved: float
+    bound: str
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Roofline ceilings plus per-layer points for one design/workload.
+
+    Attributes:
+        design_name: The design.
+        peak_ops_per_cycle: Chip compute ceiling, MACs/cycle.
+        bandwidth_bytes_per_cycle: Weight-traffic ceiling, bytes/cycle.
+        points: Per-layer roofline points.
+    """
+
+    design_name: str
+    peak_ops_per_cycle: float
+    bandwidth_bytes_per_cycle: float
+    points: tuple[RooflinePoint, ...]
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the two ceilings meet, MACs/byte."""
+        return self.peak_ops_per_cycle / self.bandwidth_bytes_per_cycle
+
+    def ceiling(self, intensity: float) -> float:
+        """Attainable throughput at an intensity, MACs/cycle."""
+        require(intensity > 0, "intensity must be positive")
+        return min(self.peak_ops_per_cycle,
+                   intensity * self.bandwidth_bytes_per_cycle)
+
+    def memory_bound_layers(self) -> tuple[str, ...]:
+        """Layers below the ridge (bandwidth-limited)."""
+        return tuple(p.layer for p in self.points if p.bound == "memory")
+
+
+def roofline(design: AcceleratorDesign, network: Network,
+             pdk: PDK | None = None, batch: int = 1) -> RooflineModel:
+    """Build the roofline for ``network`` on ``design``."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    simulator = AcceleratorSimulator(design, pdk, batch=batch)
+    peak = design.peak_macs_per_cycle
+    bandwidth = design.total_weight_bandwidth / 8.0  # bytes/cycle
+    points: list[RooflinePoint] = []
+    for layer in network.layers:
+        if layer.kind == LayerKind.POOL:
+            continue
+        result = simulator.run_layer(layer)
+        weight_bytes = layer.weights * design.precision_bits / 8.0
+        intensity = layer.macs * batch / weight_bytes
+        achieved = layer.macs * batch / result.cycles
+        bound = "memory" if intensity < peak / bandwidth else "compute"
+        points.append(RooflinePoint(
+            layer=layer.name, intensity=intensity, achieved=achieved,
+            bound=bound))
+    return RooflineModel(
+        design_name=design.name,
+        peak_ops_per_cycle=peak,
+        bandwidth_bytes_per_cycle=bandwidth,
+        points=tuple(points),
+    )

@@ -1,0 +1,99 @@
+"""Sensitivity of the EDP benefit to the framework's parameters.
+
+The reproduction rests on calibrated constants; this module quantifies how
+much each one matters.  For every knob of the Eq. 1-8 design points it
+computes the local elasticity
+
+    S_p = d(log EDP_benefit) / d(log p)
+
+by central finite difference.  An elasticity of +1 means a 1% increase in
+the parameter buys ~1% more benefit; ~0 means the headline number does not
+hinge on that constant — the robustness analysis a reviewer would ask for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import require
+from repro.core.framework import DesignPoint, Workload, edp_benefit
+
+#: Design-point fields whose elasticity is reported.
+PARAMETERS: tuple[str, ...] = (
+    "peak_ops_per_cycle",
+    "bandwidth_bits_per_cycle",
+    "memory_energy_per_bit",
+    "compute_energy_per_op",
+    "cs_idle_energy_per_cycle",
+    "memory_idle_energy_per_cycle",
+)
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """Elasticity of the EDP benefit with respect to one parameter.
+
+    Attributes:
+        parameter: Field name on :class:`DesignPoint`.
+        applied_to: "m3d", "baseline", or "both".
+        value: d(log EDP) / d(log p) at the operating point.
+    """
+
+    parameter: str
+    applied_to: str
+    value: float
+
+
+def _perturbed(point: DesignPoint, parameter: str, factor: float) -> DesignPoint:
+    current = getattr(point, parameter)
+    if current == 0:
+        return point
+    return replace(point, **{parameter: current * factor})
+
+
+def elasticity(
+    workload: Workload,
+    baseline: DesignPoint,
+    m3d: DesignPoint,
+    parameter: str,
+    applied_to: str = "m3d",
+    step: float = 0.01,
+) -> Elasticity:
+    """Central-difference elasticity for one parameter."""
+    require(parameter in PARAMETERS, f"unknown parameter {parameter!r}")
+    require(applied_to in ("m3d", "baseline", "both"),
+            "applied_to must be m3d, baseline, or both")
+    require(0 < step < 0.5, "step must be a small fraction")
+
+    def benefit(factor: float) -> float:
+        base = baseline
+        new = m3d
+        if applied_to in ("baseline", "both"):
+            base = _perturbed(base, parameter, factor)
+        if applied_to in ("m3d", "both"):
+            new = _perturbed(new, parameter, factor)
+        return edp_benefit(workload, base, new)
+
+    up = benefit(1.0 + step)
+    down = benefit(1.0 - step)
+    if up <= 0 or down <= 0:
+        value = 0.0
+    else:
+        value = (math.log(up) - math.log(down)) / (
+            math.log(1.0 + step) - math.log(1.0 - step))
+    return Elasticity(parameter=parameter, applied_to=applied_to, value=value)
+
+
+def sensitivity_profile(
+    workload: Workload,
+    baseline: DesignPoint,
+    m3d: DesignPoint,
+    applied_to: str = "m3d",
+) -> tuple[Elasticity, ...]:
+    """Elasticities for every reported parameter, largest magnitude first."""
+    results = [
+        elasticity(workload, baseline, m3d, parameter, applied_to)
+        for parameter in PARAMETERS
+    ]
+    return tuple(sorted(results, key=lambda e: abs(e.value), reverse=True))

@@ -1,0 +1,91 @@
+"""Thermal model for stacked M3D tiers — Eq. 17 of the paper.
+
+Heat generated in tier pair i must flow through every tier pair below it
+and the package/heat-sink resistance R0 to reach ambient:
+
+    Temp_rise = sum_{i=1..Y} ( (sum_{j=1..i} R_j) + R0 ) * P_i
+
+Obs. 10: with a ~60 K budget [20] this quickly caps the number of
+interleaved compute+memory pairs a design may stack (Case 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import require
+from repro.tech import constants
+
+
+@dataclass(frozen=True)
+class ThermalStack:
+    """Thermal description of an interleaved M3D stack.
+
+    Attributes:
+        r_ambient: R0 — heat-sink (junction-to-ambient) resistance, K/W.
+        r_per_pair: R_j — added resistance of each compute+memory pair, K/W.
+        max_rise: Allowed temperature rise budget, K.
+    """
+
+    r_ambient: float = constants.THERMAL_R_AMBIENT
+    r_per_pair: float = constants.THERMAL_R_PER_TIER
+    max_rise: float = constants.THERMAL_MAX_RISE_K
+
+    def __post_init__(self) -> None:
+        require(self.r_ambient >= 0, "R0 must be non-negative")
+        require(self.r_per_pair >= 0, "R_j must be non-negative")
+        require(self.max_rise > 0, "temperature budget must be positive")
+
+    def pair_resistances(self, pairs: int) -> tuple[float, ...]:
+        """R_j for each of ``pairs`` tier pairs (uniform by default)."""
+        require(pairs >= 1, "need at least one tier pair")
+        return (self.r_per_pair,) * pairs
+
+
+def temperature_rise(
+    powers: Sequence[float],
+    stack: ThermalStack | None = None,
+    resistances: Sequence[float] | None = None,
+) -> float:
+    """Eq. 17: total temperature rise of a stack dissipating ``powers``.
+
+    ``powers[i]`` is the power of tier pair i (bottom first), in watts.
+    ``resistances`` overrides the per-pair R_j values when tiers differ.
+    """
+    stack = stack if stack is not None else ThermalStack()
+    require(len(powers) >= 1, "need at least one tier pair")
+    for power in powers:
+        require(power >= 0, "tier power must be non-negative")
+    if resistances is None:
+        resistances = stack.pair_resistances(len(powers))
+    require(len(resistances) == len(powers),
+            "one thermal resistance per tier pair required")
+    rise = 0.0
+    cumulative = 0.0
+    for power, resistance in zip(powers, resistances):
+        cumulative += resistance
+        rise += (cumulative + stack.r_ambient) * power
+    return rise
+
+
+def max_tier_pairs(
+    power_per_pair: float,
+    stack: ThermalStack | None = None,
+    hard_limit: int = 64,
+) -> int:
+    """Largest Y whose uniform stack stays inside the temperature budget.
+
+    With uniform P and R the rise grows quadratically in Y, so the budget
+    binds quickly (Obs. 10).
+    """
+    stack = stack if stack is not None else ThermalStack()
+    require(power_per_pair >= 0, "power must be non-negative")
+    require(hard_limit >= 1, "hard limit must be >= 1")
+    best = 0
+    for pairs in range(1, hard_limit + 1):
+        rise = temperature_rise([power_per_pair] * pairs, stack)
+        if rise > stack.max_rise:
+            break
+        best = pairs
+    return best

@@ -1,0 +1,95 @@
+"""Case 2 (Sec. III-E): M3D inter-layer-via pitch.
+
+Every M3D memory cell needs ``m`` ILVs to reach its access FET in the upper
+tier, so when the via pitch beta grows, the cell becomes via-pitch limited:
+A_cells = m * k * beta^2 (k bits, m vias per bit).  The area consequence is
+the same as a width relaxation of delta_eff = A_cell(beta) / A_cell(2D), so
+the study reuses the Case 1 machinery with the PDK's ILV scaled.
+
+Obs. 8 (reproduced by :func:`sweep_via_pitch`): up to ~1.3x pitch the cell
+stays FET-limited and benefits are unchanged; at ~1.6x and beyond the
+quadratic growth (delta_eff ~ 2.5) erases the benefit — ultra-dense vias
+are load-bearing for M3D architectural benefits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.perf.compare import BenefitReport
+from repro.units import MEGABYTE
+from repro.workloads.models import Network
+from repro.core.relaxed_fet import relaxed_fet_study
+
+
+@dataclass(frozen=True)
+class ViaPitchResult:
+    """Outcome of the Case 2 analysis at one via-pitch factor.
+
+    Attributes:
+        beta: ILV pitch scaling factor (1.0 = the PDK's fine pitch).
+        effective_delta: Equivalent cell-area growth factor.
+        n_cs_2d: CSs in the re-optimized 2D baseline.
+        n_cs_m3d: CSs in the M3D design.
+        benefit: Full benefit comparison at this beta.
+    """
+
+    beta: float
+    effective_delta: float
+    n_cs_2d: int
+    n_cs_m3d: int
+    benefit: BenefitReport
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of M3D over the (possibly enlarged) 2D baseline."""
+        return self.benefit.speedup
+
+    @property
+    def edp_benefit(self) -> float:
+        """EDP benefit at this via pitch."""
+        return self.benefit.edp_benefit
+
+
+def effective_cell_growth(pdk: PDK, beta: float) -> float:
+    """delta_eff: M3D cell area at pitch beta over the 2D cell area."""
+    require(beta > 0, "beta must be positive")
+    scaled = pdk.with_ilv_pitch_factor(beta)
+    cell_m3d = scaled.m3d_rram_cell().area(scaled.ilv)
+    cell_2d = pdk.rram_cell.area(None)
+    return cell_m3d / cell_2d
+
+
+def via_pitch_study(
+    beta: float,
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> ViaPitchResult:
+    """Evaluate the iso-capacity benefit at one ILV pitch factor ``beta``."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    scaled = pdk.with_ilv_pitch_factor(beta)
+    delta_eff = effective_cell_growth(pdk, beta)
+    # The grown cell is a pure area effect, identical to Case 1 at
+    # delta_eff; run it through the relaxed-FET machinery on the scaled PDK
+    # (delta = 1 there: the area growth already lives in the scaled ILV).
+    case1 = relaxed_fet_study(1.0, scaled, network, capacity_bits)
+    return ViaPitchResult(
+        beta=beta,
+        effective_delta=delta_eff,
+        n_cs_2d=case1.n_cs_2d,
+        n_cs_m3d=case1.n_cs_m3d,
+        benefit=case1.benefit,
+    )
+
+
+def sweep_via_pitch(
+    betas: tuple[float, ...] = (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0),
+    pdk: PDK | None = None,
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[ViaPitchResult, ...]:
+    """The Obs. 8 sweep over ILV pitch."""
+    return tuple(via_pitch_study(beta, pdk, network, capacity_bits) for beta in betas)

@@ -1,0 +1,39 @@
+"""Exception types shared across the :mod:`repro` library.
+
+Keeping a small, explicit hierarchy lets callers distinguish *user* mistakes
+(bad configuration values) from *model* violations (a derived quantity left
+the physically meaningful range) without string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class ModelError(ReproError):
+    """A derived model quantity is outside its physically meaningful range."""
+
+
+class FloorplanError(ReproError):
+    """The physical design flow could not produce a legal floorplan."""
+
+
+class MappingError(ReproError):
+    """The mapper could not find a legal mapping for a layer."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``.
+
+    A tiny guard helper used by constructors throughout the library so that
+    invalid configurations fail fast with a clear message instead of
+    propagating NaNs through the analytical models.
+    """
+    if not condition:
+        raise ConfigurationError(message)

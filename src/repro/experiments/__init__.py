@@ -1,0 +1,64 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes a ``run_*`` function returning structured results and a
+``format_*`` function rendering the same rows/series the paper reports.
+The benchmark harness (``benchmarks/``) and the examples call these.
+
+| Paper artifact | Driver |
+|---|---|
+| Fig. 2 + Obs. 2  | :mod:`repro.experiments.casestudy` |
+| Fig. 5           | :mod:`repro.experiments.fig5` |
+| Table I          | :mod:`repro.experiments.table1` |
+| Fig. 7 / Table II| :mod:`repro.experiments.fig7` |
+| Fig. 8 / Obs. 5  | :mod:`repro.experiments.fig8` |
+| Fig. 9 / Obs. 6  | :mod:`repro.experiments.fig9` |
+| Fig. 10 / Obs. 7-10 | :mod:`repro.experiments.fig10` |
+| Obs. 3           | :mod:`repro.experiments.obs3` |
+"""
+
+from repro.experiments.casestudy import CaseStudyResult, format_case_study, run_case_study
+from repro.experiments.fig5 import Fig5Row, format_fig5, run_fig5
+from repro.experiments.table1 import Table1Row, format_table1, run_table1
+from repro.experiments.fig7 import Fig7Row, format_fig7, run_fig7
+from repro.experiments.fig8 import format_fig8, run_fig8
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.experiments.fig10 import (
+    format_fig10c,
+    format_fig10d,
+    format_obs8,
+    format_obs10,
+    run_fig10c,
+    run_fig10d,
+    run_obs8,
+    run_obs10,
+)
+from repro.experiments.obs3 import format_obs3, run_obs3
+
+__all__ = [
+    "CaseStudyResult",
+    "run_case_study",
+    "format_case_study",
+    "Fig5Row",
+    "run_fig5",
+    "format_fig5",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Fig7Row",
+    "run_fig7",
+    "format_fig7",
+    "run_fig8",
+    "format_fig8",
+    "run_fig9",
+    "format_fig9",
+    "run_fig10c",
+    "format_fig10c",
+    "run_fig10d",
+    "format_fig10d",
+    "run_obs8",
+    "format_obs8",
+    "run_obs10",
+    "format_obs10",
+    "run_obs3",
+    "format_obs3",
+]

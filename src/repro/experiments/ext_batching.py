@@ -1,0 +1,97 @@
+"""Extension study: token batching on a transformer encoder.
+
+A weight-stationary systolic array is brutal to batch-1 transformer
+inference: every 16x16 weight slab is loaded for a *single* useful
+streaming cycle, so the array spends ~97% of its time in pipeline
+fill/drain.  Batching tokens amortizes the slab setup, raising absolute
+utilization by more than an order of magnitude.
+
+The M3D result the study establishes: the iso-footprint benefit is
+*robust across the whole regime* — the speedup stays ~N from batch 1
+(setup-bound) to batch 256 (compute-bound) because both designs pay the
+same per-slab overheads and the partitioning along output channels is
+oblivious to the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, percent, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import Network
+from repro.workloads.transformer import tiny_encoder
+
+
+@dataclass(frozen=True)
+class BatchingRow:
+    """Result at one token-batch size.
+
+    Attributes:
+        batch: Tokens processed per weight-slab pass.
+        cycles_per_token_2d: 2D latency per token, cycles.
+        cycles_per_token_m3d: M3D latency per token, cycles.
+        utilization_2d: Fraction of 2D peak MACs actually used.
+        speedup / energy_benefit / edp_benefit: M3D vs 2D benefits.
+    """
+
+    batch: int
+    cycles_per_token_2d: float
+    cycles_per_token_m3d: float
+    utilization_2d: float
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+
+
+def run_batching(
+    pdk: PDK | None = None,
+    batches: tuple[int, ...] = (1, 4, 16, 64, 256),
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[BatchingRow, ...]:
+    """Sweep the token batch for an encoder workload on the case-study pair."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else tiny_encoder()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits)
+    peak = baseline.cs.array.peak_macs_per_cycle
+    rows: list[BatchingRow] = []
+    for batch in batches:
+        base_report = simulate(baseline, network, pdk, batch=batch)
+        m3d_report = simulate(m3d, network, pdk, batch=batch)
+        benefit = compare_designs(base_report, m3d_report)
+        utilization = network.total_macs * batch / (base_report.cycles * peak)
+        rows.append(BatchingRow(
+            batch=batch,
+            cycles_per_token_2d=base_report.cycles / batch,
+            cycles_per_token_m3d=m3d_report.cycles / batch,
+            utilization_2d=utilization,
+            speedup=benefit.speedup,
+            energy_benefit=benefit.energy_benefit,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)
+
+
+def format_batching(rows: tuple[BatchingRow, ...]) -> str:
+    """Render the batching study."""
+    table_rows = [
+        [row.batch,
+         f"{row.cycles_per_token_2d:,.0f}",
+         f"{row.cycles_per_token_m3d:,.0f}",
+         percent(row.utilization_2d),
+         times(row.speedup), times(row.edp_benefit)]
+        for row in rows
+    ]
+    return format_table(
+        "Extension — token batching on a transformer encoder (64 MB, "
+        "tiny encoder): utilization climbs, the M3D benefit holds at ~N",
+        ["batch", "2D cyc/token", "M3D cyc/token", "2D util", "speedup",
+         "EDP benefit"],
+        table_rows,
+    )

@@ -1,0 +1,148 @@
+"""Extension study: computing sub-systems in the BEOL CNFET tier.
+
+The paper's conclusion projects that M3D benefits "will grow with further
+performance optimization (e.g., full CMOS on upper layers)".  The case
+study uses the CNFET tier only for RRAM access FETs; here we additionally
+place CSs built from the (drive-derated) CNFET standard-cell library in
+the CNFET-tier area left over beside the memory arrays.
+
+At the case study's relaxed 20 MHz target, a CNFET CS closes timing
+comfortably despite the weaker devices (fmax scales with the relative
+drive but stays far above 20 MHz), so each upper-tier CS contributes full
+throughput — the gain is purely the extra parallelism, and the cost shows
+up as upper-tier power (which this study tracks against the thermal
+budget).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech import constants
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.core.thermal import ThermalStack, temperature_rise
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import AcceleratorSimulator
+from repro.units import MEGABYTE
+from repro.workloads.models import Network, resnet18
+
+
+def cnfet_tier_free_area(pdk: PDK, capacity_bits: int) -> float:
+    """CNFET-tier area not occupied by memory access FETs, m^2."""
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    return max(0.0, baseline.area.footprint - baseline.area.cells)
+
+
+def cnfet_cs_fmax(pdk: PDK) -> float:
+    """First-order fmax of a CNFET-tier CS, Hz (logic-depth limited)."""
+    nand = pdk.cnfet_library.gate_equivalent
+    path = 24 * nand.delay_with_load(2.0 * nand.input_capacitance)
+    return 1.0 / path
+
+
+def extra_cnfet_cs_count(pdk: PDK, capacity_bits: int) -> int:
+    """CNFET-tier CSs that fit beside the arrays.
+
+    The upper-tier CS reuses the case-study configuration; CNFET cells have
+    the same footprint as Si cells at this node, so the CS area carries
+    over.  The SRAM buffers stay per-CS but live in the CNFET tier too
+    (BEOL-compatible memories would be used in practice; area-equivalent
+    here).
+    """
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    free = cnfet_tier_free_area(pdk, capacity_bits)
+    return max(0, math.floor(free / baseline.area.cs_unit))
+
+
+@dataclass(frozen=True)
+class BEOLLogicResult:
+    """Outcome of the BEOL-logic extension study.
+
+    Attributes:
+        si_cs: CSs in the Si tier (the case-study 8).
+        cnfet_cs: Additional CSs in the CNFET tier.
+        cnfet_fmax: fmax of a CNFET CS, Hz (must exceed the 20 MHz target).
+        speedup / energy_benefit / edp_benefit: ResNet-18 benefits of the
+            extended design vs the 2D baseline.
+        baseline_edp_benefit: The plain 8-CS M3D benefit, for contrast.
+        upper_tier_power_fraction: Chip power now in the upper tiers.
+        temperature_rise: Eq. 17 rise with compute in the stack, K.
+        thermal_ok: True when inside the 60 K budget.
+    """
+
+    si_cs: int
+    cnfet_cs: int
+    cnfet_fmax: float
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+    baseline_edp_benefit: float
+    upper_tier_power_fraction: float
+    temperature_rise: float
+    thermal_ok: bool
+
+
+def run_beol_logic(
+    pdk: PDK | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
+    stack: ThermalStack | None = None,
+) -> BEOLLogicResult:
+    """Evaluate the M3D design extended with CNFET-tier CSs."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    stack = stack if stack is not None else ThermalStack()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    plain_m3d = m3d_design(pdk, capacity_bits)
+    extra = extra_cnfet_cs_count(pdk, capacity_bits)
+    extended = m3d_design(pdk, capacity_bits,
+                          n_cs=plain_m3d.n_cs + extra)
+
+    baseline_report = AcceleratorSimulator(baseline, pdk).run(network)
+    plain_report = AcceleratorSimulator(plain_m3d, pdk).run(network)
+    extended_report = AcceleratorSimulator(extended, pdk).run(network)
+    plain_benefit = compare_designs(baseline_report, plain_report)
+    extended_benefit = compare_designs(baseline_report, extended_report)
+
+    # Power attribution: the CNFET CSs' share of average power moves to the
+    # upper tier; Eq. 17 treats the chip as one compute+memory pair with
+    # that share dissipated above the Si tier.
+    total_power = extended_report.average_power
+    upper_share = extra / extended.n_cs
+    upper_power = total_power * upper_share
+    rise = temperature_rise([total_power - upper_power, upper_power], stack)
+
+    return BEOLLogicResult(
+        si_cs=plain_m3d.n_cs,
+        cnfet_cs=extra,
+        cnfet_fmax=cnfet_cs_fmax(pdk),
+        speedup=extended_benefit.speedup,
+        energy_benefit=extended_benefit.energy_benefit,
+        edp_benefit=extended_benefit.edp_benefit,
+        baseline_edp_benefit=plain_benefit.edp_benefit,
+        upper_tier_power_fraction=upper_share,
+        temperature_rise=rise,
+        thermal_ok=rise <= stack.max_rise,
+    )
+
+
+def format_beol_logic(result: BEOLLogicResult) -> str:
+    """Render the BEOL-logic study."""
+    rows = [
+        ["Si-tier CSs (case study)", result.si_cs],
+        ["extra CNFET-tier CSs", result.cnfet_cs],
+        ["CNFET CS fmax", f"{result.cnfet_fmax / 1e6:.0f} MHz "
+                          f"(target 20 MHz)"],
+        ["EDP benefit, 8-CS M3D", times(result.baseline_edp_benefit)],
+        ["EDP benefit, + BEOL logic", times(result.edp_benefit)],
+        ["upper-tier power share", f"{result.upper_tier_power_fraction:.0%}"],
+        ["temperature rise", f"{result.temperature_rise:.2f} K "
+                             f"(ok={result.thermal_ok})"],
+    ]
+    return format_table(
+        "Extension — computing sub-systems in the BEOL CNFET tier "
+        "(the paper's 'full CMOS on upper layers' projection)",
+        ["quantity", "value"], rows)

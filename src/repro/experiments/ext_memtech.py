@@ -1,0 +1,105 @@
+"""Extension study: the M3D principle across BEOL memory technologies.
+
+The paper's conclusion claims its analysis "should apply for many other
+M3D technologies" (Sec. II lists RRAM, MRAM, FeFET among the BEOL-
+compatible families).  This study swaps the on-chip memory cell for each
+BEOL preset of :mod:`repro.tech.memories` — re-deriving the iso-footprint
+design pair per technology — and reports the CS count and ResNet-18
+benefit for each.
+
+Two opposing effects shape the result:
+
+* a *denser* cell (FeFET, PCM) shrinks A_cells, freeing less silicon
+  relative to one CS -> fewer parallel CSs;
+* a *sparser* cell (MRAM) frees more silicon -> more CSs, at a bigger
+  chip for the same capacity.
+
+The benefit therefore tracks gamma_cells, exactly as Eq. 2 predicts —
+which is the transferability claim under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.memories import MemoryTechnology, beol_technologies
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE, to_mm2
+from repro.workloads.models import Network, resnet18
+
+
+@dataclass(frozen=True)
+class MemTechRow:
+    """Result for one BEOL memory technology.
+
+    Attributes:
+        technology: The memory preset.
+        gamma_cells: Cell-array / CS area ratio at 64 MB.
+        n_cs: Parallel CSs the M3D design derives.
+        footprint: Chip footprint (iso between 2D and M3D), m^2.
+        speedup: ResNet-18 speedup.
+        energy_benefit: ResNet-18 energy benefit.
+        edp_benefit: ResNet-18 EDP benefit.
+    """
+
+    technology: MemoryTechnology
+    gamma_cells: float
+    n_cs: int
+    footprint: float
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+
+
+def run_memtech(
+    pdk: PDK | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
+) -> tuple[MemTechRow, ...]:
+    """Evaluate the case study under every BEOL memory preset."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    rows: list[MemTechRow] = []
+    for tech in beol_technologies():
+        tech_pdk = pdk.with_memory_cell(tech.cell(pdk.node))
+        baseline = baseline_2d_design(tech_pdk, capacity_bits)
+        m3d = m3d_design(tech_pdk, capacity_bits)
+        benefit = compare_designs(
+            simulate(baseline, network, tech_pdk),
+            simulate(m3d, network, tech_pdk),
+        )
+        rows.append(MemTechRow(
+            technology=tech,
+            gamma_cells=baseline.area.gamma_cells,
+            n_cs=m3d.n_cs,
+            footprint=baseline.area.footprint,
+            speedup=benefit.speedup,
+            energy_benefit=benefit.energy_benefit,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)
+
+
+def format_memtech(rows: tuple[MemTechRow, ...]) -> str:
+    """Render the memory-technology comparison."""
+    table_rows = [
+        [row.technology.name,
+         f"{row.technology.bitcell_area_f2:.0f} F^2",
+         f"{row.gamma_cells:.2f}",
+         row.n_cs,
+         f"{to_mm2(row.footprint):.0f}",
+         times(row.speedup),
+         times(row.edp_benefit)]
+        for row in rows
+    ]
+    return format_table(
+        "Extension — M3D benefit across BEOL memory technologies "
+        "(64 MB, ResNet-18)",
+        ["memory", "bit-cell", "gamma_cells", "M3D CSs", "footprint mm^2",
+         "speedup", "EDP benefit"],
+        table_rows,
+    )

@@ -1,0 +1,106 @@
+"""Extension study: operand precision vs capacity and benefit.
+
+The case study stores 8-bit weights.  Precision couples into the M3D story
+twice: lower precision (a) shrinks the weight footprint, letting larger
+models meet the iso-capacity constraint (or the same model fit a smaller,
+cheaper memory), and (b) reduces per-MAC energy quadratically.  This study
+sweeps 4/8/16-bit designs at 64 MB, reporting which Fig. 5 models fit and
+the ResNet-18 benefit at each precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import (
+    ComputingSubsystem,
+    baseline_2d_design,
+    m3d_design,
+)
+from repro.arch.pe import PEConfig
+from repro.arch.systolic import SystolicArrayConfig
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import Network, available_networks, build_network, resnet18
+
+
+def _cs_for_precision(bits: int) -> ComputingSubsystem:
+    pe = PEConfig(precision_bits=bits, weight_reg_bits=bits,
+                  input_reg_bits=bits, output_reg_bits=max(16, 3 * bits))
+    return ComputingSubsystem(
+        array=SystolicArrayConfig(rows=16, cols=16, pe=pe),
+        input_buffer_bits=int(0.7 * MEGABYTE),
+        output_buffer_bits=int(0.7 * MEGABYTE),
+        control_gates=140_000,
+    )
+
+
+@dataclass(frozen=True)
+class PrecisionRow:
+    """Result for one operand precision.
+
+    Attributes:
+        precision_bits: Weight/activation precision.
+        n_cs: M3D CS count (unchanged: area model is capacity-driven).
+        models_fitting: Fig. 5-family models whose weights fit 64 MB.
+        speedup / energy_benefit / edp_benefit: ResNet-18 benefits.
+    """
+
+    precision_bits: int
+    n_cs: int
+    models_fitting: tuple[str, ...]
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+
+
+def run_precision(
+    pdk: PDK | None = None,
+    precisions: tuple[int, ...] = (4, 8, 16),
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
+) -> tuple[PrecisionRow, ...]:
+    """Sweep operand precision at fixed 64 MB capacity."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+    rows: list[PrecisionRow] = []
+    for bits in precisions:
+        cs = _cs_for_precision(bits)
+        baseline = replace(baseline_2d_design(pdk, capacity_bits, cs=cs),
+                           precision_bits=bits)
+        m3d = replace(m3d_design(pdk, capacity_bits, cs=cs),
+                      precision_bits=bits)
+        fitting = tuple(
+            name for name in available_networks()
+            if build_network(name).weight_bits(bits) <= capacity_bits)
+        benefit = compare_designs(
+            simulate(baseline, network, pdk),
+            simulate(m3d, network, pdk),
+        )
+        rows.append(PrecisionRow(
+            precision_bits=bits,
+            n_cs=m3d.n_cs,
+            models_fitting=fitting,
+            speedup=benefit.speedup,
+            energy_benefit=benefit.energy_benefit,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)
+
+
+def format_precision(rows: tuple[PrecisionRow, ...]) -> str:
+    """Render the precision study."""
+    table_rows = [
+        [f"{row.precision_bits}-bit", row.n_cs, len(row.models_fitting),
+         times(row.speedup), times(row.edp_benefit)]
+        for row in rows
+    ]
+    return format_table(
+        "Extension — operand precision at 64 MB (ResNet-18 benefits; "
+        "'models' counts Fig. 5-family networks whose weights fit)",
+        ["precision", "M3D CSs", "models fitting", "speedup", "EDP benefit"],
+        table_rows,
+    )

@@ -1,0 +1,153 @@
+"""Fig. 10 and Obs. 7-10: FET-width, via-pitch, tier-count, thermal studies.
+
+* :func:`run_fig10c` — Case 1 (Obs. 7): EDP benefit vs BEOL access-FET
+  width relaxation delta (paper: flat to 1.6x, small benefits to 2.5x).
+* :func:`run_obs8` — Case 2 (Obs. 8): EDP benefit vs ILV pitch beta
+  (paper: unchanged to 1.3x, limited-to-none at 1.6x+).
+* :func:`run_fig10d` — Case 3 (Obs. 9): EDP benefit vs interleaved tier
+  pairs (paper: 5.7 -> 6.9 -> plateau ~7.1 for ResNet-18; a highly
+  parallel single layer approaches ~23x).
+* :func:`run_obs10` — Eq. 17 (Obs. 10): maximum tier pairs inside a 60 K
+  budget for representative per-tier powers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multitier import MultiTierResult, multitier_study, sweep_tiers
+from repro.core.relaxed_fet import RelaxedFETResult, sweep_fet_width
+from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
+from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch
+from repro.experiments.reporting import format_table, times
+from repro.tech.pdk import PDK
+from repro.workloads.models import Network, resnet18
+
+
+def run_fig10c(pdk: PDK | None = None) -> tuple[RelaxedFETResult, ...]:
+    """Case 1 sweep over the access-FET width relaxation delta."""
+    return sweep_fet_width(pdk=pdk)
+
+
+def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
+    """Render the Fig. 10c series."""
+    rows = [
+        [f"{r.delta:.2f}", r.n_cs_2d, r.n_cs_m3d, times(r.speedup),
+         times(r.edp_benefit)]
+        for r in results
+    ]
+    return format_table(
+        "Fig. 10c — EDP benefit vs relaxed M3D access-FET width "
+        "(paper: no loss to 1.6x, small benefits to 2.5x)",
+        ["delta", "2D CSs", "M3D CSs", "speedup", "EDP benefit"],
+        rows,
+    )
+
+
+def run_obs8(pdk: PDK | None = None) -> tuple[ViaPitchResult, ...]:
+    """Case 2 sweep over the ILV pitch beta."""
+    return sweep_via_pitch(pdk=pdk)
+
+
+def format_obs8(results: tuple[ViaPitchResult, ...]) -> str:
+    """Render the Obs. 8 series."""
+    rows = [
+        [f"{r.beta:.2f}", f"{r.effective_delta:.2f}", r.n_cs_2d, r.n_cs_m3d,
+         times(r.edp_benefit)]
+        for r in results
+    ]
+    return format_table(
+        "Obs. 8 — EDP benefit vs M3D via pitch "
+        "(paper: unchanged to 1.3x, limited benefit at 1.6x+)",
+        ["beta", "cell growth", "2D CSs", "M3D CSs", "EDP benefit"],
+        rows,
+    )
+
+
+@dataclass(frozen=True)
+class Fig10dResult:
+    """Tier sweep plus the highly parallel single-layer headline.
+
+    Attributes:
+        network_sweep: Whole-network (ResNet-18) results per tier pair.
+        parallel_layer_sweep: Single-layer (L4.1 CONV2) results.
+    """
+
+    network_sweep: tuple[MultiTierResult, ...]
+    parallel_layer_sweep: tuple[MultiTierResult, ...]
+
+
+def run_fig10d(pdk: PDK | None = None, max_pairs: int = 6) -> Fig10dResult:
+    """Case 3 sweep for ResNet-18 and for its most parallel layer."""
+    network = resnet18()
+    single = Network(name="resnet18_L4.1_CONV2",
+                     layers=(network.layer("L4.1 CONV2"),))
+    return Fig10dResult(
+        network_sweep=sweep_tiers(max_pairs, pdk=pdk, network=network),
+        parallel_layer_sweep=sweep_tiers(max_pairs, pdk=pdk, network=single),
+    )
+
+
+def format_fig10d(result: Fig10dResult) -> str:
+    """Render the Fig. 10d series."""
+    rows = []
+    for net_point, layer_point in zip(result.network_sweep,
+                                      result.parallel_layer_sweep):
+        rows.append([
+            net_point.pairs, net_point.n_cs,
+            times(net_point.edp_benefit),
+            times(layer_point.edp_benefit),
+            f"{net_point.temperature_rise:.2f} K",
+        ])
+    return format_table(
+        "Fig. 10d — EDP benefit vs interleaved compute+memory tier pairs "
+        "(paper: 5.7 -> 6.9 -> ~7.1 plateau; parallel layer -> ~23x)",
+        ["pairs Y", "total CSs", "ResNet-18 EDP", "L4.1 CONV2 EDP",
+         "temp rise"],
+        rows,
+    )
+
+
+@dataclass(frozen=True)
+class Obs10Row:
+    """Thermal ceiling for one per-tier power level.
+
+    Attributes:
+        power_per_pair: Power of each tier pair, watts.
+        max_pairs: Largest stack inside the 60 K budget.
+        rise_at_max: Temperature rise of that stack, K.
+    """
+
+    power_per_pair: float
+    max_pairs: int
+    rise_at_max: float
+
+
+def run_obs10(
+    powers: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
+    stack: ThermalStack | None = None,
+) -> tuple[Obs10Row, ...]:
+    """Obs. 10: tier ceiling vs per-tier power at HPC-class dissipation."""
+    stack = stack if stack is not None else ThermalStack()
+    rows: list[Obs10Row] = []
+    for power in powers:
+        pairs = max_tier_pairs(power, stack)
+        rise = temperature_rise([power] * pairs, stack) if pairs else float("inf")
+        rows.append(Obs10Row(power_per_pair=power, max_pairs=pairs,
+                             rise_at_max=rise))
+    return tuple(rows)
+
+
+def format_obs10(rows: tuple[Obs10Row, ...]) -> str:
+    """Render the Obs. 10 ceiling table."""
+    table_rows = [
+        [f"{row.power_per_pair:.0f} W", row.max_pairs,
+         f"{row.rise_at_max:.1f} K"]
+        for row in rows
+    ]
+    return format_table(
+        "Obs. 10 — maximum interleaved tier pairs within a 60 K rise "
+        "(Eq. 17)",
+        ["power per pair", "max pairs", "rise at max"],
+        table_rows,
+    )

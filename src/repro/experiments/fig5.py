@@ -1,0 +1,84 @@
+"""Fig. 5: whole-model benefits for AlexNet / VGG / ResNet inference.
+
+The paper reports 5.7x-7.5x speedup at ~0.99x energy (hence 5.7x-7.5x EDP)
+for the iso-footprint, iso-capacity M3D accelerator across AI/ML models.
+VGG-16's 138 M-parameter classifier head cannot be stored in the 64 MB
+on-chip RRAM at 8-bit precision, so the compact-classifier variant
+(``vgg16c``) stands in — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.models import build_network
+
+#: The Fig. 5 model set (vgg16c substitutes VGG-16; see module docstring).
+FIG5_NETWORKS: tuple[str, ...] = (
+    "alexnet", "vgg16c", "resnet18", "resnet34", "resnet50", "resnet152",
+)
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    """One Fig. 5 bar group.
+
+    Attributes:
+        network: Model name.
+        speedup: T_2D / T_3D.
+        energy_benefit: E_2D / E_3D.
+        edp_benefit: Product of the two.
+    """
+
+    network: str
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+
+
+def run_fig5(
+    pdk: PDK | None = None,
+    networks: tuple[str, ...] = FIG5_NETWORKS,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[Fig5Row, ...]:
+    """Simulate every Fig. 5 model on the 2D/M3D design pair."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits)
+    rows: list[Fig5Row] = []
+    for name in networks:
+        network = build_network(name)
+        benefit = compare_designs(
+            simulate(baseline, network, pdk),
+            simulate(m3d, network, pdk),
+        )
+        rows.append(Fig5Row(
+            network=name,
+            speedup=benefit.speedup,
+            energy_benefit=benefit.energy_benefit,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)
+
+
+def format_fig5(rows: tuple[Fig5Row, ...]) -> str:
+    """Render the Fig. 5 series."""
+    table_rows = [
+        [row.network, times(row.speedup), times(row.energy_benefit),
+         times(row.edp_benefit)]
+        for row in rows
+    ]
+    spread = (min(r.edp_benefit for r in rows), max(r.edp_benefit for r in rows))
+    table = format_table(
+        "Fig. 5 — iso-footprint, iso-capacity M3D benefits per model "
+        "(paper: 5.7x-7.5x EDP at ~0.99x energy)",
+        ["model", "speedup", "energy", "EDP benefit"],
+        table_rows,
+    )
+    return table + f"\nEDP benefit range: {times(spread[0])} - {times(spread[1])}"

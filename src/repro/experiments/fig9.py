@@ -1,0 +1,34 @@
+"""Fig. 9 / Obs. 6: M3D benefit vs baseline RRAM capacity.
+
+The DNN (ResNet-18, ~12 M parameters) is held fixed while the baseline
+on-chip RRAM scales 12 MB -> 128 MB.  Bigger baselines free more silicon
+under the arrays, admitting more parallel CSs and larger benefits — the
+paper reports 1x at 12 MB rising to 6.8x at 128 MB.
+"""
+
+from __future__ import annotations
+
+from repro.core.insights import CapacityPoint, sweep_rram_capacity
+from repro.experiments.reporting import format_table, times
+from repro.tech.pdk import PDK
+
+
+def run_fig9(pdk: PDK | None = None) -> tuple[CapacityPoint, ...]:
+    """Run the capacity sweep (12-128 MB) on ResNet-18."""
+    return sweep_rram_capacity(pdk=pdk)
+
+
+def format_fig9(points: tuple[CapacityPoint, ...]) -> str:
+    """Render the Fig. 9 series."""
+    rows = [
+        [f"{p.capacity_megabytes:.0f} MB", p.n_cs, times(p.speedup),
+         times(p.edp_benefit)]
+        for p in points
+    ]
+    table = format_table(
+        "Fig. 9 — RRAM capacity vs M3D benefit, ResNet-18 fixed "
+        "(paper: 1x @ 12 MB -> 6.8x @ 128 MB)",
+        ["baseline RRAM", "M3D CSs", "speedup", "EDP benefit"],
+        rows,
+    )
+    return table

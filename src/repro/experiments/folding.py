@@ -1,0 +1,138 @@
+"""Folding-only M3D: the prior-work baseline the paper's intro contrasts.
+
+Prior RTL-to-GDS M3D studies ([3], [4]) *fold* the existing 2D design into
+two tiers — same architecture, iso-on-chip-memory-capacity — and collect
+physical-design gains only: ~50% footprint, ~20% wirelength/buffer
+reduction, worth ~1.1-1.4x EDP.  The paper's thesis is that the big wins
+(5.7x+) need *new architectural design points*, not just folding.
+
+This experiment reproduces both numbers from the same codebase:
+
+* the folded design keeps the single CS but stacks the RRAM above it, so
+  the footprint shrinks to max(memory tier, logic tier); wirelength scales
+  with sqrt(area), and the wire shares of delay and energy (measured from
+  the flow's timing and routing outputs) convert the wirelength saving
+  into the folded EDP benefit;
+* the architectural M3D design is the usual 8-CS case study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.tech import constants
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.physical.flow import run_flow
+from repro.units import MEGABYTE, to_mm2
+from repro.workloads.models import Network, resnet18
+
+#: Fraction of chip dynamic energy in interconnect at this node class.
+WIRE_ENERGY_SHARE = 0.30
+
+
+@dataclass(frozen=True)
+class FoldingResult:
+    """Folding-only vs architectural M3D.
+
+    Attributes:
+        footprint_2d: 2D baseline footprint, m^2.
+        footprint_folded: Folded-M3D footprint, m^2.
+        wirelength_ratio: Folded/2D wirelength (sqrt-area scaling).
+        wire_delay_share: Wire share of the 2D critical path.
+        folded_speedup: Delay benefit of folding at iso-architecture.
+        folded_energy_benefit: Energy benefit of folding.
+        folded_edp_benefit: EDP benefit of folding (paper: ~1.1-1.4x).
+        architectural_edp_benefit: The 8-CS case-study benefit (~5.7x).
+    """
+
+    footprint_2d: float
+    footprint_folded: float
+    wirelength_ratio: float
+    wire_delay_share: float
+    folded_speedup: float
+    folded_energy_benefit: float
+    folded_edp_benefit: float
+    architectural_edp_benefit: float
+
+    @property
+    def footprint_ratio(self) -> float:
+        """Folded footprint relative to 2D (prior work: ~0.5)."""
+        return self.footprint_folded / self.footprint_2d
+
+    @property
+    def architectural_advantage(self) -> float:
+        """How much the new design points add over folding alone."""
+        return self.architectural_edp_benefit / self.folded_edp_benefit
+
+
+def run_folding(
+    pdk: PDK | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
+) -> FoldingResult:
+    """Evaluate folding-only M3D against the architectural case study."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    network = network if network is not None else resnet18()
+
+    flow_2d = run_flow(baseline_2d_design(pdk, capacity_bits), pdk)
+    baseline = flow_2d.design
+
+    # Folded footprint: the memory tier and the logic tier overlap.
+    logic_tier = (baseline.area.cs_unit + baseline.area.peripherals
+                  + baseline.area.bus_io)
+    folded_footprint = max(baseline.area.cells, logic_tier)
+    wl_ratio = math.sqrt(folded_footprint / baseline.area.footprint)
+
+    # Delay: the shorter wires shrink only the wire share of the critical
+    # path; clock frequency scales with the inverse of the new path.
+    timing = flow_2d.timing
+    wire_share = timing.wire_delay / timing.critical_path
+    folded_path = (timing.logic_delay + timing.wire_delay * wl_ratio)
+    folded_speedup = timing.critical_path / folded_path
+
+    # Energy: the wire share of dynamic energy scales with wirelength.
+    folded_energy = 1.0 - WIRE_ENERGY_SHARE * (1.0 - wl_ratio)
+    folded_energy_benefit = 1.0 / folded_energy
+
+    architectural = compare_designs(
+        simulate(baseline, network, pdk),
+        simulate(m3d_design(pdk, capacity_bits), network, pdk),
+    )
+    return FoldingResult(
+        footprint_2d=baseline.area.footprint,
+        footprint_folded=folded_footprint,
+        wirelength_ratio=wl_ratio,
+        wire_delay_share=wire_share,
+        folded_speedup=folded_speedup,
+        folded_energy_benefit=folded_energy_benefit,
+        folded_edp_benefit=folded_speedup * folded_energy_benefit,
+        architectural_edp_benefit=architectural.edp_benefit,
+    )
+
+
+def format_folding(result: FoldingResult) -> str:
+    """Render the folding-vs-architecture comparison."""
+    rows = [
+        ["2D footprint", f"{to_mm2(result.footprint_2d):.0f} mm^2"],
+        ["folded M3D footprint",
+         f"{to_mm2(result.footprint_folded):.0f} mm^2 "
+         f"({result.footprint_ratio:.0%} of 2D)"],
+        ["wirelength", f"{result.wirelength_ratio:.0%} of 2D "
+                       f"(prior work: ~80%)"],
+        ["folded speedup", times(result.folded_speedup)],
+        ["folded energy benefit", times(result.folded_energy_benefit)],
+        ["folded EDP benefit", f"{times(result.folded_edp_benefit)} "
+                               f"(prior work [3-4]: 1.1-1.4x)"],
+        ["architectural EDP benefit",
+         f"{times(result.architectural_edp_benefit)} (this paper)"],
+        ["architecture / folding", times(result.architectural_advantage)],
+    ]
+    return format_table(
+        "Folding-only M3D vs new architectural design points "
+        "(the paper's Fig. 1 contrast)",
+        ["quantity", "value"], rows)

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned ASCII tables so the
+``--benchmark-only`` output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import require
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned ASCII table with a title line."""
+    require(len(headers) > 0, "need at least one column")
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        require(len(row) == len(headers), "row width must match headers")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def times(value: float, digits: int = 2) -> str:
+    """Format a benefit ratio the way the paper writes it, e.g. ``5.66x``."""
+    return f"{value:.{digits}f}x"
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

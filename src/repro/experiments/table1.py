@@ -1,0 +1,134 @@
+"""Table I: per-layer ResNet-18 benefits.
+
+Reproduces the paper's layer-by-layer rows (speedup, energy, EDP benefit)
+including the merged ``CONV1+POOL`` row and the conv-layer total, which the
+paper reports as 5.64x / 0.99x / 5.66x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.reporting import format_table, times
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.units import MEGABYTE
+from repro.workloads.layers import LayerKind
+from repro.workloads.models import resnet18
+
+#: Paper Table I values (speedup, energy, EDP) for cross-reference.
+PAPER_TABLE1: dict[str, tuple[float, float, float]] = {
+    "CONV1+POOL": (3.14, 1.00, 2.93),
+    "L1.0 CONV1": (3.72, 1.00, 3.73),
+    "L1.0 CONV2": (3.72, 0.99, 3.73),
+    "L1.1 CONV1": (3.72, 0.99, 3.73),
+    "L1.1 CONV2": (3.72, 0.99, 3.73),
+    "L2.0 DS": (2.57, 1.00, 2.57),
+    "L2.0 CONV1": (6.00, 0.99, 7.37),
+    "L2.0 CONV2": (7.36, 0.99, 7.37),
+    "L2.1 CONV1": (7.36, 0.99, 7.37),
+    "L2.1 CONV2": (7.36, 0.99, 7.37),
+    "L3.0 DS": (2.52, 1.00, 2.51),
+    "L3.0 CONV1": (6.84, 0.99, 6.85),
+    "L3.0 CONV2": (7.67, 0.99, 7.68),
+    "L3.1 CONV1": (7.67, 0.99, 7.68),
+    "L3.1 CONV2": (7.67, 0.99, 7.68),
+    "L4.0 DS": (3.50, 1.00, 3.50),
+    "L4.0 CONV1": (7.37, 0.99, 7.40),
+    "L4.0 CONV2": (7.83, 0.99, 7.85),
+    "L4.1 CONV1": (7.83, 0.99, 7.85),
+    "L4.1 CONV2": (7.83, 0.99, 7.85),
+    "Total": (5.64, 0.99, 5.66),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One Table I row.
+
+    Attributes:
+        name: Layer name (paper naming).
+        speedup: T_2D / T_3D.
+        energy_benefit: E_2D / E_3D.
+        edp_benefit: Product.
+        paper_speedup: The paper's reported speedup, for comparison.
+    """
+
+    name: str
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+    paper_speedup: float | None
+
+
+def run_table1(
+    pdk: PDK | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[Table1Row, ...]:
+    """Produce every Table I row, including the merged stem and the total."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits)
+    network = resnet18()
+    base_report = simulate(baseline, network, pdk)
+    m3d_report = simulate(m3d, network, pdk)
+    benefit = compare_designs(base_report, m3d_report)
+
+    rows: list[Table1Row] = []
+
+    def add(name: str, t2: float, t3: float, e2: float, e3: float) -> None:
+        speedup = t2 / t3
+        energy = e2 / e3
+        paper = PAPER_TABLE1.get(name)
+        rows.append(Table1Row(
+            name=name, speedup=speedup, energy_benefit=energy,
+            edp_benefit=speedup * energy,
+            paper_speedup=paper[0] if paper else None))
+
+    # Merged CONV1+POOL row, then each conv layer, as the paper lists them.
+    stem_2d = [base_report.layer_result(n) for n in ("CONV1", "POOL")]
+    stem_3d = [m3d_report.layer_result(n) for n in ("CONV1", "POOL")]
+    add("CONV1+POOL",
+        sum(r.cycles for r in stem_2d), sum(r.cycles for r in stem_3d),
+        sum(r.energy for r in stem_2d), sum(r.energy for r in stem_3d))
+    for layer_benefit in benefit.layers:
+        layer = layer_benefit.baseline.layer
+        if layer.name in ("CONV1", "POOL") or layer.kind == LayerKind.FC:
+            continue
+        add(layer.name,
+            layer_benefit.baseline.cycles, layer_benefit.m3d.cycles,
+            layer_benefit.baseline.energy, layer_benefit.m3d.energy)
+
+    # Total over the Table I rows (conv + stem, excluding the FC head).
+    conv_pool = [b for b in benefit.layers
+                 if b.baseline.layer.kind != LayerKind.FC]
+    add("Total",
+        sum(b.baseline.cycles for b in conv_pool),
+        sum(b.m3d.cycles for b in conv_pool),
+        sum(b.baseline.energy for b in conv_pool),
+        sum(b.m3d.energy for b in conv_pool))
+    return tuple(rows)
+
+
+def run_table1_total(pdk: PDK | None = None) -> Table1Row:
+    """Just the Table I total row (paper: 5.64x / 0.99x / 5.66x)."""
+    return run_table1(pdk)[-1]
+
+
+def format_table1(rows: tuple[Table1Row, ...]) -> str:
+    """Render Table I with the paper's values alongside ours."""
+    table_rows = []
+    for row in rows:
+        paper = times(row.paper_speedup) if row.paper_speedup else "-"
+        table_rows.append([
+            row.name, times(row.speedup), times(row.energy_benefit),
+            times(row.edp_benefit), paper,
+        ])
+    return format_table(
+        "Table I — per-layer ResNet-18 benefits of the iso-footprint, "
+        "iso-capacity M3D accelerator",
+        ["layer", "speedup", "energy", "EDP benefit", "paper speedup"],
+        table_rows,
+    )

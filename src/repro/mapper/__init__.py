@@ -1,0 +1,30 @@
+"""ZigZag-style architecture/mapping design-space exploration.
+
+The paper cross-checks its analytical framework against ZigZag [13], a
+loop-nest-based DNN accelerator cost model, on the six Table II
+architectures (Fig. 7).  This package is our independent implementation of
+that class of tool: for each layer it searches temporal tilings of the
+(K, C, OX, OY, R, S) loop nest over the architecture's register / local /
+global / RRAM hierarchy, costing each candidate with per-level access
+energies and a utilization-aware latency model.
+"""
+
+from repro.mapper.loopnest import LoopNest, OperandKind, loop_nest_of
+from repro.mapper.cost import CostModel, MappingCost, Tiling
+from repro.mapper.engine import (
+    LayerMapping,
+    MapperEngine,
+    MappingReport,
+)
+
+__all__ = [
+    "LoopNest",
+    "OperandKind",
+    "loop_nest_of",
+    "Tiling",
+    "MappingCost",
+    "CostModel",
+    "MapperEngine",
+    "LayerMapping",
+    "MappingReport",
+]

@@ -1,0 +1,307 @@
+"""Cost model for one layer mapping on one Table II architecture.
+
+A candidate mapping is a :class:`Tiling`: an outer-loop order template plus
+local-level tile sizes (Tk output channels, Tc input channels, Toy output
+rows).  The model computes, in closed form:
+
+* per-boundary traffic (RRAM -> local W, global -> local I, local O <->
+  global) from the classic operand-relevance analysis;
+* spatial-level traffic (register and local accesses per MAC, reduced by
+  the architecture's spatial broadcast/reduction factors);
+* energy, by pricing each boundary with the level's per-bit access energy;
+* latency, as the roofline max of utilization-derated compute time and
+  each boundary's bandwidth-limited time.
+
+Two loop-order templates span the interesting mapping space:
+
+* ``WEIGHT_OUTER`` — weights stream through local_W exactly once; inputs
+  are re-fetched per K-tile and outputs spill to global per C-tile unless
+  the local output buffer holds a full K-tile of partial sums.
+* ``OUTPUT_OUTER`` — outputs leave once; weights are re-fetched per
+  output-row tile.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.arch.memory import MemoryKind, Operand
+from repro.arch.table2 import ArchitectureSpec
+from repro.mapper.loopnest import LoopNest, OperandKind
+
+#: Partial sums are kept at accumulator precision.
+ACCUMULATOR_BITS = 24
+
+
+class LoopOrder(enum.Enum):
+    """Outer-loop order template."""
+
+    WEIGHT_OUTER = "weight_outer"
+    OUTPUT_OUTER = "output_outer"
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """One candidate mapping.
+
+    Attributes:
+        order: Outer-loop order template.
+        tk: Output-channel tile at the local level.
+        tc: Input-channel tile at the local level.
+        toy: Output-row tile at the local level.
+    """
+
+    order: LoopOrder
+    tk: int
+    tc: int
+    toy: int
+
+    def __post_init__(self) -> None:
+        require(self.tk >= 1 and self.tc >= 1 and self.toy >= 1,
+                "tile sizes must be >= 1")
+
+
+@dataclass(frozen=True)
+class MappingCost:
+    """Evaluated cost of one tiling for one layer slice.
+
+    Attributes:
+        tiling: The evaluated tiling.
+        cycles: Latency in cycles for the slice (excluding the chip-level
+            shared writeback, added by the engine).
+        dynamic_energy: Dynamic energy in joules for the slice.
+        rram_bits: Weight bits read from RRAM.
+        global_bits: Bits moved across the global-SRAM boundary.
+        utilization: Spatial array utilization in (0, 1].
+    """
+
+    tiling: Tiling
+    cycles: float
+    dynamic_energy: float
+    rram_bits: float
+    global_bits: float
+    utilization: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-cycles (engine converts to J*s)."""
+        return self.dynamic_energy * self.cycles
+
+
+class CostModel:
+    """Prices tilings of one layer slice on one architecture."""
+
+    def __init__(self, arch: ArchitectureSpec, precision_bits: int = 8) -> None:
+        require(precision_bits >= 1, "precision must be >= 1")
+        self.arch = arch
+        self.precision_bits = precision_bits
+        self._local = {
+            Operand.WEIGHT: self._find_local("local_W"),
+            Operand.INPUT: self._find_local("local_I"),
+            Operand.OUTPUT: self._find_local("local_O"),
+        }
+        self._global = arch.hierarchy.level("global_sram")
+        self._rram = arch.hierarchy.level("rram")
+
+    def _find_local(self, name: str):
+        try:
+            return self.arch.hierarchy.level(name)
+        except KeyError:
+            return None
+
+    # --- geometry -----------------------------------------------------------
+
+    def utilization(self, nest: LoopNest) -> float:
+        """Spatial utilization: fraction of PEs doing useful work."""
+        spatial = self.arch.spatial
+        util = 1.0
+        for dim_name, unroll in (("k", spatial.k), ("c", spatial.c),
+                                 ("ox", spatial.ox), ("oy", spatial.oy)):
+            size = nest.dim(dim_name)
+            util *= size / (math.ceil(size / unroll) * unroll)
+        return util
+
+    def weight_tile_resident(self, nest: LoopNest, tiling: Tiling) -> bool:
+        """True when the weight tile is buffered in local_W.
+
+        When the tile does not fit (or there is no local_W), weights stream
+        from RRAM on every use instead of being staged.
+        """
+        w_local = self._local[Operand.WEIGHT]
+        if w_local is None:
+            return False
+        tile = {"k": tiling.tk, "c": tiling.tc, "oy": tiling.toy}
+        w_bits = nest.tile_operand_size(OperandKind.WEIGHT, tile) * self.precision_bits
+        return w_bits <= w_local.total_capacity_bits
+
+    def input_tile_resident(self, nest: LoopNest, tiling: Tiling) -> bool:
+        """True when the input tile is buffered in local_I."""
+        i_local = self._local[Operand.INPUT]
+        if i_local is None:
+            return False
+        tile = {"k": tiling.tk, "c": tiling.tc, "oy": tiling.toy}
+        i_bits = nest.tile_operand_size(OperandKind.INPUT, tile) * self.precision_bits
+        return i_bits <= i_local.total_capacity_bits
+
+    def tile_fits(self, nest: LoopNest, tiling: Tiling) -> bool:
+        """True when the tiling is not wastefully oversized.
+
+        A tile larger than its local buffer is allowed only at the minimum
+        tile size (where the operand degrades to streaming); bigger tiles
+        that still do not fit are pruned as dominated.
+        """
+        spatial = self.arch.spatial
+        minimal = (tiling.tk <= spatial.k and tiling.tc <= spatial.c
+                   and tiling.toy <= spatial.oy)
+        if minimal:
+            return True
+        w_local = self._local[Operand.WEIGHT]
+        if w_local is not None and not self.weight_tile_resident(nest, tiling):
+            return False
+        i_local = self._local[Operand.INPUT]
+        if i_local is not None and not self.input_tile_resident(nest, tiling):
+            return False
+        return True
+
+    def _output_tile_persists(self, nest: LoopNest, tiling: Tiling) -> bool:
+        """True when a K-tile of partial sums fits the local output buffer."""
+        o_local = self._local[Operand.OUTPUT]
+        if o_local is None:
+            return False
+        tile_bits = tiling.tk * nest.ox * nest.oy * ACCUMULATOR_BITS
+        return tile_bits <= o_local.total_capacity_bits
+
+    # --- traffic ----------------------------------------------------------------
+
+    def boundary_traffic(self, nest: LoopNest, tiling: Tiling) -> dict[str, float]:
+        """Element traffic across the RRAM and global-SRAM boundaries."""
+        nk = math.ceil(nest.k / tiling.tk)
+        nc = math.ceil(nest.c / tiling.tc)
+        no = math.ceil(nest.oy / tiling.toy)
+        size_w = nest.operand_size(OperandKind.WEIGHT)
+        size_i = nest.operand_size(OperandKind.INPUT)
+        size_o = nest.operand_size(OperandKind.OUTPUT)
+        tile_i = nest.tile_operand_size(
+            OperandKind.INPUT, {"c": tiling.tc, "oy": tiling.toy})
+        if tiling.order == LoopOrder.WEIGHT_OUTER:
+            weight_reads = size_w
+            input_reads = nk * nc * no * tile_i
+            if self._output_tile_persists(nest, tiling):
+                output_writes = size_o
+                output_reads = 0.0
+            else:
+                # Partial sums spill to global once per C-tile revisit.
+                output_writes = size_o * nc
+                output_reads = size_o * max(0, nc - 1)
+        else:
+            weight_reads = size_w * no
+            input_reads = nk * nc * no * tile_i
+            output_writes = size_o
+            output_reads = 0.0
+        return {
+            "rram_weight_reads": weight_reads,
+            "global_input_reads": input_reads,
+            "global_output_writes": output_writes,
+            "global_output_reads": output_reads,
+        }
+
+    def spatial_traffic(self, nest: LoopNest, tiling: Tiling) -> dict[str, float]:
+        """Local/register traffic after spatial reuse and register retention.
+
+        Weights are *stationary*: every PE retains its weight(s) in the
+        per-PE register file, so weight traffic from the level above is one
+        register fill per weight per output-tile revisit — not one per MAC.
+        Inputs are broadcast across the K-spatial PEs; partial sums reduce
+        across the C-spatial PEs.
+        """
+        spatial = self.arch.spatial
+        macs = nest.macs
+        no = math.ceil(nest.oy / tiling.toy)
+        size_w = nest.operand_size(OperandKind.WEIGHT)
+        return {
+            # Inputs are broadcast across the K-spatial PEs.
+            "local_input_reads": macs / spatial.k,
+            # Register fills: each weight enters the array once per
+            # output-row-tile pass (stationary within a pass).
+            "local_weight_reads": float(size_w * no),
+            # Partial sums are spatially reduced across the C-spatial PEs.
+            "local_output_accesses": 2.0 * macs / spatial.c,
+            # Register traffic: operand reads plus accumulator update.
+            "register_accesses": 3.0 * macs,
+        }
+
+    # --- energy & latency ----------------------------------------------------------
+
+    def _local_energy_per_bit(self, operand: Operand) -> float:
+        """Energy of a local access; absent levels fall through to global."""
+        level = self._local[operand]
+        if level is None:
+            return self._global.energy_per_bit
+        return level.energy_per_bit
+
+    def evaluate(self, nest: LoopNest, tiling: Tiling,
+                 rram_channel_bits: float,
+                 global_width_bits: float | None = None) -> MappingCost:
+        """Price one tiling: energy, latency, and boundary traffic."""
+        precision = self.precision_bits
+        boundary = self.boundary_traffic(nest, tiling)
+        spatial = self.spatial_traffic(nest, tiling)
+        util = self.utilization(nest)
+
+        # Residency: a non-fitting tile degrades the operand to streaming —
+        # every spatial-level use then hits the operand's home level.
+        w_resident = self.weight_tile_resident(nest, tiling)
+        i_resident = self.input_tile_resident(nest, tiling)
+
+        if w_resident:
+            rram_bits = boundary["rram_weight_reads"] * precision
+            w_local_energy = (spatial["local_weight_reads"] * precision
+                              * self._local_energy_per_bit(Operand.WEIGHT))
+        else:
+            rram_bits = spatial["local_weight_reads"] * precision
+            w_local_energy = 0.0
+
+        if i_resident:
+            global_in_bits = boundary["global_input_reads"] * precision
+            i_local_energy = (spatial["local_input_reads"] * precision
+                              * self._local[Operand.INPUT].energy_per_bit)
+        else:
+            global_in_bits = spatial["local_input_reads"] * precision
+            i_local_energy = 0.0
+
+        global_out_bits = (boundary["global_output_writes"]
+                           + boundary["global_output_reads"]) * ACCUMULATOR_BITS
+        global_bits = global_in_bits + global_out_bits
+
+        energy = (
+            rram_bits * self._rram.energy_per_bit
+            + global_in_bits * self._global.energy_per_bit
+            + global_out_bits * self._global.energy_per_bit
+            + i_local_energy
+            + w_local_energy
+            + spatial["local_output_accesses"] * ACCUMULATOR_BITS
+            * self._local_energy_per_bit(Operand.OUTPUT)
+            + spatial["register_accesses"] * precision
+            * constants.REGISTER_ENERGY_PER_BIT
+            + nest.macs * constants.MAC8_ENERGY_130NM
+        )
+
+        peak = self.arch.spatial.pe_count
+        compute_cycles = nest.macs / (peak * util)
+        width = (global_width_bits if global_width_bits is not None
+                 else self._global.width_bits)
+        global_cycles = global_bits / width
+        rram_cycles = rram_bits / rram_channel_bits
+        cycles = max(compute_cycles, global_cycles, rram_cycles)
+        return MappingCost(
+            tiling=tiling,
+            cycles=cycles,
+            dynamic_energy=energy,
+            rram_bits=rram_bits,
+            global_bits=global_bits,
+            utilization=util,
+        )

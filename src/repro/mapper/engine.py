@@ -1,0 +1,262 @@
+"""Mapping search engine: best tiling per layer, chip-level accounting.
+
+For each conv/FC layer the engine:
+
+1. partitions the layer's output channels across the chip's parallel CSs
+   (min(N, ceil(K / K_spatial)) used, as in the performance simulator);
+2. enumerates loop-order templates and power-of-two tile sizes for the
+   slice owned by the busiest CS, keeping only tilings whose operand tiles
+   fit the local buffers;
+3. picks the candidate with the lowest slice EDP;
+4. adds the chip-level serial output writeback and leakage.
+
+Pooling layers bypass the mapper (no MAC loop nest) and use the same
+vector-unit model as the performance simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import MappingError, require
+from repro.tech import constants
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import (
+    DEFAULT_BANK_WIDTH_BITS,
+    DEFAULT_FREQUENCY_HZ,
+    DEFAULT_WRITEBACK_BUS_BITS,
+)
+from repro.arch.memory import MemoryKind
+from repro.arch.table2 import ArchitectureSpec
+from repro.mapper.cost import CostModel, LoopOrder, MappingCost, Tiling
+from repro.mapper.loopnest import LoopNest, loop_nest_of
+from repro.workloads.layers import Layer, LayerKind
+from repro.workloads.models import Network
+
+
+def arch_static_power(arch: ArchitectureSpec, pdk: PDK, n_cs: int = 1) -> float:
+    """Static power of ``n_cs`` CSs of this architecture, watts."""
+    require(n_cs >= 1, "need at least one CS")
+    pe_gates = arch.spatial.pe_count * constants.PE_GATE_COUNT
+    logic = pdk.silicon_library.leakage_for_gates(pe_gates)
+    sram_bits = arch.hierarchy.on_chip_sram_bits()
+    sram = sram_bits * constants.SRAM_LEAKAGE_PER_BIT
+    regs = arch.hierarchy.register_bits() * constants.SRAM_LEAKAGE_PER_BIT
+    return n_cs * (logic + sram + regs)
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Best mapping found for one layer at chip level.
+
+    Attributes:
+        layer: The mapped layer.
+        used_cs: CSs used for this layer.
+        slice_cost: Cost of the busiest CS's slice (None for pooling).
+        cycles: Total chip-level latency in cycles.
+        dynamic_energy: Chip-level dynamic energy in joules.
+        leakage_energy: Static energy over the layer runtime in joules.
+    """
+
+    layer: Layer
+    used_cs: int
+    slice_cost: MappingCost | None
+    cycles: float
+    dynamic_energy: float
+    leakage_energy: float
+
+    @property
+    def energy(self) -> float:
+        """Total layer energy in joules."""
+        return self.dynamic_energy + self.leakage_energy
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """Chip-level mapping result for a full network.
+
+    Attributes:
+        arch: The architecture mapped onto.
+        network: The workload.
+        n_cs: Parallel CS count of the chip.
+        cycle_time: Clock period, seconds.
+        layers: Per-layer mappings.
+    """
+
+    arch: ArchitectureSpec
+    network: Network
+    n_cs: int
+    cycle_time: float
+    layers: tuple[LayerMapping, ...] = field(default_factory=tuple)
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles for one inference."""
+        return sum(item.cycles for item in self.layers)
+
+    @property
+    def runtime(self) -> float:
+        """Total runtime in seconds."""
+        return self.cycles * self.cycle_time
+
+    @property
+    def energy(self) -> float:
+        """Total energy in joules."""
+        return sum(item.energy for item in self.layers)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product, joule-seconds."""
+        return self.energy * self.runtime
+
+    def describe(self) -> str:
+        """Human-readable per-layer mapping summary (chosen tilings)."""
+        lines = [f"mapping of {self.network.name} on {self.arch.name} "
+                 f"(N = {self.n_cs})"]
+        for item in self.layers:
+            if item.slice_cost is None:
+                lines.append(f"  {item.layer.name:12s} pooling on "
+                             f"{item.used_cs} vector unit(s)")
+                continue
+            tiling = item.slice_cost.tiling
+            lines.append(
+                f"  {item.layer.name:12s} {tiling.order.value:12s} "
+                f"Tk={tiling.tk:<4d} Tc={tiling.tc:<4d} Toy={tiling.toy:<3d} "
+                f"util={item.slice_cost.utilization:4.0%} "
+                f"cycles={item.cycles:,.0f}")
+        return "\n".join(lines)
+
+
+def _pow2_tiles(base: int, bound: int) -> list[int]:
+    """Candidate tile sizes: base * 2^i capped at the loop bound."""
+    tiles: list[int] = []
+    tile = max(1, base)
+    while tile < bound:
+        tiles.append(tile)
+        tile *= 2
+    tiles.append(bound)
+    return tiles
+
+
+class MapperEngine:
+    """Searches mappings of DNN layers onto one Table II architecture."""
+
+    def __init__(
+        self,
+        arch: ArchitectureSpec,
+        pdk: PDK | None = None,
+        n_cs: int = 1,
+        bank_width_bits: int = DEFAULT_BANK_WIDTH_BITS,
+        writeback_bus_bits: int = DEFAULT_WRITEBACK_BUS_BITS,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        precision_bits: int = 8,
+        shared_weight_channel: bool = False,
+    ) -> None:
+        require(n_cs >= 1, "need at least one CS")
+        self.arch = arch
+        self.pdk = pdk if pdk is not None else foundry_m3d_pdk()
+        self.n_cs = n_cs
+        self.writeback_bus_bits = writeback_bus_bits
+        self.frequency_hz = frequency_hz
+        self.precision_bits = precision_bits
+        # M3D chips give each CS a private weight channel; a 2D chip (or an
+        # enlarged 2D baseline) shares one channel among its CSs.
+        if shared_weight_channel:
+            self.rram_channel_bits = bank_width_bits / n_cs
+        else:
+            self.rram_channel_bits = float(bank_width_bits)
+        self.cost_model = CostModel(arch, precision_bits)
+        self._static_power = arch_static_power(arch, self.pdk, n_cs)
+
+    @property
+    def cycle_time(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    # --- candidate generation -------------------------------------------------
+
+    def candidate_tilings(self, nest: LoopNest) -> Iterator[Tiling]:
+        """Enumerate loop orders x power-of-two tile sizes for one slice."""
+        spatial = self.arch.spatial
+        for order in LoopOrder:
+            for tk in _pow2_tiles(spatial.k, nest.k):
+                for tc in _pow2_tiles(spatial.c, nest.c):
+                    for toy in _pow2_tiles(spatial.oy, nest.oy):
+                        yield Tiling(order=order, tk=tk, tc=tc, toy=toy)
+
+    def best_slice_cost(self, nest: LoopNest) -> MappingCost:
+        """Lowest-EDP legal tiling for one CS's layer slice."""
+        best: MappingCost | None = None
+        for tiling in self.candidate_tilings(nest):
+            if not self.cost_model.tile_fits(nest, tiling):
+                continue
+            cost = self.cost_model.evaluate(
+                nest, tiling, rram_channel_bits=self.rram_channel_bits)
+            if best is None or cost.edp < best.edp:
+                best = cost
+        if best is None:
+            raise MappingError(
+                f"no legal tiling for nest {nest} on {self.arch.name}")
+        return best
+
+    # --- per-layer mapping -------------------------------------------------------
+
+    def _used_cs(self, layer: Layer) -> int:
+        """CSs usable for a layer: K partitions in units of the K-unroll."""
+        k_tiles = max(1, math.ceil(layer.out_channels / self.arch.spatial.k))
+        return min(self.n_cs, k_tiles)
+
+    def _writeback_cycles(self, layer: Layer) -> float:
+        """Chip-level serial output writeback over the shared bus."""
+        return (layer.output_elements * self.precision_bits
+                / self.writeback_bus_bits)
+
+    def map_pool(self, layer: Layer, lanes: int = 16) -> LayerMapping:
+        """Pooling on the per-CS vector units (no MAC mapping involved)."""
+        tiles = max(1, math.ceil(layer.out_channels / lanes))
+        used = min(self.n_cs, tiles)
+        cycles = max(layer.macs / lanes / used, self._writeback_cycles(layer))
+        dynamic = (layer.input_elements + layer.output_elements) \
+            * self.precision_bits * constants.SRAM_ENERGY_PER_BIT
+        leakage = self._static_power * cycles * self.cycle_time
+        return LayerMapping(
+            layer=layer, used_cs=used, slice_cost=None, cycles=cycles,
+            dynamic_energy=dynamic, leakage_energy=leakage)
+
+    def map_layer(self, layer: Layer) -> LayerMapping:
+        """Map one layer at chip level."""
+        if layer.kind == LayerKind.POOL:
+            return self.map_pool(layer)
+        nest = loop_nest_of(layer)
+        used = self._used_cs(layer)
+        k_slice = math.ceil(nest.k / used)
+        slice_nest = LoopNest(k=k_slice, c=nest.c, ox=nest.ox, oy=nest.oy,
+                              r=nest.r, s=nest.s, stride=nest.stride)
+        slice_cost = self.best_slice_cost(slice_nest)
+        # Output drain overlaps compute through the double-buffered local
+        # output level, so the shared bus contributes as a roofline term.
+        cycles = max(slice_cost.cycles, self._writeback_cycles(layer))
+        # Energy scales with total work; the busiest slice's per-MAC energy
+        # is representative of every slice.
+        energy_scale = nest.macs / slice_nest.macs
+        dynamic = slice_cost.dynamic_energy * energy_scale
+        leakage = self._static_power * cycles * self.cycle_time
+        return LayerMapping(
+            layer=layer, used_cs=used, slice_cost=slice_cost, cycles=cycles,
+            dynamic_energy=dynamic, leakage_energy=leakage)
+
+    def map_network(self, network: Network) -> MappingReport:
+        """Map every layer of ``network`` and aggregate chip-level totals."""
+        require(network.weight_bits(self.precision_bits)
+                <= self.arch.rram_capacity_bits,
+                f"{network.name} weights do not fit this architecture's RRAM")
+        layers = tuple(self.map_layer(layer) for layer in network.layers)
+        return MappingReport(
+            arch=self.arch,
+            network=network,
+            n_cs=self.n_cs,
+            cycle_time=self.cycle_time,
+            layers=layers,
+        )

@@ -1,0 +1,122 @@
+"""Loop-nest representation of a DNN layer.
+
+A convolution is the 6-deep loop nest over (K, C, OX, OY, R, S); FC layers
+are the degenerate case OX = OY = R = S = 1.  The mapper reasons about
+which dimensions are *relevant* to each operand:
+
+* weights  W[K, C, R, S]       — irrelevant: OX, OY
+* inputs   I[C, IX, IY]        — irrelevant: K
+* outputs  O[K, OX, OY]        — irrelevant: C, R, S
+
+An operand is re-fetched when a relevant loop advances and *reused* across
+irrelevant loops; those relevance sets drive the traffic counts in
+:mod:`repro.mapper.cost`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.workloads.layers import Layer, LayerKind
+
+
+class OperandKind(enum.Enum):
+    """The three DNN operands."""
+
+    WEIGHT = "W"
+    INPUT = "I"
+    OUTPUT = "O"
+
+
+#: Loop dimensions relevant to each operand.
+RELEVANT_DIMS: dict[OperandKind, tuple[str, ...]] = {
+    OperandKind.WEIGHT: ("k", "c", "r", "s"),
+    OperandKind.INPUT: ("c", "ox", "oy", "r", "s"),
+    OperandKind.OUTPUT: ("k", "ox", "oy"),
+}
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """Loop bounds of one layer.
+
+    Attributes:
+        k: Output channels.
+        c: Input channels.
+        ox: Output width.
+        oy: Output height.
+        r: Kernel width.
+        s: Kernel height.
+        stride: Convolution stride (input-footprint scaling).
+    """
+
+    k: int
+    c: int
+    ox: int
+    oy: int
+    r: int
+    s: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("k", "c", "ox", "oy", "r", "s", "stride"):
+            require(getattr(self, name) >= 1, f"{name} must be >= 1")
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates."""
+        return self.k * self.c * self.ox * self.oy * self.r * self.s
+
+    def dim(self, name: str) -> int:
+        """Loop bound by lower-case dimension name."""
+        return int(getattr(self, name))
+
+    def operand_size(self, operand: OperandKind) -> int:
+        """Element count of one operand's full footprint."""
+        if operand == OperandKind.WEIGHT:
+            return self.k * self.c * self.r * self.s
+        if operand == OperandKind.OUTPUT:
+            return self.k * self.ox * self.oy
+        in_x = (self.ox - 1) * self.stride + self.r
+        in_y = (self.oy - 1) * self.stride + self.s
+        return self.c * in_x * in_y
+
+    def tile_operand_size(self, operand: OperandKind,
+                          tile: dict[str, int]) -> int:
+        """Element count of an operand's footprint for a loop tile.
+
+        ``tile`` maps dimension names to tile sizes (defaults to the full
+        bound for missing dimensions).
+        """
+        bound = {name: tile.get(name, self.dim(name))
+                 for name in ("k", "c", "ox", "oy", "r", "s")}
+        if operand == OperandKind.WEIGHT:
+            return bound["k"] * bound["c"] * bound["r"] * bound["s"]
+        if operand == OperandKind.OUTPUT:
+            return bound["k"] * bound["ox"] * bound["oy"]
+        in_x = (bound["ox"] - 1) * self.stride + bound["r"]
+        in_y = (bound["oy"] - 1) * self.stride + bound["s"]
+        return bound["c"] * in_x * in_y
+
+
+def loop_nest_of(layer: Layer) -> LoopNest:
+    """Build the loop nest of a conv or FC layer."""
+    require(layer.kind != LayerKind.POOL,
+            "pooling layers have no MAC loop nest to map")
+    require(layer.channel_groups == 1,
+            "the mapper models dense convolutions only; grouped/depthwise "
+            "layers are supported by the performance simulator")
+    if layer.kind == LayerKind.FC:
+        return LoopNest(k=layer.out_channels, c=layer.in_channels,
+                        ox=1, oy=1, r=1, s=1)
+    return LoopNest(
+        k=layer.out_channels,
+        c=layer.in_channels,
+        ox=layer.out_size,
+        oy=layer.out_size,
+        r=layer.kernel,
+        s=layer.kernel,
+        stride=layer.stride,
+    )

@@ -1,0 +1,26 @@
+"""Cycle-level performance and energy simulation.
+
+The paper determines workload cycle counts with "architectural simulations"
+after physical design (Sec. II).  This package is that simulator: it executes
+a DNN layer by layer on an :class:`~repro.arch.accelerator.AcceleratorDesign`
+and produces per-layer cycles, energy, and the 2D-vs-M3D benefit comparison
+of Fig. 5 and Table I.
+"""
+
+from repro.perf.simulator import (
+    AcceleratorSimulator,
+    ExecutionReport,
+    LayerExecution,
+    simulate,
+)
+from repro.perf.compare import BenefitReport, LayerBenefit, compare_designs
+
+__all__ = [
+    "AcceleratorSimulator",
+    "LayerExecution",
+    "ExecutionReport",
+    "simulate",
+    "BenefitReport",
+    "LayerBenefit",
+    "compare_designs",
+]

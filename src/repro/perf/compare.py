@@ -1,0 +1,100 @@
+"""2D-vs-M3D benefit comparison (the quantities of Fig. 5 and Table I).
+
+Benefits follow the paper's conventions:
+
+* ``speedup``        = T_2D / T_3D                          (Eq. 5)
+* ``energy_benefit`` = E_2D / E_3D  (0.99x means M3D spends ~1% more energy)
+* ``edp_benefit``    = speedup * energy_benefit             (Eq. 8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.perf.simulator import ExecutionReport, LayerExecution
+
+
+@dataclass(frozen=True)
+class LayerBenefit:
+    """Per-layer benefit of the M3D design over the 2D baseline.
+
+    Attributes:
+        name: Layer name.
+        baseline: 2D execution result.
+        m3d: M3D execution result.
+    """
+
+    name: str
+    baseline: LayerExecution
+    m3d: LayerExecution
+
+    @property
+    def speedup(self) -> float:
+        """Latency benefit T_2D / T_3D."""
+        return self.baseline.cycles / self.m3d.cycles
+
+    @property
+    def energy_benefit(self) -> float:
+        """Energy benefit E_2D / E_3D."""
+        return self.baseline.energy / self.m3d.energy
+
+    @property
+    def edp_benefit(self) -> float:
+        """EDP benefit (Eq. 8)."""
+        return self.speedup * self.energy_benefit
+
+
+@dataclass(frozen=True)
+class BenefitReport:
+    """Network-level benefit of an M3D design over its 2D baseline.
+
+    Attributes:
+        baseline: 2D execution report.
+        m3d: M3D execution report.
+        layers: Per-layer benefits in execution order.
+    """
+
+    baseline: ExecutionReport
+    m3d: ExecutionReport
+    layers: tuple[LayerBenefit, ...] = field(default_factory=tuple)
+
+    @property
+    def speedup(self) -> float:
+        """Whole-network speedup T_2D / T_3D."""
+        return self.baseline.runtime / self.m3d.runtime
+
+    @property
+    def energy_benefit(self) -> float:
+        """Whole-network energy benefit E_2D / E_3D."""
+        return self.baseline.energy / self.m3d.energy
+
+    @property
+    def edp_benefit(self) -> float:
+        """Whole-network EDP benefit (Eq. 8)."""
+        return self.speedup * self.energy_benefit
+
+    def layer(self, name: str) -> LayerBenefit:
+        """Look up a per-layer benefit by layer name."""
+        for item in self.layers:
+            if item.name == name:
+                return item
+        raise KeyError(f"no layer named {name!r} in benefit report")
+
+
+def compare_designs(baseline: ExecutionReport, m3d: ExecutionReport) -> BenefitReport:
+    """Build a :class:`BenefitReport` from two execution reports.
+
+    The reports must execute the same network; iso-footprint and
+    iso-capacity are properties of the designs being compared and are
+    validated where the designs are constructed.
+    """
+    require(baseline.network.name == m3d.network.name,
+            "reports must execute the same network")
+    require(len(baseline.layers) == len(m3d.layers),
+            "reports must have the same layer count")
+    layers = tuple(
+        LayerBenefit(name=base.layer.name, baseline=base, m3d=new)
+        for base, new in zip(baseline.layers, m3d.layers)
+    )
+    return BenefitReport(baseline=baseline, m3d=m3d, layers=layers)

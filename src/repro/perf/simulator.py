@@ -1,0 +1,244 @@
+"""Layer-by-layer execution model for the case-study accelerator.
+
+Timing model (validated against the paper's Table I, see DESIGN.md Sec. 5):
+
+* A conv/FC layer is tiled into weight slabs on each CS's systolic array;
+  each slab streams the output feature map plus a pipeline fill/drain
+  overhead; slab weight loading is double-buffered and only costs time when
+  it exceeds the streaming time (which makes FC layers weight-load-bound).
+* Across CSs the layer partitions along output-channel tiles: with N CSs
+  and Kt tiles, min(N, Kt) CSs are used (the paper's N_max = min(N, N#)).
+* Output writeback shares a single chip-level bus in both designs, so it
+  does **not** parallelize — this serial term is why the paper's per-layer
+  speedups saturate below N (e.g. 7.8x, not 8x, for ResNet-18 stage 4).
+* Pooling runs on the per-CS post-processing vector units, partitioned
+  channel-wise.
+
+Energy model (Eqs. 6-7 structure): compute energy per MAC, RRAM weight-read
+energy per bit, SRAM streaming energy per bit, output writeback (SRAM +
+bus wire), and leakage of every CS and the memory peripherals over the
+layer's runtime — idle CSs keep leaking, which is how the M3D energy stays
+~1.0x the 2D baseline's despite the 5.7x shorter runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import AcceleratorDesign, peripheral_area
+from repro.arch.systolic import SystolicArrayConfig
+from repro.workloads.layers import Layer, LayerKind
+from repro.workloads.models import Network
+
+#: Average on-chip distance for writeback-bus transfers, metres.
+_WRITEBACK_WIRE_LENGTH = 5e-3
+
+
+@dataclass(frozen=True)
+class LayerExecution:
+    """Result of executing one layer on one design.
+
+    Attributes:
+        layer: The executed layer.
+        used_cs: CSs actually used, min(N, N#).
+        compute_cycles: Parallelized compute/streaming cycles (per-CS
+            critical path).
+        writeback_cycles: Serial shared-bus output writeback cycles.
+        cycles: Total layer latency in cycles.
+        dynamic_energy: Dynamic energy in joules.
+        leakage_energy: Static energy over the layer's runtime in joules.
+    """
+
+    layer: Layer
+    used_cs: int
+    compute_cycles: float
+    writeback_cycles: float
+    cycles: float
+    dynamic_energy: float
+    leakage_energy: float
+
+    @property
+    def energy(self) -> float:
+        """Total layer energy in joules."""
+        return self.dynamic_energy + self.leakage_energy
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Result of executing a full network on one design.
+
+    Attributes:
+        design: The design executed on.
+        network: The workload.
+        layers: Per-layer execution results, in order.
+    """
+
+    design: AcceleratorDesign
+    network: Network
+    layers: tuple[LayerExecution, ...] = field(default_factory=tuple)
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles for one inference."""
+        return sum(item.cycles for item in self.layers)
+
+    @property
+    def runtime(self) -> float:
+        """Total runtime in seconds."""
+        return self.cycles * self.design.cycle_time
+
+    @property
+    def energy(self) -> float:
+        """Total energy in joules."""
+        return sum(item.energy for item in self.layers)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy * self.runtime
+
+    @property
+    def average_power(self) -> float:
+        """Average power in watts."""
+        return self.energy / self.runtime
+
+    def layer_result(self, name: str) -> LayerExecution:
+        """Look up a per-layer result by layer name."""
+        for item in self.layers:
+            if item.layer.name == name:
+                return item
+        raise KeyError(f"no layer named {name!r} in report")
+
+
+class AcceleratorSimulator:
+    """Executes DNN workloads on an :class:`AcceleratorDesign`.
+
+    ``batch`` amortizes each stationary weight slab over multiple inputs:
+    per-slab streaming grows with the batch while the slab load happens
+    once, so weight-bound layers (FC, transformer projections) move toward
+    the compute-bound regime.  Reports cover the whole batch.
+    """
+
+    def __init__(self, design: AcceleratorDesign, pdk: PDK | None = None,
+                 batch: int = 1) -> None:
+        require(batch >= 1, "batch must be >= 1")
+        self.design = design
+        self.pdk = pdk if pdk is not None else foundry_m3d_pdk()
+        self.batch = batch
+        self._static_power = self._compute_static_power()
+
+    def _compute_static_power(self) -> float:
+        """Chip static power in watts: all CSs + memory peripherals.
+
+        RRAM cells are non-volatile and contribute no retention power; the
+        CNFET access-FET tier leaks only marginally (off-state), folded into
+        the peripheral term.
+        """
+        design = self.design
+        cs_leak = design.n_cs * design.cs.leakage(self.pdk)
+        perif_gates = peripheral_area(self.pdk) / self.pdk.silicon_library.gate_equivalent.area
+        perif_leak = self.pdk.silicon_library.leakage_for_gates(perif_gates)
+        return cs_leak + perif_leak
+
+    @property
+    def static_power(self) -> float:
+        """Chip static power in watts."""
+        return self._static_power
+
+    # --- timing -----------------------------------------------------------
+
+    def _conv_fc_cycles(self, layer: Layer) -> tuple[int, float, float]:
+        """(used_cs, compute_cycles, writeback_cycles) for conv/FC layers."""
+        design = self.design
+        array: SystolicArrayConfig = design.cs.array
+        k_tiles = array.k_tiles(layer)
+        used_cs = min(design.n_cs, k_tiles)
+        slabs_per_cs = (math.ceil(k_tiles / used_cs)
+                        * array.row_tiles(layer) * array.kernel_passes(layer))
+        fill = array.fill_drain_cycles
+        per_input_stream = array.stream_cycles_per_slab(layer) - fill
+        stream = per_input_stream * self.batch + fill
+        # Each CS's weight channel: private bank in M3D, a share of the
+        # single channel in (possibly enlarged, Case 1) 2D baselines.
+        channel_bits = design.total_weight_bandwidth / design.n_cs
+        weight_load = array.weight_bits_per_slab() / channel_bits
+        per_slab = max(stream, weight_load)
+        compute = slabs_per_cs * per_slab
+        writeback = (layer.output_elements * self.batch
+                     * design.precision_bits / design.writeback_bus_bits)
+        return used_cs, compute, writeback
+
+    def _pool_cycles(self, layer: Layer) -> tuple[int, float, float]:
+        """(used_cs, compute_cycles, writeback_cycles) for pooling layers."""
+        design = self.design
+        lanes = design.pool_lanes
+        channel_tiles = max(1, math.ceil(layer.out_channels / lanes))
+        used_cs = min(design.n_cs, channel_tiles)
+        compute = layer.macs * self.batch / lanes / used_cs
+        writeback = (layer.output_elements * self.batch
+                     * design.precision_bits / design.writeback_bus_bits)
+        return used_cs, compute, writeback
+
+    # --- energy ------------------------------------------------------------
+
+    def _dynamic_energy(self, layer: Layer, used_cs: int) -> float:
+        """Dynamic energy of one layer in joules."""
+        design = self.design
+        precision = design.precision_bits
+        mac_energy = design.cs.array.pe.mac_energy
+        compute = layer.macs * self.batch * mac_energy
+        # Weight slabs are loaded once regardless of the batch size.
+        read_energy = design.bank_plan.array.cell.read_energy_per_bit
+        weights = layer.weights * precision * read_energy
+        # Input streaming: `rows` operands enter each array per cycle while
+        # `rows * cols` MACs retire, so SRAM read traffic is macs / cols.
+        input_reads = layer.macs * self.batch / design.cs.array.cols
+        inputs = input_reads * precision * constants.SRAM_ENERGY_PER_BIT
+        # Outputs: one SRAM write at the producer, a bus transfer, and one
+        # SRAM write into each consumer CS's input buffer.
+        output_bits = layer.output_elements * self.batch * precision
+        wire = (output_bits * constants.WIRE_ENERGY_PER_BIT_MM
+                * (_WRITEBACK_WIRE_LENGTH / 1e-3))
+        outputs = output_bits * constants.SRAM_ENERGY_PER_BIT * (1 + design.n_cs)
+        return compute + weights + inputs + outputs + wire
+
+    # --- execution -----------------------------------------------------------
+
+    def run_layer(self, layer: Layer) -> LayerExecution:
+        """Execute one layer and return its timing/energy breakdown."""
+        if layer.kind == LayerKind.POOL:
+            used_cs, compute, writeback = self._pool_cycles(layer)
+        else:
+            used_cs, compute, writeback = self._conv_fc_cycles(layer)
+        cycles = compute + writeback
+        dynamic = self._dynamic_energy(layer, used_cs)
+        leakage = self._static_power * cycles * self.design.cycle_time
+        return LayerExecution(
+            layer=layer,
+            used_cs=used_cs,
+            compute_cycles=compute,
+            writeback_cycles=writeback,
+            cycles=cycles,
+            dynamic_energy=dynamic,
+            leakage_energy=leakage,
+        )
+
+    def run(self, network: Network) -> ExecutionReport:
+        """Execute a full network, one inference."""
+        require(network.weight_bits(self.design.precision_bits)
+                <= self.design.rram_capacity_bits,
+                f"{network.name} weights do not fit in on-chip RRAM "
+                f"({network.weight_bits(self.design.precision_bits)} bits > "
+                f"{self.design.rram_capacity_bits} bits)")
+        results = tuple(self.run_layer(layer) for layer in network.layers)
+        return ExecutionReport(design=self.design, network=network, layers=results)
+
+
+def simulate(design: AcceleratorDesign, network: Network,
+             pdk: PDK | None = None, batch: int = 1) -> ExecutionReport:
+    """Convenience wrapper: simulate ``network`` on ``design``."""
+    return AcceleratorSimulator(design, pdk, batch=batch).run(network)

@@ -1,0 +1,97 @@
+"""Execution-trace export for the performance simulator.
+
+Turns an :class:`~repro.perf.simulator.ExecutionReport` into a flat,
+spreadsheet-friendly table (one row per layer with cycles, component
+breakdown, energy, and utilization) — the artifact you diff when the
+simulator and the analytical model disagree, and the raw material behind
+the per-layer tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.perf.simulator import ExecutionReport
+
+#: Columns of the exported trace, in order.
+TRACE_COLUMNS: tuple[str, ...] = (
+    "layer",
+    "kind",
+    "used_cs",
+    "compute_cycles",
+    "writeback_cycles",
+    "total_cycles",
+    "cycle_share",
+    "dynamic_energy_j",
+    "leakage_energy_j",
+    "macs",
+    "weights",
+)
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One exported trace row (see :data:`TRACE_COLUMNS`)."""
+
+    layer: str
+    kind: str
+    used_cs: int
+    compute_cycles: float
+    writeback_cycles: float
+    total_cycles: float
+    cycle_share: float
+    dynamic_energy_j: float
+    leakage_energy_j: float
+    macs: int
+    weights: int
+
+    def as_tuple(self) -> tuple:
+        """Values in :data:`TRACE_COLUMNS` order."""
+        return tuple(getattr(self, column) for column in TRACE_COLUMNS)
+
+
+def trace_rows(report: ExecutionReport) -> tuple[TraceRow, ...]:
+    """Flatten a report into trace rows."""
+    total = report.cycles
+    require(total > 0, "report has no cycles")
+    rows: list[TraceRow] = []
+    for item in report.layers:
+        rows.append(TraceRow(
+            layer=item.layer.name,
+            kind=item.layer.kind.value,
+            used_cs=item.used_cs,
+            compute_cycles=item.compute_cycles,
+            writeback_cycles=item.writeback_cycles,
+            total_cycles=item.cycles,
+            cycle_share=item.cycles / total,
+            dynamic_energy_j=item.dynamic_energy,
+            leakage_energy_j=item.leakage_energy,
+            macs=item.layer.macs,
+            weights=item.layer.weights,
+        ))
+    return tuple(rows)
+
+
+def to_csv(report: ExecutionReport) -> str:
+    """Render a report as CSV text (header + one row per layer)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(TRACE_COLUMNS) + "\n")
+    for row in trace_rows(report):
+        values = []
+        for value in row.as_tuple():
+            if isinstance(value, float):
+                values.append(f"{value:.6g}")
+            else:
+                values.append(str(value))
+        buffer.write(",".join(values) + "\n")
+    return buffer.getvalue()
+
+
+def dominant_layers(report: ExecutionReport, count: int = 5) -> tuple[TraceRow, ...]:
+    """The ``count`` layers with the largest cycle share."""
+    require(count >= 1, "count must be >= 1")
+    rows = sorted(trace_rows(report), key=lambda r: r.total_cycles,
+                  reverse=True)
+    return tuple(rows[:count])

@@ -1,0 +1,53 @@
+"""Physical design substrate: the RTL-to-GDS flow stand-in (paper Fig. 4b).
+
+The paper's case study runs Synopsys DC synthesis plus a custom monolithic-3D
+Cadence Innovus place-and-route flow on a foundry PDK.  This package models
+the same pipeline at block level:
+
+    synthesize -> floorplan -> place -> route -> timing -> power
+
+producing the quantities the paper reports from its flow: footprint, area
+breakdown per tier, wirelength, achieved frequency at the 20 MHz target, and
+per-tier power (Obs. 2's "<1% power in the upper layers" and "+1% peak power
+density").
+"""
+
+from repro.physical.netlist import (
+    BlockKind,
+    DesignBlock,
+    Net,
+    Netlist,
+    synthesize,
+)
+from repro.physical.macros import BlockageKind, Macro, rram_array_macro
+from repro.physical.floorplan import Floorplan, PlacedBlock, Rect, build_floorplan
+from repro.physical.placement import legalize_floorplan, placement_quality
+from repro.physical.routing import RoutingResult, route
+from repro.physical.timing import TimingResult, analyze_timing
+from repro.physical.power import PowerReport, analyze_power
+from repro.physical.flow import FlowResult, run_flow
+
+__all__ = [
+    "BlockKind",
+    "DesignBlock",
+    "Net",
+    "Netlist",
+    "synthesize",
+    "Macro",
+    "BlockageKind",
+    "rram_array_macro",
+    "Rect",
+    "PlacedBlock",
+    "Floorplan",
+    "build_floorplan",
+    "legalize_floorplan",
+    "placement_quality",
+    "RoutingResult",
+    "route",
+    "TimingResult",
+    "analyze_timing",
+    "PowerReport",
+    "analyze_power",
+    "FlowResult",
+    "run_flow",
+]

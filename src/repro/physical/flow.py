@@ -1,0 +1,84 @@
+"""Flow drivers: the Fig. 4b pipeline for the 2D and M3D designs.
+
+``run_flow`` executes synthesize -> floorplan -> detailed placement ->
+route -> timing -> power on one design and bundles the results.  The only
+difference between the 2D and M3D runs is carried by the design object
+itself (blockage kinds, CS count, bank plan) — matching the paper's claim
+that the M3D flow is standard Si EDA plus custom P&R scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.arch.accelerator import AcceleratorDesign
+from repro.physical.floorplan import Floorplan, build_floorplan
+from repro.physical.netlist import Netlist, synthesize
+from repro.physical.placement import legalize_floorplan, placement_quality
+from repro.physical.power import ActivityFactors, PowerReport, analyze_power
+from repro.physical.routing import RoutingResult, route
+from repro.physical.timing import TimingResult, analyze_timing
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Everything the flow produces for one design.
+
+    Attributes:
+        design: The input design.
+        netlist: Synthesized block-level netlist.
+        floorplan: Legalized floorplan.
+        routing: Routing estimate.
+        timing: Static timing outcome.
+        power: Per-tier power report.
+        quality: Placement quality metrics.
+    """
+
+    design: AcceleratorDesign
+    netlist: Netlist
+    floorplan: Floorplan
+    routing: RoutingResult
+    timing: TimingResult
+    power: PowerReport
+    quality: dict[str, float]
+
+    @property
+    def footprint(self) -> float:
+        """Die area, m^2."""
+        return self.floorplan.footprint
+
+    @property
+    def closed_timing(self) -> bool:
+        """True when the design meets its target frequency."""
+        return self.timing.meets_target
+
+
+def run_flow(
+    design: AcceleratorDesign,
+    pdk: PDK | None = None,
+    activity: ActivityFactors | None = None,
+) -> FlowResult:
+    """Run the full physical design flow on ``design``."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    netlist = synthesize(design, pdk)
+    floorplan = build_floorplan(netlist, design, pdk)
+    floorplan = legalize_floorplan(floorplan, netlist)
+    routing = route(floorplan, netlist)
+    timing = analyze_timing(floorplan, netlist, pdk, design.frequency_hz)
+    require(timing.meets_target,
+            f"{design.name}: failed timing at "
+            f"{design.frequency_hz / 1e6:.0f} MHz "
+            f"(critical path {timing.critical_path * 1e9:.2f} ns)")
+    power = analyze_power(floorplan, netlist, design, pdk, activity)
+    quality = placement_quality(floorplan, netlist)
+    return FlowResult(
+        design=design,
+        netlist=netlist,
+        floorplan=floorplan,
+        routing=routing,
+        timing=timing,
+        power=power,
+        quality=quality,
+    )

@@ -1,0 +1,72 @@
+"""Layout export: render a floorplan as an SVG drawing.
+
+Stands in for the GDS screenshots of the paper's Fig. 2b/2d: one rectangle
+per placed block, colored by kind, with the M3D upper-tier arrays drawn
+translucent so the CS slots underneath remain visible — which makes the
+"compute under memory" geometry directly inspectable in a browser.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.errors import require
+from repro.physical.floorplan import Floorplan
+from repro.physical.netlist import BlockKind
+
+#: Fill colors per block kind.
+_COLORS: dict[BlockKind, str] = {
+    BlockKind.LOGIC: "#4f81bd",
+    BlockKind.SRAM_MACRO: "#9bbb59",
+    BlockKind.RRAM_MACRO: "#c0504d",
+    BlockKind.IO: "#8064a2",
+}
+
+_CANVAS = 800.0
+
+
+def floorplan_to_svg(floorplan: Floorplan, title: str | None = None) -> str:
+    """Render ``floorplan`` as an SVG document string."""
+    die = floorplan.die
+    require(die.width > 0 and die.height > 0, "die must have positive size")
+    scale = _CANVAS / max(die.width, die.height)
+    width = die.width * scale
+    height = die.height * scale
+
+    def rect(x: float, y: float, w: float, h: float, fill: str,
+             opacity: float, label: str) -> str:
+        # SVG y grows downward; flip so the floorplan's y=0 is the bottom.
+        top = height - (y + h) * scale
+        return (
+            f'<rect x="{x * scale:.2f}" y="{top:.2f}" '
+            f'width="{w * scale:.2f}" height="{h * scale:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity}" stroke="#333" '
+            f'stroke-width="0.5"><title>{escape(label)}</title></rect>'
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height + 24:.0f}" '
+        f'viewBox="0 -24 {width:.0f} {height + 24:.0f}">',
+        f'<text x="4" y="-8" font-family="monospace" font-size="14">'
+        f'{escape(title or floorplan.name)}</text>',
+        rect(die.x, die.y, die.width, die.height, "#f7f7f7", 1.0, "die"),
+    ]
+    # Draw Si blocks first, then upper-tier macros translucent on top.
+    lower = [p for p in floorplan.placements if "si_cmos" in p.tiers]
+    upper = [p for p in floorplan.placements if "si_cmos" not in p.tiers]
+    for placed in lower + upper:
+        translucent = floorplan.is_m3d and "si_cmos" not in placed.tiers
+        opacity = 0.35 if translucent else 0.9
+        label = f"{placed.name} [{'/'.join(sorted(placed.tiers))}]"
+        parts.append(rect(placed.rect.x, placed.rect.y, placed.rect.width,
+                          placed.rect.height, _COLORS[placed.kind],
+                          opacity, label))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(floorplan: Floorplan, path: str, title: str | None = None) -> None:
+    """Write the floorplan SVG to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(floorplan_to_svg(floorplan, title))

@@ -1,0 +1,102 @@
+"""Macro and blockage models for the floorplanner.
+
+The key M3D physical-design mechanism of the paper (Sec. II): an RRAM array
+macro's blockage differs between the flows.
+
+* **2D baseline** — the Si access transistors sit under the cells, so the
+  macro *fully blocks* every tier, including the Si CMOS placement tier
+  (Fig. 3e: "no additional Si CMOS circuits can be placed below the array").
+* **M3D** — the access FETs move to the CNFET tier, so the macro becomes a
+  *partial* blockage (RRAM + CNFET tiers only) and the Si tier under the
+  array opens up for standard cells and CS blocks; only the memory
+  peripherals remain as full Si blockages.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.physical.netlist import DesignBlock
+
+
+class BlockageKind(enum.Enum):
+    """How a macro blocks the tiers it does not occupy for devices."""
+
+    #: Blocks every placement tier under/above it (2D RRAM arrays).
+    FULL = "full"
+    #: Blocks only its own device tiers; Si underneath stays placeable
+    #: (M3D RRAM arrays with CNFET access FETs).
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class Macro:
+    """A hard macro to floorplan.
+
+    Attributes:
+        name: Instance name.
+        width: Width in metres.
+        height: Height in metres.
+        blockage: Blockage kind (see :class:`BlockageKind`).
+        tiers: Tier names whose devices the macro occupies.
+    """
+
+    name: str
+    width: float
+    height: float
+    blockage: BlockageKind
+    tiers: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        require(self.width > 0 and self.height > 0,
+                f"{self.name}: macro dimensions must be positive")
+        require(len(self.tiers) >= 1, "macro must occupy at least one tier")
+
+    @property
+    def area(self) -> float:
+        """Macro footprint, m^2."""
+        return self.width * self.height
+
+    def blocks_silicon(self) -> bool:
+        """True when no standard cell can be placed under the macro."""
+        return self.blockage == BlockageKind.FULL or "si_cmos" in self.tiers
+
+
+def _squarish(area: float, aspect: float = 1.0) -> tuple[float, float]:
+    """Width/height of a rectangle of ``area`` with the given aspect ratio."""
+    require(area > 0, "area must be positive")
+    require(aspect > 0, "aspect must be positive")
+    width = math.sqrt(area * aspect)
+    return width, area / width
+
+
+def rram_array_macro(block: DesignBlock, is_m3d: bool,
+                     aspect: float = 1.0) -> Macro:
+    """Build the RRAM cell-array macro for one bank.
+
+    2D: full blockage (Si access FETs under the cells).
+    M3D: partial blockage over the RRAM + CNFET tiers only.
+    """
+    width, height = _squarish(block.area, aspect)
+    if is_m3d:
+        return Macro(name=block.name, width=width, height=height,
+                     blockage=BlockageKind.PARTIAL, tiers=("rram", "cnfet"))
+    return Macro(name=block.name, width=width, height=height,
+                 blockage=BlockageKind.FULL, tiers=("rram", "si_cmos"))
+
+
+def sram_macro(block: DesignBlock, aspect: float = 2.0) -> Macro:
+    """SRAM buffer macro: always a full Si-tier occupant."""
+    width, height = _squarish(block.area, aspect)
+    return Macro(name=block.name, width=width, height=height,
+                 blockage=BlockageKind.FULL, tiers=("si_cmos",))
+
+
+def logic_block_macro(block: DesignBlock, aspect: float = 1.0) -> Macro:
+    """Soft logic block shaped into a placeable rectangle."""
+    width, height = _squarish(block.area, aspect)
+    return Macro(name=block.name, width=width, height=height,
+                 blockage=BlockageKind.FULL, tiers=("si_cmos",))

@@ -1,0 +1,198 @@
+"""Block-level synthesis model.
+
+Stands in for RTL synthesis (Synopsys DC in the paper's flow): converts an
+:class:`~repro.arch.accelerator.AcceleratorDesign` into a block-level
+netlist — logic blocks with gate counts, SRAM/RRAM macros, and the nets
+connecting them.  Gate counts come from the architecture configuration, so
+the "synthesis" is a deterministic module-generator model rather than a
+logic optimizer; that is exactly the level of detail the paper's area and
+power comparisons consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.tech.pdk import PDK
+from repro.arch.accelerator import AcceleratorDesign, PERIPHERAL_GATES
+
+
+class BlockKind(enum.Enum):
+    """Kind of a netlist block."""
+
+    LOGIC = "logic"
+    SRAM_MACRO = "sram"
+    RRAM_MACRO = "rram"
+    IO = "io"
+
+
+@dataclass(frozen=True)
+class DesignBlock:
+    """One block of the synthesized design.
+
+    Attributes:
+        name: Unique instance name.
+        kind: Block kind.
+        gate_count: Gate-equivalents (logic blocks; macros use 0).
+        area: Placement footprint, m^2.
+        bits: Storage capacity for memory macros, bits.
+        tier: Tier name the block's devices occupy (e.g. ``"si_cmos"``).
+        pin_count: External pins, for net/wirelength estimation.
+    """
+
+    name: str
+    kind: BlockKind
+    gate_count: float
+    area: float
+    bits: int
+    tier: str
+    pin_count: int
+
+    def __post_init__(self) -> None:
+        require(self.area > 0, f"{self.name}: block area must be positive")
+        require(self.gate_count >= 0, "gate count must be non-negative")
+        require(self.bits >= 0, "bits must be non-negative")
+        require(self.pin_count >= 0, "pin count must be non-negative")
+
+
+@dataclass(frozen=True)
+class Net:
+    """A block-to-block connection bundle.
+
+    Attributes:
+        name: Net bundle name.
+        driver: Driving block name.
+        sinks: Sink block names.
+        width_bits: Bus width of the bundle.
+    """
+
+    name: str
+    driver: str
+    sinks: tuple[str, ...]
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        require(len(self.sinks) >= 1, f"net {self.name}: needs at least one sink")
+        require(self.width_bits >= 1, "net width must be >= 1")
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """A synthesized block-level design.
+
+    Attributes:
+        name: Design name.
+        blocks: All blocks, keyed by name.
+        nets: Inter-block nets.
+    """
+
+    name: str
+    blocks: dict[str, DesignBlock] = field(default_factory=dict)
+    nets: tuple[Net, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require(len(self.blocks) > 0, "netlist needs at least one block")
+        for net in self.nets:
+            require(net.driver in self.blocks, f"net {net.name}: unknown driver")
+            for sink in net.sinks:
+                require(sink in self.blocks, f"net {net.name}: unknown sink {sink}")
+
+    def block(self, name: str) -> DesignBlock:
+        """Look up a block by name."""
+        if name not in self.blocks:
+            raise KeyError(f"no block named {name!r} in netlist {self.name!r}")
+        return self.blocks[name]
+
+    def blocks_of_kind(self, kind: BlockKind) -> tuple[DesignBlock, ...]:
+        """All blocks of one kind."""
+        return tuple(b for b in self.blocks.values() if b.kind == kind)
+
+    def blocks_on_tier(self, tier: str) -> tuple[DesignBlock, ...]:
+        """All blocks whose devices sit on the named tier."""
+        return tuple(b for b in self.blocks.values() if b.tier == tier)
+
+    @property
+    def total_gate_count(self) -> float:
+        """Total logic gate-equivalents."""
+        return sum(b.gate_count for b in self.blocks.values())
+
+    @property
+    def total_si_area(self) -> float:
+        """Total Si-tier block area, m^2."""
+        return sum(b.area for b in self.blocks_on_tier("si_cmos"))
+
+
+def _rent_pins(gate_count: float, rent_exponent: float = 0.6,
+               rent_coefficient: float = 2.5) -> int:
+    """Rent's rule external pin estimate for a logic block."""
+    if gate_count <= 0:
+        return 8
+    return max(8, int(rent_coefficient * gate_count ** rent_exponent))
+
+
+def synthesize(design: AcceleratorDesign, pdk: PDK) -> Netlist:
+    """Synthesize an accelerator design into a block-level netlist.
+
+    One logic block per CS (PE array + control), one SRAM macro pair per
+    CS (input/output buffers), one RRAM array macro per bank with its
+    peripheral logic block, and the system bus/IO block.  In M3D designs
+    the RRAM macros carry the CNFET access-FET tier; in 2D they carry a Si
+    access-FET footprint instead (handled by the floorplanner's blockage
+    model; here both land in the ``rram`` tier with their cell area).
+    """
+    lib = pdk.silicon_library
+    blocks: dict[str, DesignBlock] = {}
+    nets: list[Net] = []
+
+    cs_gates = design.cs.logic_gates
+    buffer_area = pdk.sram_macro_area(design.cs.buffer_bits)
+    for index in range(design.n_cs):
+        cs_name = f"cs{index}"
+        blocks[cs_name] = DesignBlock(
+            name=cs_name, kind=BlockKind.LOGIC, gate_count=cs_gates,
+            area=lib.area_for_gates(cs_gates), bits=0, tier="si_cmos",
+            pin_count=_rent_pins(cs_gates))
+        buf_name = f"cs{index}_buf"
+        blocks[buf_name] = DesignBlock(
+            name=buf_name, kind=BlockKind.SRAM_MACRO, gate_count=0,
+            area=buffer_area, bits=design.cs.buffer_bits, tier="si_cmos",
+            pin_count=2 * design.cs.array.rows * design.precision_bits)
+        nets.append(Net(name=f"n_cs{index}_buf", driver=buf_name,
+                        sinks=(cs_name,),
+                        width_bits=design.cs.array.rows * design.precision_bits))
+
+    banks = design.bank_plan.banks
+    bank_bits = design.bank_plan.bank_capacity_bits
+    bank_cell_area = bank_bits * design.bank_plan.array.cell_area
+    perif_gates_per_bank = PERIPHERAL_GATES / banks
+    for index in range(banks):
+        bank_name = f"rram_bank{index}"
+        blocks[bank_name] = DesignBlock(
+            name=bank_name, kind=BlockKind.RRAM_MACRO, gate_count=0,
+            area=bank_cell_area, bits=bank_bits, tier="rram",
+            pin_count=design.bank_width_bits + int(math.isqrt(bank_bits)) // 64)
+        perif_name = f"perif{index}"
+        blocks[perif_name] = DesignBlock(
+            name=perif_name, kind=BlockKind.LOGIC,
+            gate_count=perif_gates_per_bank,
+            area=lib.area_for_gates(perif_gates_per_bank), bits=0,
+            tier="si_cmos", pin_count=_rent_pins(perif_gates_per_bank))
+        nets.append(Net(name=f"n_bank{index}", driver=bank_name,
+                        sinks=(perif_name,), width_bits=design.bank_width_bits))
+        # Each weight channel feeds its CS (channels round-robin over CSs).
+        cs_target = f"cs{index % design.n_cs}"
+        nets.append(Net(name=f"n_weights{index}", driver=perif_name,
+                        sinks=(cs_target,), width_bits=design.bank_width_bits))
+
+    blocks["bus_io"] = DesignBlock(
+        name="bus_io", kind=BlockKind.IO, gate_count=200_000,
+        area=design.area.bus_io, bits=0, tier="si_cmos", pin_count=1024)
+    nets.append(Net(
+        name="n_writeback", driver="cs0",
+        sinks=tuple(["bus_io"] + [f"cs{i}_buf" for i in range(design.n_cs)]),
+        width_bits=design.writeback_bus_bits))
+
+    return Netlist(name=design.name, blocks=blocks, nets=tuple(nets))

@@ -1,0 +1,40 @@
+"""Full reproduction report: every experiment's table plus validation.
+
+``python -m repro report`` regenerates, from live measurements, the same
+content EXPERIMENTS.md records — all paper tables/figures, the extension
+studies, and the PASS/FAIL claim validation — as one self-contained text
+document.  Useful for diffing after any model change.
+"""
+
+from __future__ import annotations
+
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.validate import format_validation, run_validation
+
+
+def build_report(pdk: PDK | None = None) -> str:
+    """Assemble the full reproduction report."""
+    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    from repro.cli import EXPERIMENTS
+
+    sections: list[str] = [
+        "reproduction report — Ultra-Dense 3D Physical Design "
+        "(DATE 2023)",
+        "=" * 72,
+    ]
+    for name, (description, runner) in EXPERIMENTS.items():
+        sections.append("")
+        sections.append(f"--- {name}: {description} ---")
+        sections.append(runner())
+    sections.append("")
+    sections.append("--- validation ---")
+    sections.append(format_validation(run_validation(pdk)))
+    return "\n".join(sections)
+
+
+def main() -> int:
+    """Print the report; returns the validation failure count."""
+    report = build_report()
+    print(report)
+    failures = report.count("[FAIL]")
+    return failures

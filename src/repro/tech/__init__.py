@@ -1,0 +1,48 @@
+"""Technology substrate: devices, memories, vias, stack-ups and the PDK.
+
+This package stands in for the proprietary foundry 130 nm M3D PDK used by the
+paper (Fig. 4a).  Everything the paper's conclusions depend on — area ratios,
+device drive strengths, bit-cell geometry, inter-layer-via (ILV) pitch, tier
+stack-up — is exposed here as explicit, parametric models.
+
+Public entry point::
+
+    from repro.tech import foundry_m3d_pdk
+    pdk = foundry_m3d_pdk()
+"""
+
+from repro.tech.node import TechnologyNode, NODE_130NM, NODE_40NM
+from repro.tech.devices import FETKind, FETModel, silicon_nmos, silicon_pmos, beol_cnfet
+from repro.tech.rram import RRAMCell, RRAMArray, RRAMBankPlan, default_rram_cell
+from repro.tech.ilv import ILVModel, default_ilv
+from repro.tech.stackup import TierKind, Tier, LayerStack, m3d_stackup, baseline_2d_stackup
+from repro.tech.stdcells import StandardCell, CellLibrary, silicon_cell_library, cnfet_cell_library
+from repro.tech.pdk import PDK, foundry_m3d_pdk
+
+__all__ = [
+    "TechnologyNode",
+    "NODE_130NM",
+    "NODE_40NM",
+    "FETKind",
+    "FETModel",
+    "silicon_nmos",
+    "silicon_pmos",
+    "beol_cnfet",
+    "RRAMCell",
+    "RRAMArray",
+    "RRAMBankPlan",
+    "default_rram_cell",
+    "ILVModel",
+    "default_ilv",
+    "TierKind",
+    "Tier",
+    "LayerStack",
+    "m3d_stackup",
+    "baseline_2d_stackup",
+    "StandardCell",
+    "CellLibrary",
+    "silicon_cell_library",
+    "cnfet_cell_library",
+    "PDK",
+    "foundry_m3d_pdk",
+]

@@ -1,0 +1,148 @@
+"""RRAM array internals: mat geometry and access latency.
+
+The chip-level models assume each bank serves a 256-bit read per cycle at
+20 MHz.  This module justifies that assumption from first principles: a
+bank is tiled into *mats* (sub-arrays); the word-line and bit-line of a
+mat are distributed RC lines whose delay grows quadratically with the mat
+edge, so the mat size trades access time against the area overhead of
+per-mat periphery.  :func:`optimal_mat_rows` picks the largest mat that
+meets the cycle-time budget — and the tests confirm the case-study
+geometry closes with wide margin at 20 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.node import TechnologyNode
+from repro.tech.rram import RRAMCell
+
+#: Per-cell word-line capacitance (gate of the access FET + wire), farads.
+WL_CAP_PER_CELL = 0.5e-15
+#: Per-cell word-line resistance, ohms.
+WL_RES_PER_CELL = 2.0
+#: Per-cell bit-line capacitance (drain junction + wire), farads.
+BL_CAP_PER_CELL = 0.3e-15
+#: Per-cell bit-line resistance, ohms.
+BL_RES_PER_CELL = 1.5
+#: Sense-amplifier resolution time, seconds.
+SENSE_TIME = 2.0e-9
+#: Word-line driver + decoder delay, seconds.
+DECODE_TIME = 1.0e-9
+#: Area overhead of per-mat periphery relative to the mat's cell area.
+MAT_PERIPHERY_OVERHEAD = 0.08
+
+
+@dataclass(frozen=True)
+class MatGeometry:
+    """One memory mat (sub-array).
+
+    Attributes:
+        rows: Word lines per mat.
+        cols: Bit lines per mat.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        require(self.rows >= 1 and self.cols >= 1,
+                "mat dimensions must be >= 1")
+
+    @property
+    def bits(self) -> int:
+        """Cells per mat."""
+        return self.rows * self.cols
+
+    def wordline_delay(self) -> float:
+        """Distributed-RC word-line delay (Elmore: 0.38 R C), seconds."""
+        resistance = WL_RES_PER_CELL * self.cols
+        capacitance = WL_CAP_PER_CELL * self.cols
+        return 0.38 * resistance * capacitance
+
+    def bitline_delay(self) -> float:
+        """Distributed-RC bit-line delay, seconds."""
+        resistance = BL_RES_PER_CELL * self.rows
+        capacitance = BL_CAP_PER_CELL * self.rows
+        return 0.38 * resistance * capacitance
+
+    def access_time(self) -> float:
+        """Total read access time: decode + WL + BL + sense, seconds."""
+        return (DECODE_TIME + self.wordline_delay() + self.bitline_delay()
+                + SENSE_TIME)
+
+    def meets_cycle(self, frequency_hz: float) -> bool:
+        """True when one read fits in a clock cycle at ``frequency_hz``."""
+        require(frequency_hz > 0, "frequency must be positive")
+        return self.access_time() <= 1.0 / frequency_hz
+
+
+def optimal_mat_rows(
+    frequency_hz: float,
+    cols: int = 256,
+    max_rows: int = 8192,
+) -> int:
+    """Largest power-of-two row count whose mat meets the cycle budget."""
+    require(max_rows >= 1, "max_rows must be >= 1")
+    best = 0
+    rows = 1
+    while rows <= max_rows:
+        if MatGeometry(rows=rows, cols=cols).meets_cycle(frequency_hz):
+            best = rows
+        rows *= 2
+    return best
+
+
+@dataclass(frozen=True)
+class BankOrganization:
+    """A bank tiled into mats.
+
+    Attributes:
+        capacity_bits: Bank capacity.
+        mat: Mat geometry.
+    """
+
+    capacity_bits: int
+    mat: MatGeometry
+
+    def __post_init__(self) -> None:
+        require(self.capacity_bits >= self.mat.bits,
+                "bank must hold at least one mat")
+
+    @property
+    def mat_count(self) -> int:
+        """Mats per bank (ceiling)."""
+        return math.ceil(self.capacity_bits / self.mat.bits)
+
+    def area(self, cell: RRAMCell, node: TechnologyNode) -> float:
+        """Bank footprint including per-mat periphery, m^2."""
+        cells = self.capacity_bits * cell.area(None)
+        return cells * (1.0 + MAT_PERIPHERY_OVERHEAD)
+
+    def read_latency_cycles(self, frequency_hz: float) -> int:
+        """Pipelined read latency in cycles at ``frequency_hz``."""
+        cycle = 1.0 / frequency_hz
+        return max(1, math.ceil(self.mat.access_time() / cycle))
+
+
+def organize_bank(
+    capacity_bits: int,
+    frequency_hz: float,
+    width_bits: int = 256,
+) -> BankOrganization:
+    """Pick a mat geometry for a bank of ``capacity_bits`` at a clock.
+
+    The mat's column count matches the read-port width (one mat activates
+    per access); rows maximize density inside the cycle budget.
+    """
+    rows = optimal_mat_rows(frequency_hz, cols=width_bits)
+    require(rows >= 1,
+            f"no mat geometry meets the cycle budget at "
+            f"{frequency_hz / 1e6:.0f} MHz")
+    return BankOrganization(
+        capacity_bits=capacity_bits,
+        mat=MatGeometry(rows=rows, cols=width_bits),
+    )

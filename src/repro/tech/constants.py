@@ -1,0 +1,89 @@
+"""Literature-class 130 nm technology constants.
+
+The paper calibrates its models against foundry hardware data which we do not
+have.  These constants are drawn from widely published 130 nm-era figures and
+from the RRAM / CNFET literature the paper cites ([5], [10], [11]).  Because
+every result in the paper is a 2D-vs-M3D *ratio* and the same constants enter
+both sides of each comparison, the absolute values here set the scale of the
+reported power/energy numbers but not the benefit ratios.
+
+All values are SI (joules, seconds, metres, watts).
+"""
+
+from __future__ import annotations
+
+from repro.units import FJ, NM, PJ, PS, UM2
+
+# --- feature size -------------------------------------------------------------
+FEATURE_SIZE_130NM = 130 * NM
+
+# --- logic (Si CMOS, 130 nm, ~1.2 V) -------------------------------------------
+#: Area of a 2-input NAND gate-equivalent (site area, including overheads).
+GATE_AREA_130NM = 12.0 * UM2
+#: Switching energy of one gate-equivalent at nominal supply.
+GATE_ENERGY_130NM = 4.0 * FJ
+#: Intrinsic delay of one gate-equivalent (FO4-class).
+GATE_DELAY_130NM = 80.0 * PS
+#: Leakage power per gate-equivalent.
+GATE_LEAKAGE_130NM = 0.1e-9  # W
+
+#: Energy of one 8-bit multiply-accumulate in Si CMOS at 130 nm.
+MAC8_ENERGY_130NM = 2.0 * PJ
+#: Gate-equivalents for one PE (8-bit MAC + weight register + pipeline regs).
+PE_GATE_COUNT = 1000
+
+# --- SRAM (6T, 130 nm) ----------------------------------------------------------
+#: 6T SRAM bit-cell area (~144 F^2 at 130 nm).
+SRAM_BITCELL_AREA_130NM = 2.43 * UM2
+#: SRAM read/write energy per bit (array + local periphery).
+SRAM_ENERGY_PER_BIT = 0.08 * PJ
+#: SRAM leakage per bit.
+SRAM_LEAKAGE_PER_BIT = 2e-12  # W
+
+# --- RRAM (1T1R, BEOL, per [5][11]) ---------------------------------------------
+#: 1T1R bit-cell area with a minimum-width Si access FET (~36 F^2).
+RRAM_BITCELL_AREA_F2 = 36.0
+#: RRAM read energy per bit.
+RRAM_READ_ENERGY_PER_BIT = 2.0 * PJ
+#: RRAM write (SET/RESET) energy per bit.  Inference workloads rarely write.
+RRAM_WRITE_ENERGY_PER_BIT = 50.0 * PJ
+#: RRAM is non-volatile: idle (retention) power per bit is ~0; the periphery
+#: still leaks, captured separately.
+RRAM_IDLE_POWER_PER_BIT = 0.0
+
+# --- register file -------------------------------------------------------------
+REGISTER_ENERGY_PER_BIT = 0.01 * PJ
+REGISTER_AREA_PER_BIT = 6.0 * UM2
+
+# --- CNFET (BEOL tier, per [5]) ---------------------------------------------------
+#: CNFET drive current relative to an equal-width Si nMOS at this node.
+#: Foundry-integrated CNFETs [5] are "newly implemented" and below ideal.
+CNFET_RELATIVE_DRIVE = 0.7
+#: CNFET off-state leakage relative to Si nMOS.
+CNFET_RELATIVE_LEAKAGE = 0.5
+
+# --- interconnect -----------------------------------------------------------------
+#: Wire capacitance per unit length (intermediate BEOL metal).
+WIRE_CAP_PER_M = 0.2e-9  # F/m
+#: Wire resistance per unit length.
+WIRE_RES_PER_M = 2.0e5  # ohm/m
+#: Energy to move one bit across 1 mm of on-chip wire.
+WIRE_ENERGY_PER_BIT_MM = 0.1 * PJ
+
+# --- inter-layer vias (ILVs) -------------------------------------------------------
+#: Default fine-pitch ILV pitch: the same vias as BEOL metal routing
+#: (<100 nm at advanced nodes; ~0.5 um at this 130 nm-node PDK).  At this
+#: pitch the 1T1R cell (which needs two ILVs to its upper-tier access FET)
+#: is just barely FET-limited — exactly the regime the paper's Case 2
+#: explores.
+ILV_PITCH_130NM = 535 * NM
+ILV_RESISTANCE = 20.0  # ohm
+ILV_CAPACITANCE = 0.05e-15  # F
+
+# --- thermal ------------------------------------------------------------------------
+#: Heat-sink (junction-to-ambient) thermal resistance, K/W.
+THERMAL_R_AMBIENT = 0.4
+#: Added thermal resistance per interleaved compute+memory tier pair, K/W.
+THERMAL_R_PER_TIER = 0.15
+#: Maximum allowed temperature rise (paper cites ~60 K [20]).
+THERMAL_MAX_RISE_K = 60.0

@@ -1,0 +1,57 @@
+"""Inter-layer via (ILV) model.
+
+Ultra-dense M3D integration uses the same fine-pitch vias as ordinary BEOL
+metal routing for vertical connectivity between tiers.  The paper's Case 2
+(Sec. III-E) shows the ILV pitch is a first-order knob: every memory cell
+needs ``m`` vias to its access-FET tier, so when the cell becomes via-pitch
+limited its footprint grows as ``m * pitch^2`` and the freed-area benefit
+erodes quadratically with pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import require
+from repro.tech import constants
+
+
+@dataclass(frozen=True)
+class ILVModel:
+    """A vertical inter-layer via technology.
+
+    Attributes:
+        pitch: Minimum via pitch in metres.
+        resistance: Per-via resistance in ohms.
+        capacitance: Per-via capacitance in farads.
+    """
+
+    pitch: float = constants.ILV_PITCH_130NM
+    resistance: float = constants.ILV_RESISTANCE
+    capacitance: float = constants.ILV_CAPACITANCE
+
+    def __post_init__(self) -> None:
+        require(self.pitch > 0, "ILV pitch must be positive")
+        require(self.resistance >= 0, "ILV resistance must be non-negative")
+        require(self.capacitance >= 0, "ILV capacitance must be non-negative")
+
+    def scaled(self, pitch_factor: float) -> "ILVModel":
+        """Return a copy with the pitch scaled by ``pitch_factor`` (the
+        paper's beta sweep); RC stays first-order unchanged since via height
+        is set by the dielectric stack, not the pitch."""
+        require(pitch_factor > 0, "pitch factor must be positive")
+        return replace(self, pitch=self.pitch * pitch_factor)
+
+    @property
+    def density_per_m2(self) -> float:
+        """Maximum via density, vias per square metre."""
+        return 1.0 / (self.pitch * self.pitch)
+
+    def rc_delay(self) -> float:
+        """Intrinsic RC delay of one via in seconds."""
+        return self.resistance * self.capacitance
+
+
+def default_ilv() -> ILVModel:
+    """The fine-pitch ILV of the foundry M3D PDK."""
+    return ILVModel()

@@ -1,0 +1,136 @@
+"""Alternative on-chip memory technologies.
+
+Sec. II of the paper lists the low-temperature (BEOL-compatible) memory
+families that enable M3D — RRAM, MRAM, FeFET — and Obs. 3 contrasts them
+with Si-CMOS SRAM.  This module provides literature-class presets for each
+so the framework's "beyond this specific foundry technology" claim can be
+exercised: any preset slots into the same 1T1R-style cell model and the
+whole benefit pipeline runs unchanged.
+
+Values are representative mid-points of published ranges; as everywhere in
+this library, identical constants enter both sides of every 2D/M3D
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.node import TechnologyNode
+from repro.tech.rram import RRAMCell
+from repro.units import PJ
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """A candidate on-chip memory family.
+
+    Attributes:
+        name: Technology name, e.g. ``"rram"``.
+        bitcell_area_f2: 1T1R-style bit-cell footprint in F^2 (including a
+            minimum-width access device).
+        read_energy_per_bit: J/bit read.
+        write_energy_per_bit: J/bit write.
+        beol_compatible: True when the cell fabricates at <400 C and can
+            therefore sit in an upper M3D tier.
+        nonvolatile: True when the cell retains data unpowered (eliminates
+            idle retention energy between sporadic edge tasks).
+    """
+
+    name: str
+    bitcell_area_f2: float
+    read_energy_per_bit: float
+    write_energy_per_bit: float
+    beol_compatible: bool
+    nonvolatile: bool
+
+    def __post_init__(self) -> None:
+        require(self.bitcell_area_f2 > 0, "bit-cell area must be positive")
+        require(self.read_energy_per_bit >= 0, "read energy must be >= 0")
+        require(self.write_energy_per_bit >= 0, "write energy must be >= 0")
+
+    def cell(self, node: TechnologyNode) -> RRAMCell:
+        """Instantiate the 1T1R-style cell model for this technology."""
+        return RRAMCell(
+            node=node,
+            base_area_f2=self.bitcell_area_f2,
+            read_energy_per_bit=self.read_energy_per_bit,
+            write_energy_per_bit=self.write_energy_per_bit,
+        )
+
+    def density_ratio_vs(self, other: "MemoryTechnology") -> float:
+        """This cell's area relative to ``other``'s (the Obs. 3 knob)."""
+        return self.bitcell_area_f2 / other.bitcell_area_f2
+
+
+#: The foundry RRAM of the case study ([5], [11]).
+RRAM = MemoryTechnology(
+    name="rram",
+    bitcell_area_f2=constants.RRAM_BITCELL_AREA_F2,
+    read_energy_per_bit=constants.RRAM_READ_ENERGY_PER_BIT,
+    write_energy_per_bit=constants.RRAM_WRITE_ENERGY_PER_BIT,
+    beol_compatible=True,
+    nonvolatile=True,
+)
+
+#: Spin-transfer-torque MRAM: larger cell, cheaper writes than RRAM.
+STT_MRAM = MemoryTechnology(
+    name="stt_mram",
+    bitcell_area_f2=50.0,
+    read_energy_per_bit=3.0 * PJ,
+    write_energy_per_bit=20.0 * PJ,
+    beol_compatible=True,
+    nonvolatile=True,
+)
+
+#: Ferroelectric FET memory: dense, low read energy, destructive-read
+#: families need write-back (folded into the write energy here).
+FEFET = MemoryTechnology(
+    name="fefet",
+    bitcell_area_f2=30.0,
+    read_energy_per_bit=1.0 * PJ,
+    write_energy_per_bit=10.0 * PJ,
+    beol_compatible=True,
+    nonvolatile=True,
+)
+
+#: Phase-change memory: very dense but power-hungry writes.
+PCM = MemoryTechnology(
+    name="pcm",
+    bitcell_area_f2=25.0,
+    read_energy_per_bit=5.0 * PJ,
+    write_energy_per_bit=100.0 * PJ,
+    beol_compatible=True,
+    nonvolatile=True,
+)
+
+#: 6T SRAM — the non-BEOL-compatible strawman of Obs. 3.
+SRAM_6T = MemoryTechnology(
+    name="sram_6t",
+    bitcell_area_f2=144.0,
+    read_energy_per_bit=constants.SRAM_ENERGY_PER_BIT,
+    write_energy_per_bit=constants.SRAM_ENERGY_PER_BIT,
+    beol_compatible=False,
+    nonvolatile=False,
+)
+
+#: All presets, by name.
+MEMORY_TECHNOLOGIES: dict[str, MemoryTechnology] = {
+    tech.name: tech for tech in (RRAM, STT_MRAM, FEFET, PCM, SRAM_6T)
+}
+
+
+def memory_technology(name: str) -> MemoryTechnology:
+    """Look up a preset by name."""
+    if name not in MEMORY_TECHNOLOGIES:
+        raise KeyError(
+            f"unknown memory technology {name!r}; "
+            f"choose from {sorted(MEMORY_TECHNOLOGIES)}")
+    return MEMORY_TECHNOLOGIES[name]
+
+
+def beol_technologies() -> tuple[MemoryTechnology, ...]:
+    """All BEOL-compatible presets (usable as M3D on-chip memory)."""
+    return tuple(t for t in MEMORY_TECHNOLOGIES.values() if t.beol_compatible)

@@ -1,0 +1,102 @@
+"""Technology node description and inter-node scaling.
+
+The paper's physical design is done at a 130 nm node (the node of the foundry
+M3D process in [5]) while the architecture it folds was originally optimized
+at 40 nm [10]; the authors compensate by relaxing the target frequency to
+20 MHz.  :class:`TechnologyNode` carries the handful of node-level quantities
+the rest of the library needs, and :func:`scale_area` / :func:`scale_energy`
+provide the classical constant-field scaling helpers used in sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.units import NM
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS technology node.
+
+    Attributes:
+        name: Human-readable node name, e.g. ``"130nm"``.
+        feature_size: Minimum feature size F in metres.
+        supply_voltage: Nominal supply in volts.
+        gate_area: Area of one gate-equivalent (2-input NAND site) in m^2.
+        gate_energy: Switching energy of one gate-equivalent in joules.
+        gate_delay: FO4-class delay of one gate-equivalent in seconds.
+        gate_leakage: Leakage power of one gate-equivalent in watts.
+    """
+
+    name: str
+    feature_size: float
+    supply_voltage: float
+    gate_area: float
+    gate_energy: float
+    gate_delay: float
+    gate_leakage: float
+
+    def __post_init__(self) -> None:
+        require(self.feature_size > 0, "feature_size must be positive")
+        require(self.supply_voltage > 0, "supply_voltage must be positive")
+        require(self.gate_area > 0, "gate_area must be positive")
+        require(self.gate_energy > 0, "gate_energy must be positive")
+        require(self.gate_delay > 0, "gate_delay must be positive")
+        require(self.gate_leakage >= 0, "gate_leakage must be non-negative")
+
+    @property
+    def f2(self) -> float:
+        """Area of one F^2 in m^2, the natural unit for bit-cell sizes."""
+        return self.feature_size * self.feature_size
+
+    def area_from_f2(self, count_f2: float) -> float:
+        """Convert an area expressed in F^2 to m^2."""
+        require(count_f2 >= 0, "F^2 count must be non-negative")
+        return count_f2 * self.f2
+
+
+#: The node of the foundry M3D process in [5], used for the case study.
+NODE_130NM = TechnologyNode(
+    name="130nm",
+    feature_size=constants.FEATURE_SIZE_130NM,
+    supply_voltage=1.2,
+    gate_area=constants.GATE_AREA_130NM,
+    gate_energy=constants.GATE_ENERGY_130NM,
+    gate_delay=constants.GATE_DELAY_130NM,
+    gate_leakage=constants.GATE_LEAKAGE_130NM,
+)
+
+#: The node the baseline architecture was originally optimized at ([10]).
+NODE_40NM = TechnologyNode(
+    name="40nm",
+    feature_size=40 * NM,
+    supply_voltage=0.9,
+    gate_area=constants.GATE_AREA_130NM * (40.0 / 130.0) ** 2,
+    gate_energy=constants.GATE_ENERGY_130NM * (40.0 / 130.0) * (0.9 / 1.2) ** 2,
+    gate_delay=constants.GATE_DELAY_130NM * (40.0 / 130.0),
+    gate_leakage=constants.GATE_LEAKAGE_130NM * (40.0 / 130.0),
+)
+
+
+def scale_area(area: float, from_node: TechnologyNode, to_node: TechnologyNode) -> float:
+    """Scale an area between nodes with classical F^2 scaling."""
+    require(area >= 0, "area must be non-negative")
+    ratio = to_node.feature_size / from_node.feature_size
+    return area * ratio * ratio
+
+
+def scale_energy(energy: float, from_node: TechnologyNode, to_node: TechnologyNode) -> float:
+    """Scale a switching energy between nodes (CV^2 with C proportional to F)."""
+    require(energy >= 0, "energy must be non-negative")
+    cap_ratio = to_node.feature_size / from_node.feature_size
+    v_ratio = to_node.supply_voltage / from_node.supply_voltage
+    return energy * cap_ratio * v_ratio * v_ratio
+
+
+def scale_delay(delay: float, from_node: TechnologyNode, to_node: TechnologyNode) -> float:
+    """Scale a gate delay between nodes (proportional to F at constant field)."""
+    require(delay >= 0, "delay must be non-negative")
+    return delay * (to_node.feature_size / from_node.feature_size)

@@ -1,0 +1,184 @@
+"""RRAM bit-cell, array, and bank-plan models.
+
+The on-chip memory in both the 2D baseline and the M3D design is BEOL RRAM
+(Fig. 3 of the paper).  The geometry that drives the whole study:
+
+* In the **2D baseline**, each 1T1R bit-cell pairs a BEOL RRAM device with a
+  FEOL **Si** access transistor directly underneath it (Fig. 3a-d).  The Si
+  tier under the array is therefore fully occupied (Fig. 3e).
+* In the **M3D design**, the access transistor moves to the BEOL **CNFET**
+  tier above the RRAM, freeing the Si tier under the array for compute.
+
+The bit-cell footprint is the maximum of three limiters: the access-FET
+footprint (which grows with the width-relaxation factor delta), the RRAM
+device itself, and the inter-layer-via (ILV) pitch (Case 2, Sec. III-E).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.devices import FETModel
+from repro.tech.ilv import ILVModel
+from repro.tech.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class RRAMCell:
+    """A 1T1R RRAM bit-cell.
+
+    Attributes:
+        node: Technology node the cell is drawn in.
+        base_area_f2: Footprint in F^2 with a minimum-width access FET.
+        access_width_factor: Access-FET width relative to minimum (the
+            paper's delta); widths > 1 grow the cell footprint
+            proportionally because the access FET is the area limiter.
+        vias_per_cell: ILVs needed per cell to reach the access-FET tier
+            (the paper's m in Case 2); the 1T1R cell routes its bit line
+            and source line through the access-FET tier, needing two.
+        read_energy_per_bit: Joules per bit read.
+        write_energy_per_bit: Joules per bit written.
+    """
+
+    node: TechnologyNode
+    base_area_f2: float = constants.RRAM_BITCELL_AREA_F2
+    access_width_factor: float = 1.0
+    vias_per_cell: int = 2
+    read_energy_per_bit: float = constants.RRAM_READ_ENERGY_PER_BIT
+    write_energy_per_bit: float = constants.RRAM_WRITE_ENERGY_PER_BIT
+
+    def __post_init__(self) -> None:
+        require(self.base_area_f2 > 0, "bit-cell base area must be positive")
+        require(self.access_width_factor >= 1.0,
+                "access width factor (delta) must be >= 1")
+        require(self.vias_per_cell >= 1, "need at least one via per cell")
+        require(self.read_energy_per_bit >= 0, "read energy must be non-negative")
+        require(self.write_energy_per_bit >= 0, "write energy must be non-negative")
+
+    def area(self, ilv: ILVModel | None = None) -> float:
+        """Bit-cell footprint in m^2.
+
+        The footprint is limited by the wider of (a) the access FET, which
+        scales linearly with its width relaxation delta, and (b) the ILV
+        landing area, ``vias_per_cell * pitch^2`` (Case 2 of the paper).
+        """
+        fet_limited = self.node.area_from_f2(self.base_area_f2) * self.access_width_factor
+        if ilv is None:
+            return fet_limited
+        via_limited = self.vias_per_cell * ilv.pitch * ilv.pitch
+        return max(fet_limited, via_limited)
+
+    def with_access_width_factor(self, delta: float) -> "RRAMCell":
+        """Return a copy with the access FET relaxed by ``delta`` (>= 1)."""
+        return RRAMCell(
+            node=self.node,
+            base_area_f2=self.base_area_f2,
+            access_width_factor=delta,
+            vias_per_cell=self.vias_per_cell,
+            read_energy_per_bit=self.read_energy_per_bit,
+            write_energy_per_bit=self.write_energy_per_bit,
+        )
+
+
+def default_rram_cell(node: TechnologyNode) -> RRAMCell:
+    """The 1T1R cell of the foundry M3D PDK with a minimum-width access FET."""
+    return RRAMCell(node=node)
+
+
+def cell_for_access_fet(node: TechnologyNode, reference: FETModel, candidate: FETModel) -> RRAMCell:
+    """Build a cell whose access FET is ``candidate`` sized to match ``reference``.
+
+    The required width relaxation is the ratio of drive strengths; a weaker
+    BEOL device (e.g. a newly integrated CNFET) needs a wider channel to
+    supply the same cell current, which grows the bit-cell footprint.
+    """
+    delta = reference.drive_current_per_width / candidate.drive_current_per_width
+    return default_rram_cell(node).with_access_width_factor(max(1.0, delta))
+
+
+@dataclass(frozen=True)
+class RRAMArray:
+    """An RRAM cell array of a given capacity built from one cell type.
+
+    Attributes:
+        cell: The bit-cell.
+        capacity_bits: Total capacity in bits.
+        ilv: Optional ILV model; when provided the cell footprint may be
+            via-pitch limited.
+    """
+
+    cell: RRAMCell
+    capacity_bits: int
+    ilv: ILVModel | None = None
+
+    def __post_init__(self) -> None:
+        require(self.capacity_bits > 0, "capacity must be positive")
+
+    @property
+    def cell_area(self) -> float:
+        """Footprint of one bit-cell in m^2."""
+        return self.cell.area(self.ilv)
+
+    @property
+    def area(self) -> float:
+        """Total cell-array footprint in m^2 (cells only, no periphery)."""
+        return self.capacity_bits * self.cell_area
+
+    @property
+    def rows(self) -> int:
+        """Rows of a square-ish array, for periphery scaling estimates."""
+        return int(math.isqrt(self.capacity_bits))
+
+    def read_energy(self, bits: float) -> float:
+        """Energy in joules to read ``bits`` bits."""
+        require(bits >= 0, "bits must be non-negative")
+        return bits * self.cell.read_energy_per_bit
+
+    def write_energy(self, bits: float) -> float:
+        """Energy in joules to write ``bits`` bits."""
+        require(bits >= 0, "bits must be non-negative")
+        return bits * self.cell.write_energy_per_bit
+
+
+@dataclass(frozen=True)
+class RRAMBankPlan:
+    """Partitioning of one RRAM capacity into independent banks.
+
+    The M3D design re-partitions the same total capacity into ``banks``
+    independent channels so each parallel computing sub-system receives its
+    own weight-read port; total bandwidth scales with bank count while the
+    per-bank width stays fixed.
+
+    Attributes:
+        array: The underlying cell array (total capacity).
+        banks: Number of independent banks/channels.
+        bank_width_bits: Read-port width of each bank, bits per cycle.
+    """
+
+    array: RRAMArray
+    banks: int
+    bank_width_bits: int
+
+    def __post_init__(self) -> None:
+        require(self.banks >= 1, "need at least one bank")
+        require(self.banks <= self.array.capacity_bits,
+                "cannot have more banks than bits")
+        require(self.bank_width_bits >= 1, "bank width must be positive")
+
+    @property
+    def bank_capacity_bits(self) -> int:
+        """Capacity of the largest bank in bits (ceiling partition)."""
+        return -(-self.array.capacity_bits // self.banks)
+
+    @property
+    def total_bandwidth_bits_per_cycle(self) -> int:
+        """Aggregate read bandwidth across all banks, bits per cycle."""
+        return self.banks * self.bank_width_bits
+
+    def rebanked(self, banks: int) -> "RRAMBankPlan":
+        """Return a plan with the same array re-partitioned into ``banks``."""
+        return RRAMBankPlan(array=self.array, banks=banks,
+                            bank_width_bits=self.bank_width_bits)

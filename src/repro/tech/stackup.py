@@ -1,0 +1,166 @@
+"""Vertical tier stack-up of the M3D process (paper Fig. 4a).
+
+The foundry M3D PDK integrates, bottom to top:
+
+1. FEOL **Si CMOS** (logic, memory peripherals, and — in the 2D baseline —
+   the RRAM access transistors),
+2. BEOL metal routing layers,
+3. a BEOL **RRAM** layer,
+4. a BEOL **CNFET** layer (M3D designs only use it for access transistors),
+5. top metallization.
+
+The stack-up determines which tiers a macro occupies (and therefore which
+tiers it *blocks* in the floorplanner) and feeds the thermal model of
+Sec. III-F, where each interleaved compute+memory pair adds thermal
+resistance between the transistors and the heat sink.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import require
+from repro.tech import constants
+
+
+class TierKind(enum.Enum):
+    """Functional role of a tier in the stack."""
+
+    SILICON_LOGIC = "si_logic"
+    METAL_ROUTING = "metal"
+    RRAM = "rram"
+    CNFET_LOGIC = "cnfet_logic"
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One tier of the vertical stack.
+
+    Attributes:
+        name: Unique tier name, e.g. ``"si_cmos"``.
+        kind: Functional role.
+        level: Height index in the stack, 0 = bottom (FEOL).
+        placeable: True when standard cells / devices can be placed here.
+        routable: True when signal routing may use this tier.
+        thermal_resistance: Added K/W between this tier and the one below.
+    """
+
+    name: str
+    kind: TierKind
+    level: int
+    placeable: bool
+    routable: bool
+    thermal_resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(self.level >= 0, "tier level must be non-negative")
+        require(self.thermal_resistance >= 0, "thermal resistance must be non-negative")
+
+
+@dataclass(frozen=True)
+class LayerStack:
+    """An ordered vertical stack of tiers.
+
+    Attributes:
+        name: Stack name.
+        tiers: Tiers ordered bottom (index 0) to top.
+    """
+
+    name: str
+    tiers: tuple[Tier, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require(len(self.tiers) > 0, "a stack needs at least one tier")
+        levels = [tier.level for tier in self.tiers]
+        require(levels == sorted(levels), "tiers must be ordered bottom to top")
+        names = [tier.name for tier in self.tiers]
+        require(len(names) == len(set(names)), "tier names must be unique")
+
+    def tier(self, name: str) -> Tier:
+        """Look up a tier by name."""
+        for candidate in self.tiers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no tier named {name!r} in stack {self.name!r}")
+
+    def placeable_tiers(self) -> tuple[Tier, ...]:
+        """Tiers that accept placed devices (Si CMOS, CNFET, RRAM)."""
+        return tuple(tier for tier in self.tiers if tier.placeable)
+
+    def device_tiers(self) -> tuple[Tier, ...]:
+        """Tiers holding active devices (everything except pure routing)."""
+        return tuple(tier for tier in self.tiers if tier.kind != TierKind.METAL_ROUTING)
+
+    @property
+    def has_cnfet_tier(self) -> bool:
+        """True when the stack offers a BEOL FET tier (i.e. supports M3D)."""
+        return any(tier.kind == TierKind.CNFET_LOGIC for tier in self.tiers)
+
+    def thermal_resistance_to_ambient(self, level: int) -> float:
+        """Cumulative K/W from tier ``level`` down through the heat sink.
+
+        Heat extracted from a tier must cross every tier below it plus the
+        package/heat-sink resistance (Eq. 17 of the paper).
+        """
+        require(0 <= level <= max(t.level for t in self.tiers), "level out of range")
+        through_stack = sum(t.thermal_resistance for t in self.tiers if t.level <= level)
+        return through_stack + constants.THERMAL_R_AMBIENT
+
+
+def m3d_stackup() -> LayerStack:
+    """The foundry M3D stack of Fig. 4a: Si CMOS + metals + RRAM + CNFET."""
+    return LayerStack(
+        name="foundry_m3d",
+        tiers=(
+            Tier("si_cmos", TierKind.SILICON_LOGIC, level=0, placeable=True, routable=False),
+            Tier("beol_lower_metal", TierKind.METAL_ROUTING, level=1, placeable=False,
+                 routable=True),
+            Tier("rram", TierKind.RRAM, level=2, placeable=True, routable=False,
+                 thermal_resistance=constants.THERMAL_R_PER_TIER / 2),
+            Tier("cnfet", TierKind.CNFET_LOGIC, level=3, placeable=True, routable=False,
+                 thermal_resistance=constants.THERMAL_R_PER_TIER / 2),
+            Tier("beol_upper_metal", TierKind.METAL_ROUTING, level=4, placeable=False,
+                 routable=True),
+        ),
+    )
+
+
+def baseline_2d_stackup() -> LayerStack:
+    """The 2D baseline stack: identical process, but the CNFET tier carries a
+    blanket placement blockage (routing through it remains allowed), matching
+    the paper's synthesis/P&R restriction for the 2D design."""
+    m3d = m3d_stackup()
+    tiers = []
+    for tier in m3d.tiers:
+        if tier.kind == TierKind.CNFET_LOGIC:
+            tiers.append(Tier(tier.name, tier.kind, tier.level, placeable=False,
+                              routable=True, thermal_resistance=tier.thermal_resistance))
+        else:
+            tiers.append(tier)
+    return LayerStack(name="baseline_2d", tiers=tuple(tiers))
+
+
+def interleaved_stackup(pairs: int) -> LayerStack:
+    """A futuristic stack with ``pairs`` interleaved compute+memory tier pairs
+    (Case 3, Sec. III-F).  Pair 1 corresponds to the case-study stack."""
+    require(pairs >= 1, "need at least one compute+memory pair")
+    tiers: list[Tier] = [
+        Tier("si_cmos", TierKind.SILICON_LOGIC, level=0, placeable=True, routable=False),
+    ]
+    level = 1
+    for pair in range(1, pairs + 1):
+        tiers.append(Tier(f"metal_{pair}", TierKind.METAL_ROUTING, level=level,
+                          placeable=False, routable=True))
+        level += 1
+        tiers.append(Tier(f"rram_{pair}", TierKind.RRAM, level=level, placeable=True,
+                          routable=False,
+                          thermal_resistance=constants.THERMAL_R_PER_TIER / 2))
+        level += 1
+        tiers.append(Tier(f"cnfet_{pair}", TierKind.CNFET_LOGIC, level=level,
+                          placeable=True, routable=False,
+                          thermal_resistance=constants.THERMAL_R_PER_TIER / 2))
+        level += 1
+    tiers.append(Tier("top_metal", TierKind.METAL_ROUTING, level=level, placeable=False,
+                      routable=True))
+    return LayerStack(name=f"interleaved_{pairs}x", tiers=tuple(tiers))

@@ -1,0 +1,178 @@
+"""Standard-cell library models.
+
+Stand-in for the foundry M3D standard-cell library.  The library is small but
+characterized in the four dimensions the physical design flow consumes: area,
+switching energy, intrinsic delay + drive resistance, and leakage.  Two
+libraries are provided — FEOL silicon and BEOL CNFET — with the CNFET library
+derated by the relative drive strength of foundry-integrated CNFETs.
+
+Cell values are expressed relative to a gate-equivalent (a 2-input NAND) so
+the whole library scales coherently with the technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.tech import constants
+from repro.tech.node import TechnologyNode
+from repro.tech.stackup import TierKind
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """One characterized standard cell.
+
+    Attributes:
+        name: Cell name, e.g. ``"NAND2_X1"``.
+        gate_equivalents: Size in units of a 2-input NAND.
+        area: Placement area in m^2.
+        switching_energy: Energy per output transition in joules.
+        intrinsic_delay: Unloaded delay in seconds.
+        drive_resistance: Output drive resistance in ohms (for wire RC).
+        input_capacitance: Per-input capacitance in farads.
+        leakage: Static power in watts.
+        tier_kind: Which tier family the cell is fabricated in.
+    """
+
+    name: str
+    gate_equivalents: float
+    area: float
+    switching_energy: float
+    intrinsic_delay: float
+    drive_resistance: float
+    input_capacitance: float
+    leakage: float
+    tier_kind: TierKind
+
+    def __post_init__(self) -> None:
+        require(self.gate_equivalents > 0, "gate equivalents must be positive")
+        require(self.area > 0, "cell area must be positive")
+        require(self.switching_energy >= 0, "switching energy must be non-negative")
+        require(self.intrinsic_delay > 0, "intrinsic delay must be positive")
+        require(self.drive_resistance > 0, "drive resistance must be positive")
+        require(self.input_capacitance > 0, "input capacitance must be positive")
+        require(self.leakage >= 0, "leakage must be non-negative")
+
+    def delay_with_load(self, load_capacitance: float) -> float:
+        """First-order loaded delay: intrinsic + R_drive * C_load."""
+        require(load_capacitance >= 0, "load capacitance must be non-negative")
+        return self.intrinsic_delay + self.drive_resistance * load_capacitance
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """A characterized standard-cell library for one device tier.
+
+    Attributes:
+        name: Library name.
+        node: Technology node.
+        cells: Mapping from cell name to :class:`StandardCell`.
+        tier_kind: Tier family of every cell in the library.
+    """
+
+    name: str
+    node: TechnologyNode
+    cells: dict[str, StandardCell]
+    tier_kind: TierKind
+
+    def __post_init__(self) -> None:
+        require(len(self.cells) > 0, "library must contain cells")
+        for cell in self.cells.values():
+            require(cell.tier_kind == self.tier_kind,
+                    f"cell {cell.name} tier does not match library tier")
+
+    def cell(self, name: str) -> StandardCell:
+        """Look up a cell by name."""
+        if name not in self.cells:
+            raise KeyError(f"no cell named {name!r} in library {self.name!r}")
+        return self.cells[name]
+
+    @property
+    def gate_equivalent(self) -> StandardCell:
+        """The reference NAND2 cell."""
+        return self.cell("NAND2_X1")
+
+    def area_for_gates(self, gate_equivalents: float) -> float:
+        """Placement area in m^2 for a logic block of given GE count."""
+        require(gate_equivalents >= 0, "gate equivalents must be non-negative")
+        return gate_equivalents * self.gate_equivalent.area
+
+    def energy_for_gates(self, gate_equivalents: float, activity: float = 0.1) -> float:
+        """Switching energy per cycle for a block, given an activity factor."""
+        require(0 <= activity <= 1, "activity must be in [0, 1]")
+        return gate_equivalents * activity * self.gate_equivalent.switching_energy
+
+    def leakage_for_gates(self, gate_equivalents: float) -> float:
+        """Static power in watts for a block of given GE count."""
+        require(gate_equivalents >= 0, "gate equivalents must be non-negative")
+        return gate_equivalents * self.gate_equivalent.leakage
+
+
+#: (name, GE size, relative delay, relative drive-res, relative input cap)
+_CELL_SHAPES: tuple[tuple[str, float, float, float, float], ...] = (
+    ("INV_X1", 0.67, 0.7, 1.0, 0.7),
+    ("INV_X4", 1.5, 0.5, 0.25, 2.8),
+    ("NAND2_X1", 1.0, 1.0, 1.0, 1.0),
+    ("NAND3_X1", 1.33, 1.3, 1.1, 1.0),
+    ("NOR2_X1", 1.0, 1.2, 1.3, 1.0),
+    ("AOI22_X1", 1.67, 1.5, 1.2, 1.0),
+    ("XOR2_X1", 2.33, 1.8, 1.2, 1.4),
+    ("MUX2_X1", 2.33, 1.6, 1.1, 1.2),
+    ("FA_X1", 4.33, 2.2, 1.2, 1.4),
+    ("DFF_X1", 5.67, 2.5, 1.1, 1.1),
+    ("BUF_X8", 3.0, 0.6, 0.12, 5.5),
+)
+
+_NAND2_DRIVE_RESISTANCE = 8.0e3  # ohm, 130 nm-class X1 drive
+_NAND2_INPUT_CAP = 2.0e-15  # F
+
+
+def _build_library(
+    name: str,
+    node: TechnologyNode,
+    tier_kind: TierKind,
+    drive_derate: float,
+    leakage_derate: float,
+) -> CellLibrary:
+    cells: dict[str, StandardCell] = {}
+    for cell_name, size, rel_delay, rel_res, rel_cap in _CELL_SHAPES:
+        cells[cell_name] = StandardCell(
+            name=cell_name,
+            gate_equivalents=size,
+            area=size * node.gate_area,
+            switching_energy=size * node.gate_energy,
+            intrinsic_delay=rel_delay * node.gate_delay / drive_derate,
+            drive_resistance=rel_res * _NAND2_DRIVE_RESISTANCE / drive_derate,
+            input_capacitance=rel_cap * _NAND2_INPUT_CAP,
+            leakage=size * node.gate_leakage * leakage_derate,
+            tier_kind=tier_kind,
+        )
+    return CellLibrary(name=name, node=node, cells=cells, tier_kind=tier_kind)
+
+
+def silicon_cell_library(node: TechnologyNode) -> CellLibrary:
+    """The FEOL Si CMOS standard-cell library."""
+    return _build_library(
+        name=f"si_cmos_{node.name}",
+        node=node,
+        tier_kind=TierKind.SILICON_LOGIC,
+        drive_derate=1.0,
+        leakage_derate=1.0,
+    )
+
+
+def cnfet_cell_library(
+    node: TechnologyNode,
+    relative_drive: float = constants.CNFET_RELATIVE_DRIVE,
+) -> CellLibrary:
+    """The BEOL CNFET standard-cell library, derated by CNFET drive strength."""
+    require(relative_drive > 0, "relative drive must be positive")
+    return _build_library(
+        name=f"cnfet_{node.name}",
+        node=node,
+        tier_kind=TierKind.CNFET_LOGIC,
+        drive_derate=relative_drive,
+        leakage_derate=constants.CNFET_RELATIVE_LEAKAGE,
+    )

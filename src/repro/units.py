@@ -1,0 +1,84 @@
+"""Unit constants and conversion helpers.
+
+All internal quantities in the library are stored in SI base units
+(metres, seconds, joules, watts, bits).  These constants make call sites
+read like datasheets::
+
+    pitch = 100 * NM
+    energy = 2.0 * PJ
+    capacity = 64 * MEGABYTE
+
+Helper functions convert back to the display units used in the paper
+(mm^2 footprints, pJ/bit energies, MB capacities).
+"""
+
+from __future__ import annotations
+
+# --- length -----------------------------------------------------------------
+NM = 1e-9
+UM = 1e-6
+MM = 1e-3
+
+# --- area --------------------------------------------------------------------
+NM2 = NM * NM
+UM2 = UM * UM
+MM2 = MM * MM
+
+# --- time ---------------------------------------------------------------------
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- energy -------------------------------------------------------------------
+FJ = 1e-15
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# --- power --------------------------------------------------------------------
+UW = 1e-6
+MW = 1e-3
+
+# --- frequency ----------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- information --------------------------------------------------------------
+BIT = 1
+BYTE = 8
+KILOBYTE = 8 * 1024
+MEGABYTE = 8 * 1024 * 1024
+GIGABYTE = 8 * 1024 * 1024 * 1024
+
+
+def to_mm2(area_m2: float) -> float:
+    """Convert an area in square metres to square millimetres."""
+    return area_m2 / MM2
+
+
+def to_um2(area_m2: float) -> float:
+    """Convert an area in square metres to square micrometres."""
+    return area_m2 / UM2
+
+
+def to_megabytes(bits: float) -> float:
+    """Convert a bit count to megabytes (2**20 bytes)."""
+    return bits / MEGABYTE
+
+
+def to_pj(energy_j: float) -> float:
+    """Convert an energy in joules to picojoules."""
+    return energy_j / PJ
+
+
+def to_mw(power_w: float) -> float:
+    """Convert a power in watts to milliwatts."""
+    return power_w / MW
+
+
+def to_mhz(freq_hz: float) -> float:
+    """Convert a frequency in hertz to megahertz."""
+    return freq_hz / MHZ

@@ -1,0 +1,46 @@
+"""DNN workload definitions used throughout the paper's evaluation.
+
+The paper evaluates AlexNet, VGG, and ResNet-family models (Fig. 5), with a
+per-layer breakdown for ResNet-18 (Table I).  This package defines layer
+shapes, full-network builders, and the workload-partitioning model that
+produces the paper's N# (maximum parallel partitions per layer).
+"""
+
+from repro.workloads.layers import (
+    ConvLayer,
+    FCLayer,
+    Layer,
+    LayerKind,
+    PoolLayer,
+)
+from repro.workloads.models import (
+    Network,
+    alexnet,
+    available_networks,
+    build_network,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet152,
+    vgg16,
+)
+from repro.workloads.partition import max_parallel_partitions, partition_plan
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "ConvLayer",
+    "FCLayer",
+    "PoolLayer",
+    "Network",
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet152",
+    "build_network",
+    "available_networks",
+    "max_parallel_partitions",
+    "partition_plan",
+]

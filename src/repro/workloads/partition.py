@@ -1,0 +1,90 @@
+"""Workload partitioning across parallel computing sub-systems.
+
+The analytical framework (Sec. III-A) bounds the usable parallelism of a
+workload by N#, the maximum number of parallel partitions.  For the
+weight-stationary systolic accelerator of the case study, a layer partitions
+along its *output channels*: each computing sub-system (CS) owns a disjoint
+set of K-tiles (tiles of ``array_columns`` output channels), keeps those
+weights stationary, and receives the full input feature map.  A layer with
+``ceil(K / array_columns)`` tiles therefore admits at most that many
+partitions — this is why the paper's Table I shows ~3.7x speedup for the
+64-channel ResNet-18 stage-1 layers (only 4 of the 8 CSs can be used) but
+~7.4-7.9x for the wider later stages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import require
+from repro.workloads.layers import Layer, LayerKind
+
+
+def k_tiles(layer: Layer, array_columns: int) -> int:
+    """Number of output-channel tiles of width ``array_columns``.
+
+    Grouped convolutions tile per group (output channels from different
+    groups read different inputs, so they cannot share a tile).
+    """
+    require(array_columns >= 1, "array_columns must be >= 1")
+    groups = layer.channel_groups
+    per_group = max(1, math.ceil(layer.out_channels / groups / array_columns))
+    return groups * per_group
+
+
+def max_parallel_partitions(layer: Layer, array_columns: int) -> int:
+    """The paper's N# for one layer on a K-partitioned systolic accelerator."""
+    if layer.kind == LayerKind.POOL:
+        # Pooling has no weights; it partitions along channels directly.
+        return max(1, math.ceil(layer.out_channels / array_columns))
+    return k_tiles(layer, array_columns)
+
+
+@dataclass(frozen=True)
+class LayerPartition:
+    """Assignment of one layer across parallel CSs.
+
+    Attributes:
+        layer: The partitioned layer.
+        available_cs: Parallel CSs available in the design (the paper's N).
+        used_cs: CSs actually used, min(N, N#) (the paper's N_max).
+        tiles_total: Total K-tiles in the layer.
+        tiles_per_cs: K-tiles the busiest CS must process.
+    """
+
+    layer: Layer
+    available_cs: int
+    used_cs: int
+    tiles_total: int
+    tiles_per_cs: int
+
+    @property
+    def idle_cs(self) -> int:
+        """CSs left idle for this layer (they still burn idle energy, Eq. 7)."""
+        return self.available_cs - self.used_cs
+
+    @property
+    def balance(self) -> float:
+        """Load balance in (0, 1]: 1 when tiles divide evenly across CSs."""
+        ideal = self.tiles_total / self.used_cs
+        return ideal / self.tiles_per_cs
+
+
+def partition_plan(layer: Layer, available_cs: int, array_columns: int) -> LayerPartition:
+    """Partition ``layer`` across ``available_cs`` parallel CSs.
+
+    Uses the K-tile scheme described in the module docstring; the busiest CS
+    receives ``ceil(tiles / used_cs)`` tiles, which sets the layer latency.
+    """
+    require(available_cs >= 1, "need at least one CS")
+    tiles = max_parallel_partitions(layer, array_columns)
+    used = min(available_cs, tiles)
+    per_cs = math.ceil(tiles / used)
+    return LayerPartition(
+        layer=layer,
+        available_cs=available_cs,
+        used_cs=used,
+        tiles_total=tiles,
+        tiles_per_cs=per_cs,
+    )

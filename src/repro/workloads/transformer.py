@@ -1,0 +1,59 @@
+"""Transformer-encoder workloads (weight-bound FC chains).
+
+The paper's evaluation is CNN-centric, where weight-stationary arrays are
+compute-bound.  Transformer blocks are the opposite regime the framework's
+Obs. 5 reasons about: at token-batch 1 every projection/FFN layer reads
+each weight exactly once, making the workload memory-(weight-)bound; with
+more tokens batched per slab pass the reuse grows and the workload crosses
+into the compute-bound regime.
+
+Each encoder layer contributes its four attention projections
+(Q, K, V, output; all d_model x d_model) and the two FFN matrices
+(d_model x d_ff and back), modelled as FC layers.  The attention
+score/value matmuls (QK^T, AV) carry no weights and are token-count
+dependent; they are intentionally out of scope for the weight-stationary
+accelerator model (documented limitation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import require
+from repro.workloads.layers import FCLayer, Layer
+from repro.workloads.models import Network
+
+
+def transformer_encoder(
+    layers: int = 4,
+    d_model: int = 512,
+    d_ff: int = 2048,
+    name: str | None = None,
+) -> Network:
+    """An encoder stack of ``layers`` blocks as a weight-bound FC chain."""
+    require(layers >= 1, "need at least one encoder layer")
+    require(d_model >= 1 and d_ff >= 1, "dimensions must be >= 1")
+    network_layers: list[Layer] = []
+    for index in range(layers):
+        prefix = f"L{index}"
+        for proj in ("Q", "K", "V", "O"):
+            network_layers.append(FCLayer(
+                f"{prefix}.{proj}", in_features=d_model,
+                out_features=d_model))
+        network_layers.append(FCLayer(
+            f"{prefix}.FFN1", in_features=d_model, out_features=d_ff))
+        network_layers.append(FCLayer(
+            f"{prefix}.FFN2", in_features=d_ff, out_features=d_model))
+    built = Network(name=name or f"encoder{layers}_{d_model}",
+                    layers=tuple(network_layers))
+    return built
+
+
+def tiny_encoder() -> Network:
+    """A 4-layer, 512-wide encoder (~12.6 M parameters; fits 16 MB)."""
+    return transformer_encoder(layers=4, d_model=512, d_ff=2048,
+                               name="encoder_tiny")
+
+
+def base_encoder() -> Network:
+    """A 12-layer, 768-wide encoder (~85 M parameters; BERT-base-class)."""
+    return transformer_encoder(layers=12, d_model=768, d_ff=3072,
+                               name="encoder_base")

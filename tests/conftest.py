@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Session-scoped where construction is pure and reused heavily (the PDK and
+the case-study design pair) — everything exposed here is immutable
+(frozen dataclasses), so sharing across tests is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tech import foundry_m3d_pdk
+from repro.arch import baseline_2d_design, m3d_design
+from repro.perf import compare_designs, simulate
+from repro.workloads import resnet18
+
+
+@pytest.fixture(scope="session")
+def pdk():
+    """The foundry M3D PDK stand-in."""
+    return foundry_m3d_pdk()
+
+
+@pytest.fixture(scope="session")
+def baseline(pdk):
+    """The Sec. II 2D baseline design (64 MB, 1 CS)."""
+    return baseline_2d_design(pdk)
+
+
+@pytest.fixture(scope="session")
+def m3d(pdk):
+    """The Sec. II iso-footprint M3D design (64 MB, 8 CSs)."""
+    return m3d_design(pdk)
+
+
+@pytest.fixture(scope="session")
+def resnet18_network():
+    """ResNet-18 (the Table I / Fig. 9 workload)."""
+    return resnet18()
+
+
+@pytest.fixture(scope="session")
+def resnet18_benefit(pdk, baseline, m3d, resnet18_network):
+    """The headline ResNet-18 2D-vs-M3D benefit comparison."""
+    return compare_designs(
+        simulate(baseline, resnet18_network, pdk),
+        simulate(m3d, resnet18_network, pdk),
+    )

@@ -1,0 +1,138 @@
+"""Chip-level designs: the area model that produces N = 8."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.accelerator import (
+    baseline_2d_design,
+    case_study_cs,
+    derive_parallel_cs_count,
+    m3d_design,
+    peripheral_area,
+)
+from repro.units import MEGABYTE, to_mm2
+
+
+def test_case_study_cs_area_about_42mm2(pdk):
+    area = case_study_cs().silicon_area(pdk)
+    assert to_mm2(area) == pytest.approx(41.85, rel=0.01)
+
+
+def test_gamma_cells_in_n8_window(baseline):
+    """gamma_cells must land in the window that yields exactly 8 CSs."""
+    gamma = baseline.area.gamma_cells
+    perif = baseline.area.gamma_perif
+    assert 7.0 <= gamma - perif < 8.0
+
+
+def test_baseline_has_one_cs(baseline):
+    assert baseline.n_cs == 1
+    assert not baseline.is_m3d
+
+
+def test_m3d_derives_8_cs(m3d):
+    """The paper's headline geometric result: 1 CS -> 8 CSs (Fig. 2)."""
+    assert m3d.n_cs == 8
+    assert m3d.is_m3d
+
+
+def test_iso_footprint(baseline, m3d):
+    assert m3d.area.footprint == pytest.approx(baseline.area.footprint)
+
+
+def test_iso_capacity(baseline, m3d):
+    assert m3d.rram_capacity_bits == baseline.rram_capacity_bits
+
+
+def test_m3d_banks_match_cs_count(m3d):
+    assert m3d.bank_plan.banks == m3d.n_cs
+
+
+def test_m3d_bandwidth_8x_baseline(baseline, m3d):
+    """64 MB in 8 banks -> 8x total weight bandwidth (Sec. II)."""
+    assert m3d.total_weight_bandwidth == 8 * baseline.total_weight_bandwidth
+
+
+def test_same_frequency(baseline, m3d):
+    assert baseline.frequency_hz == m3d.frequency_hz == 20e6
+
+
+def test_peak_macs_scale_with_cs(baseline, m3d):
+    assert m3d.peak_macs_per_cycle == 8 * baseline.peak_macs_per_cycle
+
+
+def test_si_tier_fits_in_footprint(m3d):
+    assert m3d.area.si_tier_used <= m3d.area.footprint
+
+
+def test_2d_si_tier_exactly_fills_footprint(baseline):
+    assert baseline.area.si_tier_used == pytest.approx(baseline.area.footprint)
+
+
+def test_capacity_sweep_cs_counts(pdk):
+    """Fig. 9 calibration points: 12 MB -> 1 CS, 128 MB -> 16 CSs."""
+    expected = {12: 1, 16: 2, 32: 4, 64: 8, 128: 16}
+    for megabytes, n_cs in expected.items():
+        design = m3d_design(pdk, capacity_bits=int(megabytes * MEGABYTE))
+        assert design.n_cs == n_cs, f"{megabytes} MB"
+
+
+def test_derive_parallel_cs_count_formula():
+    assert derive_parallel_cs_count(
+        cells_area=7.5, peripherals_area=0.5, cs_area=1.0) == 8
+
+
+def test_derive_parallel_cs_count_floor():
+    assert derive_parallel_cs_count(
+        cells_area=7.99, peripherals_area=0.0, cs_area=1.0) == 8
+
+
+def test_derive_parallel_cs_count_minimum_one():
+    assert derive_parallel_cs_count(
+        cells_area=0.1, peripherals_area=0.5, cs_area=1.0) == 1
+
+
+def test_derive_with_extra_si():
+    assert derive_parallel_cs_count(
+        cells_area=7.5, peripherals_area=0.5, cs_area=1.0,
+        extra_si_area=2.0) == 10
+
+
+def test_relaxed_fet_grows_m3d_footprint(pdk, baseline):
+    relaxed = m3d_design(pdk, access_width_factor=2.0)
+    assert relaxed.area.footprint > baseline.area.footprint
+
+
+def test_small_relaxation_keeps_iso_footprint(pdk, baseline):
+    relaxed = m3d_design(pdk, access_width_factor=1.3)
+    assert relaxed.area.footprint == pytest.approx(baseline.area.footprint)
+
+
+def test_explicit_n_cs_override(pdk):
+    design = m3d_design(pdk, n_cs=16)
+    assert design.n_cs == 16
+    assert design.bank_plan.banks == 16
+
+
+def test_with_n_cs_updates_compute_area(m3d):
+    wider = m3d.with_n_cs(16)
+    assert wider.area.compute == pytest.approx(2 * m3d.area.compute)
+    assert wider.bank_plan.banks == 16
+
+
+def test_with_n_cs_keeps_2d_banks(baseline):
+    wider = baseline.with_n_cs(4)
+    assert wider.bank_plan.banks == 1  # 2D keeps its single channel
+
+
+def test_cycle_time(baseline):
+    assert baseline.cycle_time == pytest.approx(50e-9)
+
+
+def test_peripheral_area_constant_across_capacity(pdk):
+    assert peripheral_area(pdk) > 0
+
+
+def test_invalid_n_cs_rejected(pdk, baseline):
+    with pytest.raises(ConfigurationError):
+        baseline.with_n_cs(0)

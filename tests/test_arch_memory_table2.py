@@ -1,0 +1,137 @@
+"""Memory hierarchy specs and the Table II architecture set."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.memory import (
+    MemoryHierarchySpec,
+    MemoryKind,
+    MemoryLevelSpec,
+    Operand,
+)
+from repro.arch.table2 import SpatialUnrolling, table_ii_architectures
+from repro.units import KILOBYTE, MEGABYTE
+
+
+@pytest.fixture(scope="module")
+def archs():
+    return table_ii_architectures()
+
+
+def test_six_architectures(archs):
+    assert len(archs) == 6
+    assert [a.index for a in archs] == [1, 2, 3, 4, 5, 6]
+
+
+def test_all_archs_have_1024_pes(archs):
+    """Fig. 7 caption: all architectures normalized to the same PE count."""
+    for arch in archs:
+        assert arch.spatial.pe_count == 1024
+
+
+def test_all_archs_have_256mb_rram(archs):
+    for arch in archs:
+        assert arch.rram_capacity_bits == 256 * MEGABYTE
+
+
+def test_arch1_spatial_dims(archs):
+    spatial = archs[0].spatial
+    assert (spatial.k, spatial.c, spatial.ox, spatial.oy) == (16, 16, 2, 2)
+
+
+def test_arch3_has_no_local_sram(archs):
+    arch3 = archs[2]
+    local_names = [level.name for level in arch3.hierarchy.levels
+                   if level.name.startswith("local")]
+    assert local_names == []
+
+
+def test_arch3_has_big_registers(archs):
+    arch3 = archs[2]
+    reg_w = arch3.hierarchy.level("reg_W")
+    assert reg_w.capacity_bits == 128 * 8  # 128 B per PE
+
+
+def test_arch5_tiny_local_buffers(archs):
+    arch5 = archs[4]
+    assert arch5.hierarchy.level("local_W").capacity_bits == 1 * KILOBYTE
+
+
+def test_arch6_small_global(archs):
+    arch6 = archs[5]
+    assert arch6.hierarchy.level("global_sram").capacity_bits \
+        == int(0.5 * MEGABYTE)
+
+
+def test_every_arch_has_rram_weight_home(archs):
+    for arch in archs:
+        rram = arch.hierarchy.level("rram")
+        assert rram.kind == MemoryKind.RRAM
+        assert Operand.WEIGHT in rram.operands
+
+
+def test_spatial_unrolling_pe_count():
+    assert SpatialUnrolling(k=8, c=8, ox=4, oy=4).pe_count == 1024
+
+
+def test_spatial_unrolling_rejects_zero():
+    with pytest.raises(ConfigurationError):
+        SpatialUnrolling(k=0)
+
+
+def test_levels_for_operand(archs):
+    arch1 = archs[0]
+    weight_levels = arch1.hierarchy.levels_for(Operand.WEIGHT)
+    names = [level.name for level in weight_levels]
+    assert names == ["reg_W", "local_W", "rram"]
+
+
+def test_hierarchy_sram_bits(archs):
+    arch2 = archs[1]
+    assert arch2.hierarchy.on_chip_sram_bits() == 32 * KILOBYTE + 2 * MEGABYTE
+
+
+def test_hierarchy_register_bits(archs):
+    arch2 = archs[1]
+    assert arch2.hierarchy.register_bits() == 1024 * (8 + 16)
+
+
+def test_hierarchy_silicon_area_positive(archs, pdk):
+    for arch in archs:
+        assert arch.hierarchy.silicon_area(pdk) > 0
+
+
+def test_rram_has_no_silicon_area(pdk):
+    level = MemoryLevelSpec(name="rram", kind=MemoryKind.RRAM,
+                            operands=(Operand.WEIGHT,),
+                            capacity_bits=1024)
+    assert level.area(pdk) == 0.0
+
+
+def test_register_energy_cheapest():
+    reg = MemoryLevelSpec(name="r", kind=MemoryKind.REGISTER,
+                          operands=(Operand.WEIGHT,), capacity_bits=8)
+    sram = MemoryLevelSpec(name="s", kind=MemoryKind.SRAM,
+                           operands=(Operand.WEIGHT,), capacity_bits=8)
+    rram = MemoryLevelSpec(name="m", kind=MemoryKind.RRAM,
+                           operands=(Operand.WEIGHT,), capacity_bits=8)
+    assert reg.energy_per_bit < sram.energy_per_bit < rram.energy_per_bit
+
+
+def test_level_instances_multiply_capacity():
+    level = MemoryLevelSpec(name="r", kind=MemoryKind.REGISTER,
+                            operands=(Operand.WEIGHT,), capacity_bits=8,
+                            instances=1024)
+    assert level.total_capacity_bits == 8192
+
+
+def test_hierarchy_rejects_duplicate_names():
+    level = MemoryLevelSpec(name="x", kind=MemoryKind.SRAM,
+                            operands=(Operand.INPUT,), capacity_bits=8)
+    with pytest.raises(ConfigurationError):
+        MemoryHierarchySpec(levels=(level, level))
+
+
+def test_hierarchy_unknown_level_raises(archs):
+    with pytest.raises(KeyError):
+        archs[0].hierarchy.level("l3_cache")

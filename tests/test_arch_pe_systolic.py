@@ -1,0 +1,112 @@
+"""PE and systolic-array configuration arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.pe import PEConfig, default_pe
+from repro.arch.systolic import SystolicArrayConfig, default_systolic_array
+from repro.workloads.layers import ConvLayer, FCLayer
+from repro.workloads.models import resnet18
+
+
+@pytest.fixture(scope="module")
+def array():
+    return default_systolic_array()
+
+
+def test_default_pe_precision():
+    pe = default_pe()
+    assert pe.precision_bits == 8
+    assert pe.register_bits == 8 + 8 + 24
+
+
+def test_pe_area_positive(pdk):
+    assert default_pe().area(pdk) > 0
+
+
+def test_pe_mac_energy_scales_with_precision():
+    pe8 = PEConfig(precision_bits=8)
+    pe4 = PEConfig(precision_bits=4, weight_reg_bits=4, output_reg_bits=16)
+    assert pe4.mac_energy == pytest.approx(pe8.mac_energy / 4)
+
+
+def test_pe_rejects_undersized_weight_register():
+    with pytest.raises(ConfigurationError):
+        PEConfig(precision_bits=16, weight_reg_bits=8)
+
+
+def test_default_array_is_16x16(array):
+    assert array.rows == 16
+    assert array.cols == 16
+    assert array.pe_count == 256
+    assert array.peak_macs_per_cycle == 256
+
+
+def test_fill_drain_is_rows_plus_cols(array):
+    assert array.fill_drain_cycles == 32
+
+
+def test_k_tiles(array):
+    layer = resnet18().layer("L2.0 CONV2")
+    assert array.k_tiles(layer) == 8
+
+
+def test_row_packing_applies_to_stem_only(array):
+    net = resnet18()
+    assert array.uses_row_packing(net.layer("CONV1"))
+    assert not array.uses_row_packing(net.layer("L1.0 CONV1"))
+
+
+def test_row_packing_not_for_fc(array):
+    fc = FCLayer("fc", in_features=3, out_features=16)
+    assert not array.uses_row_packing(fc)
+
+
+def test_row_tiles_with_packing(array):
+    stem = resnet18().layer("CONV1")  # C=3, R=7 -> 21 rows -> 2 tiles
+    assert array.row_tiles(stem) == 2
+    assert array.kernel_passes(stem) == 7
+
+
+def test_row_tiles_without_packing(array):
+    layer = resnet18().layer("L3.0 CONV2")  # C=256 -> 16 tiles
+    assert array.row_tiles(layer) == 16
+    assert array.kernel_passes(layer) == 9
+
+
+def test_slab_count_conv(array):
+    layer = resnet18().layer("L2.0 CONV2")  # Kt=8, Ct=8, 3x3
+    assert array.slab_count(layer) == 8 * 8 * 9
+
+
+def test_slab_count_fc(array):
+    fc = FCLayer("fc", in_features=512, out_features=1000)
+    assert array.slab_count(fc) == 63 * 32
+
+
+def test_stream_cycles_per_slab_conv(array):
+    layer = resnet18().layer("L2.0 CONV2")
+    assert array.stream_cycles_per_slab(layer) == 28 * 28 + 32
+
+
+def test_stream_cycles_per_slab_fc(array):
+    fc = FCLayer("fc", in_features=512, out_features=1000)
+    assert array.stream_cycles_per_slab(fc) == 1 + 32
+
+
+def test_weight_bits_per_slab(array):
+    assert array.weight_bits_per_slab() == 256 * 8
+
+
+def test_custom_array_shape():
+    array = SystolicArrayConfig(rows=32, cols=8)
+    assert array.pe_count == 256
+    layer = ConvLayer("c", in_channels=64, out_channels=64, kernel=3,
+                      stride=1, in_size=28, padding=1)
+    assert array.k_tiles(layer) == 8
+    assert array.row_tiles(layer) == 2
+
+
+def test_array_rejects_zero_dims():
+    with pytest.raises(ConfigurationError):
+        SystolicArrayConfig(rows=0, cols=16)

@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, available_experiments, main
+
+
+def test_every_paper_artifact_has_a_cli_entry():
+    names = set(available_experiments())
+    for required in ("casestudy", "fig5", "table1", "fig7", "fig8", "fig9",
+                     "fig10c", "obs8", "fig10d", "obs3", "obs10"):
+        assert required in names
+
+
+def test_list_is_default(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "available experiments" in out
+    assert "table1" in out
+
+
+def test_explicit_list(capsys):
+    assert main(["list"]) == 0
+    assert "fig9" in capsys.readouterr().out
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["obs10"]) == 0
+    out = capsys.readouterr().out
+    assert "60 K" in out
+
+
+def test_run_multiple_experiments(capsys):
+    assert main(["obs10", "fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "60 K" in out
+    assert "Fig. 8a" in out
+
+
+def test_run_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "L4.1 CONV2" in out
+    assert "Total" in out
+
+
+def test_descriptions_are_nonempty():
+    for name, (description, runner) in EXPERIMENTS.items():
+        assert description, name
+        assert callable(runner), name
+
+
+def test_report_contains_all_sections(capsys):
+    from repro.report import build_report
+    report = build_report()
+    for marker in ("--- table1:", "--- fig7:", "--- ext-batching:",
+                   "--- validation ---"):
+        assert marker in report
+    assert "[FAIL]" not in report
+    assert "16/16 claims reproduced" in report

@@ -1,0 +1,148 @@
+"""Equations 1-8 of the analytical framework, hand-checked."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.framework import (
+    DesignPoint,
+    Workload,
+    edp_benefit,
+    energy,
+    energy_benefit,
+    execution_time,
+    speedup,
+    used_partitions,
+)
+
+
+@pytest.fixture
+def base():
+    """A clean reference point: P_peak 256 ops/cyc, B 256 bits/cyc."""
+    return DesignPoint(
+        n_cs=1, peak_ops_per_cycle=256, bandwidth_bits_per_cycle=256,
+        memory_energy_per_bit=2e-12, compute_energy_per_op=2e-12,
+        cs_idle_energy_per_cycle=1e-12, memory_idle_energy_per_cycle=1e-12)
+
+
+def test_compute_bound_time_eq1(base):
+    """F0/P dominates when D0/B is small."""
+    workload = Workload(compute_ops=256_000, data_bits=256)
+    assert execution_time(workload, base) == pytest.approx(1000.0)
+
+
+def test_memory_bound_time_eq1(base):
+    workload = Workload(compute_ops=256, data_bits=256_000)
+    assert execution_time(workload, base) == pytest.approx(1000.0)
+
+
+def test_balanced_time_eq1(base):
+    workload = Workload(compute_ops=256_0, data_bits=256_0)
+    t = execution_time(workload, base)
+    assert t == pytest.approx(max(10.0, 10.0))
+
+
+def test_eq4_compute_scales_with_nmax(base):
+    workload = Workload(compute_ops=256_000, data_bits=256)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    assert execution_time(workload, m3d) == pytest.approx(125.0)
+
+
+def test_eq4_broadcast_transfer_term(base):
+    """D0 * N / B: broadcast traffic does not speed up with banking alone."""
+    workload = Workload(compute_ops=256, data_bits=256_000)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    assert execution_time(workload, m3d) == pytest.approx(1000.0)
+
+
+def test_nmax_respects_partition_limit(base):
+    workload = Workload(compute_ops=1e6, data_bits=1.0, max_partitions=4)
+    m3d = base.with_n_cs(8)
+    assert used_partitions(workload, m3d) == 4
+
+
+def test_speedup_eq5_compute_bound(base):
+    workload = Workload(compute_ops=1e6, data_bits=1.0)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    assert speedup(workload, base, m3d) == pytest.approx(8.0)
+
+
+def test_speedup_capped_by_partitions(base):
+    workload = Workload(compute_ops=1e6, data_bits=1.0, max_partitions=4)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    assert speedup(workload, base, m3d) == pytest.approx(4.0)
+
+
+def test_energy_eq6_components(base):
+    """Hand-check Eq. 6 on a memory-bound point."""
+    workload = Workload(compute_ops=256, data_bits=256_000)
+    t = 1000.0
+    compute_time = 1.0
+    expected = (2e-12 * 256_000          # alpha * D0
+                + 1e-12 * 0.0            # memory never idles
+                + 1e-12 * (t - compute_time)  # CS stalls
+                + 2e-12 * 256)           # E_C * F0
+    assert energy(workload, base) == pytest.approx(expected)
+
+
+def test_energy_eq7_idle_cs_terms(base):
+    """Unused CSs burn idle energy for the whole runtime (Eq. 7)."""
+    workload = Workload(compute_ops=256_000, data_bits=256, max_partitions=4)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    t = execution_time(workload, m3d)
+    unused_term = (8 - 4) * 1e-12 * t
+    assert energy(workload, m3d) >= unused_term
+
+
+def test_energy_zero_idle_matches_work_only():
+    point = DesignPoint(
+        n_cs=1, peak_ops_per_cycle=100, bandwidth_bits_per_cycle=100,
+        memory_energy_per_bit=1e-12, compute_energy_per_op=1e-12)
+    workload = Workload(compute_ops=1000, data_bits=10)
+    assert energy(workload, point) == pytest.approx(1e-12 * 10 + 1e-12 * 1000)
+
+
+def test_energy_benefit_unity_for_same_point(base):
+    workload = Workload(compute_ops=1e5, data_bits=1e3)
+    assert energy_benefit(workload, base, base) == pytest.approx(1.0)
+
+
+def test_edp_benefit_eq8_is_product(base):
+    workload = Workload(compute_ops=1e6, data_bits=1.0)
+    m3d = base.with_n_cs(8).with_bandwidth(8 * 256)
+    assert edp_benefit(workload, base, m3d) == pytest.approx(
+        speedup(workload, base, m3d) * energy_benefit(workload, base, m3d))
+
+
+def test_intensity(base):
+    workload = Workload(compute_ops=1600, data_bits=100)
+    assert workload.intensity == pytest.approx(16.0)
+
+
+def test_intensity_infinite_without_data():
+    workload = Workload(compute_ops=100, data_bits=0)
+    assert math.isinf(workload.intensity)
+
+
+def test_with_bandwidth_copy(base):
+    doubled = base.with_bandwidth(512)
+    assert doubled.bandwidth_bits_per_cycle == 512
+    assert base.bandwidth_bits_per_cycle == 256
+
+
+def test_invalid_workload_rejected():
+    with pytest.raises(ConfigurationError):
+        Workload(compute_ops=-1, data_bits=0)
+
+
+def test_invalid_design_point_rejected():
+    with pytest.raises(ConfigurationError):
+        DesignPoint(n_cs=0, peak_ops_per_cycle=1,
+                    bandwidth_bits_per_cycle=1,
+                    memory_energy_per_bit=0, compute_energy_per_op=0)
+
+
+def test_zero_data_workload_time(base):
+    workload = Workload(compute_ops=256, data_bits=0)
+    assert execution_time(workload, base) == pytest.approx(1.0)

@@ -1,0 +1,80 @@
+"""Eq. 17 thermal stack model (Obs. 10)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
+
+
+def test_single_tier_hand_calc():
+    stack = ThermalStack(r_ambient=0.4, r_per_pair=0.15)
+    # (0.15 + 0.4) * 10 W = 5.5 K
+    assert temperature_rise([10.0], stack) == pytest.approx(5.5)
+
+
+def test_two_tier_hand_calc():
+    stack = ThermalStack(r_ambient=0.4, r_per_pair=0.15)
+    # tier1: (0.15+0.4)*10; tier2: (0.30+0.4)*10
+    assert temperature_rise([10.0, 10.0], stack) == pytest.approx(5.5 + 7.0)
+
+
+def test_rise_superlinear_in_pairs():
+    """Uniform stacks heat quadratically: doubling Y more than doubles."""
+    stack = ThermalStack()
+    one = temperature_rise([10.0] * 2, stack)
+    two = temperature_rise([10.0] * 4, stack)
+    assert two > 2 * one
+
+
+def test_upper_tiers_cost_more():
+    stack = ThermalStack()
+    bottom_heavy = temperature_rise([20.0, 0.001], stack)
+    top_heavy = temperature_rise([0.001, 20.0], stack)
+    assert top_heavy > bottom_heavy
+
+
+def test_custom_resistances():
+    stack = ThermalStack(r_ambient=0.0)
+    rise = temperature_rise([1.0, 1.0], stack, resistances=[1.0, 2.0])
+    assert rise == pytest.approx(1.0 * 1.0 + 3.0 * 1.0)
+
+
+def test_resistance_count_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        temperature_rise([1.0, 1.0], resistances=[1.0])
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ConfigurationError):
+        temperature_rise([-1.0])
+
+
+def test_max_tier_pairs_decreases_with_power():
+    previous = None
+    for power in (1.0, 5.0, 10.0, 50.0):
+        pairs = max_tier_pairs(power)
+        if previous is not None:
+            assert pairs <= previous
+        previous = pairs
+
+
+def test_max_tier_pairs_stays_in_budget():
+    stack = ThermalStack()
+    pairs = max_tier_pairs(10.0, stack)
+    assert temperature_rise([10.0] * pairs, stack) <= stack.max_rise
+    assert temperature_rise([10.0] * (pairs + 1), stack) > stack.max_rise
+
+
+def test_max_tier_pairs_zero_when_one_tier_overheats():
+    stack = ThermalStack(r_ambient=10.0, max_rise=5.0)
+    assert max_tier_pairs(10.0, stack) == 0
+
+
+def test_max_tier_pairs_hard_limit():
+    assert max_tier_pairs(0.0, hard_limit=7) == 7
+
+
+def test_case_study_chip_thermally_trivial():
+    """The 20 MHz case-study chip burns ~0.1 W: no 3D thermal concern —
+    the quantitative backing for the paper's Obs. 2."""
+    assert temperature_rise([0.1]) < 0.1

@@ -1,0 +1,201 @@
+"""Joint DSE, RRAM array internals, and the gate-level placer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.dse import (
+    DesignCandidate,
+    evaluate_design_point,
+    explore,
+    pareto_frontier,
+)
+from repro.physical.cellplace import (
+    CellNet,
+    CellNetlist,
+    clustered_netlist,
+    clustered_placement,
+    refine_by_swaps,
+    scattered_placement,
+)
+from repro.tech.array_internals import (
+    MatGeometry,
+    BankOrganization,
+    optimal_mat_rows,
+    organize_bank,
+)
+from repro.units import MEGABYTE
+from repro.workloads.models import resnet18
+
+
+# --- joint DSE ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def candidates(pdk):
+    return explore(pdk, resnet18())
+
+
+def test_grid_is_full_factorial(candidates):
+    assert len(candidates) == 3 * 3 * 2 * 2
+
+
+def test_case_study_point_in_grid(candidates):
+    point = next(c for c in candidates
+                 if c.capacity_bits == 64 * MEGABYTE and c.delta == 1.0
+                 and c.beta == 1.0 and c.tier_pairs == 1)
+    assert point.n_cs == 8
+    assert point.edp_benefit == pytest.approx(5.66, rel=0.05)
+
+
+def test_relaxed_knobs_do_not_help(candidates):
+    """delta/beta are tolerances, not improvements: the best EDP at every
+    (capacity, Y) is at the nominal delta = beta = 1."""
+    for capacity in (32 * MEGABYTE, 64 * MEGABYTE, 128 * MEGABYTE):
+        for pairs in (1, 2):
+            group = [c for c in candidates
+                     if c.capacity_bits == capacity and c.tier_pairs == pairs]
+            best = max(group, key=lambda c: c.edp_benefit)
+            nominal = next(c for c in group
+                           if c.delta == 1.0 and c.beta == 1.0)
+            assert nominal.edp_benefit >= best.edp_benefit * (1 - 1e-9)
+
+
+def test_frontier_nondominated(candidates):
+    frontier = pareto_frontier(candidates)
+    for point in frontier:
+        assert not any(other.dominates(point) for other in candidates)
+
+
+def test_frontier_sorted_and_monotone(candidates):
+    frontier = pareto_frontier(candidates)
+    footprints = [c.footprint for c in frontier]
+    benefits = [c.edp_benefit for c in frontier]
+    assert footprints == sorted(footprints)
+    # Along the frontier, paying footprint must buy benefit.
+    assert benefits == sorted(benefits)
+
+
+def test_dominates_semantics():
+    small = DesignCandidate(1, 1.0, 1.0, 1, 8, 1, footprint=1.0,
+                            speedup=5.0, edp_benefit=5.0)
+    better = DesignCandidate(1, 1.0, 1.0, 1, 8, 1, footprint=1.0,
+                             speedup=6.0, edp_benefit=6.0)
+    bigger = DesignCandidate(1, 1.0, 1.0, 1, 8, 1, footprint=2.0,
+                             speedup=6.0, edp_benefit=6.0)
+    assert better.dominates(small)
+    assert not small.dominates(better)
+    assert not bigger.dominates(better)
+    assert not better.dominates(better)
+
+
+def test_evaluate_design_point_grows_footprint_with_delta(pdk):
+    net = resnet18()
+    nominal = evaluate_design_point(pdk, net, 64 * MEGABYTE, delta=1.0)
+    relaxed = evaluate_design_point(pdk, net, 64 * MEGABYTE, delta=2.5)
+    assert relaxed.footprint > nominal.footprint
+    assert relaxed.n_cs_2d > 1
+
+
+def test_empty_frontier_rejected():
+    with pytest.raises(ConfigurationError):
+        pareto_frontier([])
+
+
+# --- array internals --------------------------------------------------------------------
+
+def test_case_study_bank_reads_in_one_cycle():
+    """The chip model's 256-bit-per-cycle bank read closes at 20 MHz."""
+    bank = organize_bank(int(8 * MEGABYTE), 20e6)
+    assert bank.read_latency_cycles(20e6) == 1
+
+
+def test_access_time_components_positive():
+    mat = MatGeometry(rows=512, cols=256)
+    assert 0 < mat.wordline_delay() < mat.access_time()
+    assert 0 < mat.bitline_delay() < mat.access_time()
+
+
+def test_access_time_grows_with_mat():
+    small = MatGeometry(rows=256, cols=256)
+    large = MatGeometry(rows=4096, cols=256)
+    assert large.access_time() > small.access_time()
+
+
+def test_bitline_delay_quadratic_in_rows():
+    d1 = MatGeometry(rows=1024, cols=256).bitline_delay()
+    d2 = MatGeometry(rows=2048, cols=256).bitline_delay()
+    assert d2 == pytest.approx(4 * d1)
+
+
+def test_optimal_rows_shrink_with_frequency():
+    assert optimal_mat_rows(200e6) < optimal_mat_rows(20e6)
+
+
+def test_optimal_rows_meet_budget():
+    rows = optimal_mat_rows(100e6)
+    assert MatGeometry(rows=rows, cols=256).meets_cycle(100e6)
+    assert not MatGeometry(rows=rows * 2, cols=256).meets_cycle(100e6)
+
+
+def test_bank_mat_count():
+    bank = BankOrganization(capacity_bits=2 ** 20,
+                            mat=MatGeometry(rows=1024, cols=256))
+    assert bank.mat_count == 4
+
+
+def test_bank_must_hold_a_mat():
+    with pytest.raises(ConfigurationError):
+        BankOrganization(capacity_bits=100,
+                         mat=MatGeometry(rows=1024, cols=256))
+
+
+# --- cell placement ------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def netlist():
+    return clustered_netlist()
+
+
+def test_netlist_shape(netlist):
+    assert netlist.cell_count == 256
+    assert len(netlist.nets) == 16 * 24 + 48
+
+
+def test_netlist_deterministic():
+    assert clustered_netlist() == clustered_netlist()
+
+
+def test_net_validation():
+    with pytest.raises(ConfigurationError):
+        CellNetlist(cell_count=2, nets=(CellNet(cells=(0, 5)),))
+
+
+def test_placements_legal(netlist):
+    scattered_placement(netlist).validate()
+    clustered_placement(netlist, 16).validate()
+
+
+def test_clustered_beats_scattered(netlist):
+    """Placing clusters contiguously exploits the locality in the netlist."""
+    scattered = scattered_placement(netlist)
+    clustered = clustered_placement(netlist, 16)
+    assert clustered.hpwl() < 0.5 * scattered.hpwl()
+
+
+def test_refinement_improves_scattered(netlist):
+    scattered = scattered_placement(netlist)
+    refined = refine_by_swaps(scattered, passes=3)
+    assert refined.hpwl() < scattered.hpwl()
+    refined.validate()
+
+
+def test_refinement_never_worsens(netlist):
+    start = clustered_placement(netlist, 16)
+    refined = refine_by_swaps(start, passes=1)
+    assert refined.hpwl() <= start.hpwl()
+
+
+def test_average_net_length_matches_rent_scale(netlist):
+    """The placed average net length stays within the short-local-wire
+    regime the flow's Rent estimate assumes (a few site pitches)."""
+    placed = refine_by_swaps(clustered_placement(netlist, 16), passes=2)
+    assert placed.average_net_length() < 8.0

@@ -1,0 +1,36 @@
+"""Error hierarchy and the require() guard."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FloorplanError,
+    MappingError,
+    ModelError,
+    ReproError,
+    require,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (ConfigurationError, ModelError, FloorplanError, MappingError):
+        assert issubclass(exc, ReproError)
+
+
+def test_repro_error_derives_from_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_require_passes_on_true():
+    require(True, "never raised")
+
+
+def test_require_raises_configuration_error():
+    with pytest.raises(ConfigurationError, match="bad value"):
+        require(False, "bad value")
+
+
+def test_require_message_preserved():
+    with pytest.raises(ConfigurationError) as excinfo:
+        require(1 > 2, "one is not greater than two")
+    assert "one is not greater than two" in str(excinfo.value)

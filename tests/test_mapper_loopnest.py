@@ -1,0 +1,99 @@
+"""Loop-nest representation and operand footprints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapper.loopnest import (
+    RELEVANT_DIMS,
+    LoopNest,
+    OperandKind,
+    loop_nest_of,
+)
+from repro.workloads.layers import ConvLayer, FCLayer, PoolLayer
+from repro.workloads.models import resnet18
+
+
+@pytest.fixture
+def nest():
+    return LoopNest(k=128, c=64, ox=28, oy=28, r=3, s=3)
+
+
+def test_macs(nest):
+    assert nest.macs == 128 * 64 * 28 * 28 * 9
+
+
+def test_weight_size(nest):
+    assert nest.operand_size(OperandKind.WEIGHT) == 128 * 64 * 9
+
+
+def test_output_size(nest):
+    assert nest.operand_size(OperandKind.OUTPUT) == 128 * 28 * 28
+
+
+def test_input_size_includes_halo(nest):
+    assert nest.operand_size(OperandKind.INPUT) == 64 * 30 * 30
+
+
+def test_input_size_with_stride():
+    nest = LoopNest(k=128, c=64, ox=28, oy=28, r=3, s=3, stride=2)
+    # (28-1)*2 + 3 = 57 per side
+    assert nest.operand_size(OperandKind.INPUT) == 64 * 57 * 57
+
+
+def test_tile_weight_size(nest):
+    tile = {"k": 32, "c": 16}
+    assert nest.tile_operand_size(OperandKind.WEIGHT, tile) == 32 * 16 * 9
+
+
+def test_tile_input_size(nest):
+    tile = {"c": 16, "oy": 7}
+    # rows: (7-1)*1 + 3 = 9; cols full: 30
+    assert nest.tile_operand_size(OperandKind.INPUT, tile) == 16 * 30 * 9
+
+
+def test_tile_defaults_to_full_bounds(nest):
+    assert nest.tile_operand_size(OperandKind.OUTPUT, {}) == \
+        nest.operand_size(OperandKind.OUTPUT)
+
+
+def test_loop_nest_of_conv():
+    layer = resnet18().layer("L2.0 CONV2")
+    nest = loop_nest_of(layer)
+    assert (nest.k, nest.c, nest.ox, nest.oy) == (128, 128, 28, 28)
+    assert nest.macs == layer.macs
+
+
+def test_loop_nest_of_strided_conv():
+    layer = resnet18().layer("L2.0 DS")
+    nest = loop_nest_of(layer)
+    assert nest.stride == 2
+    assert nest.r == nest.s == 1
+
+
+def test_loop_nest_of_fc():
+    nest = loop_nest_of(FCLayer("fc", in_features=512, out_features=1000))
+    assert (nest.k, nest.c, nest.ox, nest.oy, nest.r, nest.s) \
+        == (1000, 512, 1, 1, 1, 1)
+
+
+def test_loop_nest_of_pool_rejected():
+    pool = PoolLayer("p", channels=8, kernel=2, stride=2, in_size=4)
+    with pytest.raises(ConfigurationError):
+        loop_nest_of(pool)
+
+
+def test_relevance_sets():
+    assert "ox" not in RELEVANT_DIMS[OperandKind.WEIGHT]
+    assert "k" not in RELEVANT_DIMS[OperandKind.INPUT]
+    assert "c" not in RELEVANT_DIMS[OperandKind.OUTPUT]
+    assert "k" in RELEVANT_DIMS[OperandKind.OUTPUT]
+
+
+def test_dim_lookup(nest):
+    assert nest.dim("k") == 128
+    assert nest.dim("oy") == 28
+
+
+def test_invalid_nest_rejected():
+    with pytest.raises(ConfigurationError):
+        LoopNest(k=0, c=1, ox=1, oy=1, r=1, s=1)

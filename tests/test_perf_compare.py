@@ -1,0 +1,88 @@
+"""Benefit comparison — including the paper's Table I / Fig. 5 claims."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import compare_designs, simulate
+from repro.workloads import alexnet, resnet18
+
+
+def test_speedup_matches_paper_total(resnet18_benefit):
+    """Paper Table I total speedup: 5.64x (we allow +-5%)."""
+    assert resnet18_benefit.speedup == pytest.approx(5.64, rel=0.05)
+
+
+def test_energy_benefit_near_unity(resnet18_benefit):
+    """Paper: 0.99x energy — M3D spends essentially the same energy."""
+    assert 0.95 <= resnet18_benefit.energy_benefit <= 1.05
+
+
+def test_edp_benefit_matches_paper_total(resnet18_benefit):
+    """Paper Table I total EDP benefit: 5.66x (we allow +-5%)."""
+    assert resnet18_benefit.edp_benefit == pytest.approx(5.66, rel=0.05)
+
+
+@pytest.mark.parametrize("layer_name,paper_speedup,tolerance", [
+    ("L1.0 CONV1", 3.72, 0.03),
+    ("L1.1 CONV2", 3.72, 0.03),
+    ("L2.0 CONV2", 7.36, 0.03),
+    ("L2.1 CONV1", 7.36, 0.03),
+    ("L3.0 CONV2", 7.68, 0.03),
+    ("L4.0 CONV2", 7.85, 0.03),
+    ("L4.1 CONV2", 7.85, 0.03),
+    ("L2.0 CONV1", 6.00, 0.15),
+    ("L3.0 CONV1", 6.84, 0.10),
+])
+def test_per_layer_speedups_match_table1(resnet18_benefit, layer_name,
+                                         paper_speedup, tolerance):
+    """The per-layer speedups of Table I, at per-row tolerances."""
+    measured = resnet18_benefit.layer(layer_name).speedup
+    assert measured == pytest.approx(paper_speedup, rel=tolerance)
+
+
+def test_downsample_layers_benefit_least(resnet18_benefit):
+    """DS (1x1, stride-2) rows show the smallest conv speedups in Table I."""
+    ds = resnet18_benefit.layer("L2.0 DS").speedup
+    conv = resnet18_benefit.layer("L2.0 CONV2").speedup
+    assert ds < conv
+
+
+def test_stage1_limited_by_partitions(resnet18_benefit):
+    """64-channel layers use only 4 of 8 CSs -> speedup < 4."""
+    assert resnet18_benefit.layer("L1.0 CONV1").speedup < 4.0
+
+
+def test_stage4_approaches_8x(resnet18_benefit):
+    speedup = resnet18_benefit.layer("L4.1 CONV2").speedup
+    assert 7.5 < speedup < 8.0
+
+
+def test_per_layer_edp_is_product(resnet18_benefit):
+    for layer in resnet18_benefit.layers:
+        assert layer.edp_benefit == pytest.approx(
+            layer.speedup * layer.energy_benefit)
+
+
+def test_network_edp_is_product(resnet18_benefit):
+    assert resnet18_benefit.edp_benefit == pytest.approx(
+        resnet18_benefit.speedup * resnet18_benefit.energy_benefit)
+
+
+def test_mismatched_networks_rejected(pdk, baseline, m3d):
+    with pytest.raises(ConfigurationError):
+        compare_designs(
+            simulate(baseline, resnet18(), pdk),
+            simulate(m3d, alexnet(), pdk),
+        )
+
+
+def test_layer_lookup_unknown_raises(resnet18_benefit):
+    with pytest.raises(KeyError):
+        resnet18_benefit.layer("L7.3 CONV9")
+
+
+def test_self_comparison_is_unity(pdk, baseline, resnet18_network):
+    report = simulate(baseline, resnet18_network, pdk)
+    benefit = compare_designs(report, report)
+    assert benefit.speedup == pytest.approx(1.0)
+    assert benefit.edp_benefit == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Clock-tree synthesis model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physical.clock import synthesize_clock_tree
+from repro.physical.floorplan import build_floorplan
+from repro.physical.netlist import synthesize
+
+
+@pytest.fixture(scope="module")
+def trees(pdk, baseline, m3d):
+    result = []
+    for design in (baseline, m3d):
+        netlist = synthesize(design, pdk)
+        plan = build_floorplan(netlist, design, pdk)
+        result.append(synthesize_clock_tree(plan, netlist,
+                                            design.frequency_hz))
+    return tuple(result)
+
+
+def test_m3d_has_more_sinks(trees):
+    tree_2d, tree_m3d = trees
+    assert tree_m3d.sink_count > tree_2d.sink_count
+
+
+def test_levels_logarithmic(trees):
+    tree_2d, tree_m3d = trees
+    assert 1 <= tree_2d.levels <= tree_m3d.levels <= 6
+
+
+def test_wirelength_positive_and_die_scale(trees, baseline):
+    import math
+    span = math.sqrt(baseline.area.footprint)
+    for tree in trees:
+        assert tree.wirelength >= span  # at least the trunk
+        assert tree.wirelength < 100 * span
+
+
+def test_clock_power_small_at_20mhz(trees):
+    """At 20 MHz the clock network burns tens of milliwatts at most —
+    a dilution term, not a ratio-flipping one."""
+    for tree in trees:
+        assert tree.power < 50e-3
+
+
+def test_skew_within_budget(trees):
+    for tree in trees:
+        assert tree.skew_fraction_of_period() < 0.1
+
+
+def test_buffers_positive(trees):
+    for tree in trees:
+        assert tree.buffer_count > 0
+
+
+def test_power_scales_with_frequency(pdk, baseline):
+    netlist = synthesize(baseline, pdk)
+    plan = build_floorplan(netlist, baseline, pdk)
+    slow = synthesize_clock_tree(plan, netlist, 20e6)
+    fast = synthesize_clock_tree(plan, netlist, 40e6)
+    assert fast.power == pytest.approx(2 * slow.power)
+    # Skew is frequency-independent in absolute terms...
+    assert fast.skew == pytest.approx(slow.skew)
+    # ...so it consumes twice the fraction of a faster period.
+    assert fast.skew_fraction_of_period() == pytest.approx(
+        2 * slow.skew_fraction_of_period())
+
+
+def test_invalid_frequency_rejected(pdk, baseline):
+    netlist = synthesize(baseline, pdk)
+    plan = build_floorplan(netlist, baseline, pdk)
+    with pytest.raises(ConfigurationError):
+        synthesize_clock_tree(plan, netlist, 0.0)

@@ -1,0 +1,140 @@
+"""Floorplanner geometry and blockage semantics."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.physical.floorplan import Floorplan, PlacedBlock, Rect, build_floorplan
+from repro.physical.netlist import BlockKind, synthesize
+
+
+@pytest.fixture(scope="module")
+def plan_2d(pdk, baseline):
+    return build_floorplan(synthesize(baseline, pdk), baseline, pdk)
+
+
+@pytest.fixture(scope="module")
+def plan_m3d(pdk, m3d):
+    return build_floorplan(synthesize(m3d, pdk), m3d, pdk)
+
+
+# --- Rect geometry ---------------------------------------------------------------
+
+def test_rect_area():
+    assert Rect(0, 0, 2, 3).area == pytest.approx(6)
+
+
+def test_rect_center():
+    assert Rect(1, 1, 2, 2).center == (2.0, 2.0)
+
+
+def test_rect_overlap_detection():
+    a = Rect(0, 0, 2, 2)
+    assert a.overlaps(Rect(1, 1, 2, 2))
+    assert not a.overlaps(Rect(2, 0, 1, 1))  # abutting, no interior overlap
+    assert not a.overlaps(Rect(5, 5, 1, 1))
+
+
+def test_rect_containment():
+    outer = Rect(0, 0, 10, 10)
+    assert outer.contains(Rect(1, 1, 2, 2))
+    assert not outer.contains(Rect(9, 9, 2, 2))
+
+
+# --- floorplans --------------------------------------------------------------------
+
+def test_plans_validate(plan_2d, plan_m3d):
+    plan_2d.validate()
+    plan_m3d.validate()
+
+
+def test_iso_footprint(plan_2d, plan_m3d):
+    assert plan_2d.footprint == pytest.approx(plan_m3d.footprint)
+
+
+def test_2d_arrays_block_silicon(plan_2d):
+    array = plan_2d.placed("rram_bank0")
+    assert "si_cmos" in array.tiers
+    assert "rram" in array.tiers
+
+
+def test_m3d_arrays_free_silicon(plan_m3d):
+    """The paper's key mechanism: M3D array macros block only the RRAM and
+    CNFET tiers — the silicon underneath stays placeable."""
+    array = plan_m3d.placed("rram_bank0")
+    assert "si_cmos" not in array.tiers
+    assert array.tiers == frozenset({"rram", "cnfet"})
+
+
+def test_2d_silicon_fully_used(plan_2d):
+    assert plan_2d.tier_utilization("si_cmos") == pytest.approx(1.0, abs=0.01)
+
+
+def test_m3d_silicon_has_slack(plan_m3d):
+    util = plan_m3d.tier_utilization("si_cmos")
+    assert 0.85 < util < 1.0
+
+
+def test_m3d_free_si_positive(plan_m3d):
+    assert plan_m3d.free_si_area() > 0
+
+
+def test_m3d_cs_sits_under_arrays(plan_m3d):
+    """At least one CS block must overlap the array band in (x, y) — the
+    'compute under memory' geometry of Fig. 2d."""
+    arrays = [p.rect for p in plan_m3d.placements
+              if p.kind == BlockKind.RRAM_MACRO]
+    cs_rects = [p.rect for p in plan_m3d.placements
+                if p.name.startswith("cs") and not p.name.endswith("_buf")]
+    assert any(cs.overlaps(a) for cs in cs_rects for a in arrays)
+
+
+def test_2d_cs_not_under_arrays(plan_2d):
+    """In 2D the CS must sit beside the arrays (full blockage)."""
+    arrays = [p.rect for p in plan_2d.placements
+              if p.kind == BlockKind.RRAM_MACRO]
+    cs = plan_2d.placed("cs0").rect
+    assert not any(cs.overlaps(a) for a in arrays)
+
+
+def test_all_blocks_inside_die(plan_m3d):
+    for block in plan_m3d.placements:
+        assert plan_m3d.die.contains(block.rect)
+
+
+def test_peripherals_in_silicon(plan_m3d):
+    perif = plan_m3d.placed("perif0")
+    assert perif.tiers == frozenset({"si_cmos"})
+
+
+def test_overlap_validation_catches_violation(plan_2d):
+    bad = Floorplan(
+        name="bad", die=plan_2d.die,
+        placements=plan_2d.placements + (PlacedBlock(
+            name="intruder", rect=plan_2d.placed("cs0").rect,
+            tiers=frozenset({"si_cmos"}), kind=BlockKind.LOGIC),),
+    )
+    with pytest.raises(FloorplanError, match="overlaps"):
+        bad.validate()
+
+
+def test_out_of_die_validation(plan_2d):
+    bad = Floorplan(
+        name="bad", die=plan_2d.die,
+        placements=(PlacedBlock(
+            name="escapee",
+            rect=Rect(plan_2d.die.width, 0, 1e-3, 1e-3),
+            tiers=frozenset({"si_cmos"}), kind=BlockKind.LOGIC),),
+    )
+    with pytest.raises(FloorplanError, match="beyond the die"):
+        bad.validate()
+
+
+def test_unknown_placement_raises(plan_2d):
+    with pytest.raises(KeyError):
+        plan_2d.placed("ghost")
+
+
+def test_rram_tier_utilization_matches_cell_area(plan_m3d, m3d):
+    util = plan_m3d.tier_utilization("rram")
+    expected = m3d.area.cells / m3d.area.footprint
+    assert util == pytest.approx(expected, rel=0.01)

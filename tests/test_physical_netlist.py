@@ -1,0 +1,97 @@
+"""Block-level synthesis model."""
+
+import pytest
+
+from repro.physical.netlist import BlockKind, Net, Netlist, synthesize
+
+
+@pytest.fixture(scope="module")
+def net_2d(pdk, baseline):
+    return synthesize(baseline, pdk)
+
+
+@pytest.fixture(scope="module")
+def net_m3d(pdk, m3d):
+    return synthesize(m3d, pdk)
+
+
+def test_2d_has_one_cs(net_2d):
+    cs = [b for b in net_2d.blocks_of_kind(BlockKind.LOGIC)
+          if b.name.startswith("cs")]
+    assert len(cs) == 1
+
+
+def test_m3d_has_eight_cs(net_m3d):
+    cs = [b for b in net_m3d.blocks_of_kind(BlockKind.LOGIC)
+          if b.name.startswith("cs")]
+    assert len(cs) == 8
+
+
+def test_rram_macros_match_banks(net_2d, net_m3d, baseline, m3d):
+    assert len(net_2d.blocks_of_kind(BlockKind.RRAM_MACRO)) \
+        == baseline.bank_plan.banks == 1
+    assert len(net_m3d.blocks_of_kind(BlockKind.RRAM_MACRO)) \
+        == m3d.bank_plan.banks == 8
+
+
+def test_each_cs_has_buffer_macro(net_m3d):
+    for index in range(8):
+        block = net_m3d.block(f"cs{index}_buf")
+        assert block.kind == BlockKind.SRAM_MACRO
+        assert block.bits > 0
+
+
+def test_rram_macros_on_rram_tier(net_m3d):
+    for block in net_m3d.blocks_of_kind(BlockKind.RRAM_MACRO):
+        assert block.tier == "rram"
+
+
+def test_total_rram_bits_preserved(net_m3d, m3d):
+    bits = sum(b.bits for b in net_m3d.blocks_of_kind(BlockKind.RRAM_MACRO))
+    assert bits == pytest.approx(m3d.rram_capacity_bits, rel=0.01)
+
+
+def test_bus_io_present(net_2d):
+    assert net_2d.block("bus_io").kind == BlockKind.IO
+
+
+def test_weight_channel_nets_reach_cs(net_m3d):
+    weight_nets = [n for n in net_m3d.nets if n.name.startswith("n_weights")]
+    assert len(weight_nets) == 8
+    sinks = {n.sinks[0] for n in weight_nets}
+    assert sinks == {f"cs{i}" for i in range(8)}
+
+
+def test_writeback_net_broadcasts(net_m3d, m3d):
+    net = next(n for n in net_m3d.nets if n.name == "n_writeback")
+    assert net.width_bits == m3d.writeback_bus_bits
+    assert len(net.sinks) == 1 + 8  # bus_io plus every CS buffer
+
+
+def test_si_area_matches_design(net_2d, baseline):
+    expected = (baseline.area.compute + baseline.area.peripherals
+                + baseline.area.bus_io)
+    assert net_2d.total_si_area == pytest.approx(expected, rel=0.01)
+
+
+def test_blocks_on_tier_filter(net_m3d):
+    si_names = {b.name for b in net_m3d.blocks_on_tier("si_cmos")}
+    assert "cs0" in si_names
+    assert "rram_bank0" not in si_names
+
+
+def test_unknown_block_raises(net_2d):
+    with pytest.raises(KeyError):
+        net_2d.block("missing")
+
+
+def test_net_validation_rejects_unknown_driver(net_2d):
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        Netlist(name="bad", blocks=dict(net_2d.blocks),
+                nets=(Net(name="n", driver="ghost", sinks=("cs0",),
+                          width_bits=8),))
+
+
+def test_gate_count_totals_positive(net_m3d):
+    assert net_m3d.total_gate_count > 1e6  # peripherals alone are 1.69M

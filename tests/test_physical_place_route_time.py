@@ -1,0 +1,143 @@
+"""Placement refinement, routing estimation, and static timing."""
+
+import pytest
+
+from repro.physical.floorplan import Floorplan, build_floorplan
+from repro.physical.netlist import synthesize
+from repro.physical.placement import (
+    legalize_floorplan,
+    placement_quality,
+    total_hpwl,
+)
+from repro.physical.routing import intra_block_wirelength, route
+from repro.physical.timing import analyze_timing, buffered_wire_delay
+
+
+@pytest.fixture(scope="module")
+def m3d_pair(pdk, m3d):
+    netlist = synthesize(m3d, pdk)
+    plan = build_floorplan(netlist, m3d, pdk)
+    return netlist, plan
+
+
+@pytest.fixture(scope="module")
+def legalized(m3d_pair):
+    netlist, plan = m3d_pair
+    return legalize_floorplan(plan, netlist)
+
+
+def test_legalization_keeps_plan_valid(legalized):
+    legalized.validate()
+
+
+def test_legalization_does_not_increase_hpwl(m3d_pair, legalized):
+    netlist, plan = m3d_pair
+    assert total_hpwl(legalized, netlist) <= total_hpwl(plan, netlist) + 1e-12
+
+
+def test_legalization_fixes_scrambled_placement(m3d_pair):
+    """Sorting CS slots under their banks shortens the weight channels:
+    scramble the slot order, legalize, and the wirelength must recover."""
+    from dataclasses import replace
+    netlist, plan = m3d_pair
+    # Swap the x extents of the cs0 and cs7 slots (including buffers).
+    swaps = {"cs0": "cs7", "cs7": "cs0", "cs0_buf": "cs7_buf",
+             "cs7_buf": "cs0_buf"}
+    rects = {b.name: b.rect for b in plan.placements}
+    scrambled = Floorplan(
+        name=plan.name, die=plan.die, is_m3d=plan.is_m3d,
+        placements=tuple(
+            replace(b, rect=replace(rects[swaps[b.name]],
+                                    width=b.rect.width))
+            if b.name in swaps else b
+            for b in plan.placements))
+    # The swap may transiently overlap; legalization re-packs from scratch.
+    healed = legalize_floorplan(scrambled, netlist)
+    healed.validate()
+    assert total_hpwl(healed, netlist) < total_hpwl(scrambled, netlist)
+
+
+def test_placement_quality_metrics(m3d_pair):
+    netlist, plan = m3d_pair
+    quality = placement_quality(plan, netlist)
+    assert quality["hpwl_metre_bits"] > 0
+    assert 0 < quality["si_utilization"] <= 1.0
+    assert quality["free_si_area"] >= 0
+
+
+def test_routing_result_fields(m3d_pair):
+    netlist, plan = m3d_pair
+    result = route(plan, netlist)
+    assert result.inter_block_wirelength > 0
+    assert result.intra_block_wirelength > 0
+    assert result.buffer_count > 0
+    assert result.wire_capacitance > 0
+
+
+def test_m3d_routing_uses_ilvs(m3d_pair):
+    netlist, plan = m3d_pair
+    result = route(plan, netlist)
+    assert result.ilv_count > 0  # bank -> peripheral nets cross tiers
+
+
+def test_2d_routing_also_crosses_to_rram(pdk, baseline):
+    """2D bank->peripheral connections also count as tier crossings: the
+    RRAM devices are BEOL in both designs."""
+    netlist = synthesize(baseline, pdk)
+    plan = build_floorplan(netlist, baseline, pdk)
+    assert route(plan, netlist).ilv_count > 0
+
+
+def test_intra_block_wirelength_grows_with_gates():
+    small = intra_block_wirelength(1e4, 1e-6)
+    large = intra_block_wirelength(1e6, 1e-4)
+    assert large > small
+
+
+def test_intra_block_wirelength_zero_for_single_gate():
+    assert intra_block_wirelength(1, 1e-9) == 0.0
+
+
+def test_buffered_wire_delay_monotone():
+    assert buffered_wire_delay(10e-3) > buffered_wire_delay(1e-3)
+
+
+def test_buffered_wire_delay_zero_length():
+    assert buffered_wire_delay(0.0) == 0.0
+
+
+def test_repeated_wire_beats_unrepeated_scaling():
+    """Repeatered delay grows ~linearly, not quadratically."""
+    d1 = buffered_wire_delay(5e-3)
+    d2 = buffered_wire_delay(10e-3)
+    assert d2 < 2.5 * d1
+
+
+def test_timing_closes_at_20mhz(m3d_pair, pdk, m3d):
+    netlist, plan = m3d_pair
+    timing = analyze_timing(plan, netlist, pdk, m3d.frequency_hz)
+    assert timing.meets_target
+    assert timing.slack > 0
+
+
+def test_achieved_frequency_inverse_of_path(m3d_pair, pdk, m3d):
+    netlist, plan = m3d_pair
+    timing = analyze_timing(plan, netlist, pdk, m3d.frequency_hz)
+    assert timing.achieved_frequency == pytest.approx(
+        1.0 / timing.critical_path)
+
+
+def test_critical_path_components(m3d_pair, pdk, m3d):
+    netlist, plan = m3d_pair
+    timing = analyze_timing(plan, netlist, pdk, m3d.frequency_hz)
+    assert timing.critical_path == pytest.approx(
+        timing.logic_delay + timing.wire_delay)
+    assert timing.logic_delay > 0
+    assert timing.wire_delay > 0
+
+
+def test_impossible_target_fails(m3d_pair, pdk):
+    netlist, plan = m3d_pair
+    timing = analyze_timing(plan, netlist, pdk, target_frequency=10e9)
+    assert not timing.meets_target
+    assert timing.slack < 0

@@ -1,0 +1,110 @@
+"""Property-based tests on the analytical framework (Eqs. 1-8)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import (
+    DesignPoint,
+    Workload,
+    edp_benefit,
+    energy,
+    execution_time,
+    speedup,
+    used_partitions,
+)
+
+workloads = st.builds(
+    Workload,
+    compute_ops=st.floats(min_value=1.0, max_value=1e12),
+    data_bits=st.floats(min_value=1.0, max_value=1e12),
+    max_partitions=st.one_of(
+        st.just(math.inf), st.integers(min_value=1, max_value=64)),
+)
+
+design_points = st.builds(
+    DesignPoint,
+    n_cs=st.integers(min_value=1, max_value=64),
+    peak_ops_per_cycle=st.floats(min_value=1.0, max_value=1e5),
+    bandwidth_bits_per_cycle=st.floats(min_value=1.0, max_value=1e6),
+    memory_energy_per_bit=st.floats(min_value=1e-18, max_value=1e-9),
+    compute_energy_per_op=st.floats(min_value=1e-18, max_value=1e-9),
+    cs_idle_energy_per_cycle=st.floats(min_value=0.0, max_value=1e-9),
+    memory_idle_energy_per_cycle=st.floats(min_value=0.0, max_value=1e-9),
+)
+
+
+@given(workloads, design_points)
+def test_execution_time_positive(workload, design):
+    assert execution_time(workload, design) > 0
+
+
+@given(workloads, design_points)
+def test_execution_time_at_least_each_bound(workload, design):
+    t = execution_time(workload, design)
+    n_max = used_partitions(workload, design)
+    assert t >= workload.compute_ops / (n_max * design.peak_ops_per_cycle) \
+        * (1 - 1e-12)
+    assert t >= workload.data_bits * design.n_cs \
+        / design.bandwidth_bits_per_cycle * (1 - 1e-12)
+
+
+@given(workloads, design_points, st.floats(min_value=1.01, max_value=100.0))
+def test_more_bandwidth_never_slower(workload, design, factor):
+    faster = design.with_bandwidth(design.bandwidth_bits_per_cycle * factor)
+    assert execution_time(workload, faster) \
+        <= execution_time(workload, design) * (1 + 1e-9)
+
+
+@given(workloads, design_points, st.floats(min_value=1.0, max_value=1000.0))
+def test_time_scales_with_workload(workload, design, scale):
+    """Scaling F0 and D0 together scales T (roofline homogeneity)."""
+    scaled = Workload(compute_ops=workload.compute_ops * scale,
+                      data_bits=workload.data_bits * scale,
+                      max_partitions=workload.max_partitions)
+    t1 = execution_time(workload, design)
+    t2 = execution_time(scaled, design)
+    assert t2 >= t1 * (1 - 1e-9)
+    assert abs(t2 - scale * t1) <= 1e-6 * t2
+
+
+@given(workloads, design_points)
+def test_energy_at_least_pure_work(workload, design):
+    floor = (design.memory_energy_per_bit * workload.data_bits
+             + design.compute_energy_per_op * workload.compute_ops)
+    assert energy(workload, design) >= floor * (1 - 1e-12)
+
+
+@given(workloads, design_points)
+def test_self_benefit_is_unity(workload, design):
+    assert abs(speedup(workload, design, design) - 1.0) < 1e-9
+    assert abs(edp_benefit(workload, design, design) - 1.0) < 1e-9
+
+
+@given(workloads, design_points)
+def test_used_partitions_bounds(workload, design):
+    n_max = used_partitions(workload, design)
+    assert 1 <= n_max <= design.n_cs
+    assert n_max <= workload.max_partitions
+
+
+@given(workloads, design_points)
+@settings(max_examples=50)
+def test_edp_benefit_is_speedup_times_energy_benefit(workload, design):
+    other = design.with_n_cs(design.n_cs * 2).with_bandwidth(
+        design.bandwidth_bits_per_cycle * 2)
+    e_ratio = energy(workload, design) / energy(workload, other)
+    expected = speedup(workload, design, other) * e_ratio
+    assert abs(edp_benefit(workload, design, other) - expected) \
+        <= 1e-9 * abs(expected)
+
+
+@given(design_points, st.floats(min_value=0.1, max_value=1000.0))
+def test_compute_bound_speedup_never_exceeds_partitions(design, intensity):
+    workload = Workload(compute_ops=intensity * 1e6, data_bits=1e6,
+                        max_partitions=8)
+    parallel = design.with_n_cs(64).with_bandwidth(
+        design.bandwidth_bits_per_cycle * 64)
+    assert speedup(workload, design.with_n_cs(1), parallel) <= 8.0 * (
+        design.n_cs and 1 + 1e-9)

@@ -1,0 +1,85 @@
+"""Property-based tests on the mapper cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.table2 import table_ii_architectures
+from repro.mapper.cost import CostModel, LoopOrder, Tiling
+from repro.mapper.loopnest import LoopNest, OperandKind
+
+_ARCHS = table_ii_architectures()
+_MODELS = {arch.index: CostModel(arch) for arch in _ARCHS}
+
+nests = st.builds(
+    LoopNest,
+    k=st.integers(min_value=1, max_value=512),
+    c=st.integers(min_value=1, max_value=512),
+    ox=st.integers(min_value=1, max_value=56),
+    oy=st.integers(min_value=1, max_value=56),
+    r=st.sampled_from([1, 3, 5]),
+    s=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+)
+
+
+def _tiling(nest: LoopNest, order: LoopOrder) -> Tiling:
+    return Tiling(order=order, tk=min(32, nest.k), tc=min(32, nest.c),
+                  toy=min(8, nest.oy))
+
+
+@given(nests, st.sampled_from([1, 2, 3, 4, 5, 6]))
+@settings(max_examples=80)
+def test_utilization_in_unit_interval(nest, arch_index):
+    util = _MODELS[arch_index].utilization(nest)
+    assert 0.0 < util <= 1.0
+
+
+@given(nests, st.sampled_from([1, 2, 3, 4, 5, 6]),
+       st.sampled_from(list(LoopOrder)))
+@settings(max_examples=80)
+def test_traffic_at_least_operand_sizes(nest, arch_index, order):
+    """Every operand must cross its home boundary at least once."""
+    model = _MODELS[arch_index]
+    traffic = model.boundary_traffic(nest, _tiling(nest, order))
+    assert traffic["rram_weight_reads"] >= nest.operand_size(
+        OperandKind.WEIGHT)
+    assert traffic["global_input_reads"] >= nest.operand_size(
+        OperandKind.INPUT) * (1 - 1e-12) or nest.stride > 1
+    assert traffic["global_output_writes"] >= nest.operand_size(
+        OperandKind.OUTPUT)
+
+
+@given(nests, st.sampled_from([1, 2, 3, 4, 5, 6]))
+@settings(max_examples=60)
+def test_output_outer_never_spills_outputs(nest, arch_index):
+    model = _MODELS[arch_index]
+    traffic = model.boundary_traffic(
+        nest, _tiling(nest, LoopOrder.OUTPUT_OUTER))
+    assert traffic["global_output_reads"] == 0
+    assert traffic["global_output_writes"] == nest.operand_size(
+        OperandKind.OUTPUT)
+
+
+@given(nests, st.sampled_from([1, 2, 3, 4, 5, 6]),
+       st.sampled_from(list(LoopOrder)))
+@settings(max_examples=60)
+def test_evaluate_cost_positive_and_compute_bounded(nest, arch_index, order):
+    model = _MODELS[arch_index]
+    cost = model.evaluate(nest, _tiling(nest, order),
+                          rram_channel_bits=256)
+    assert cost.dynamic_energy > 0
+    assert cost.cycles * 1024 * cost.utilization >= nest.macs * (1 - 1e-9)
+
+
+@given(nests)
+@settings(max_examples=60)
+def test_bigger_toy_never_increases_weight_traffic(nest):
+    """Output-outer weight re-reads shrink as the row tile grows."""
+    model = _MODELS[1]
+    small = Tiling(LoopOrder.OUTPUT_OUTER, tk=min(16, nest.k),
+                   tc=min(16, nest.c), toy=1)
+    large = Tiling(LoopOrder.OUTPUT_OUTER, tk=min(16, nest.k),
+                   tc=min(16, nest.c), toy=nest.oy)
+    t_small = model.boundary_traffic(nest, small)["rram_weight_reads"]
+    t_large = model.boundary_traffic(nest, large)["rram_weight_reads"]
+    assert t_large <= t_small

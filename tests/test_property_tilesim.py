@@ -1,0 +1,77 @@
+"""Property-based cross-validation: event simulator vs closed form."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import m3d_design
+from repro.perf.simulator import AcceleratorSimulator
+from repro.perf.tilesim import TileLevelSimulator
+from repro.tech import foundry_m3d_pdk
+from repro.workloads.layers import ConvLayer, FCLayer
+
+_PDK = foundry_m3d_pdk()
+_DESIGNS = {n: m3d_design(_PDK, n_cs=n) for n in (1, 2, 4, 8)}
+_CLOSED = {n: AcceleratorSimulator(d, _PDK) for n, d in _DESIGNS.items()}
+_EVENT = {n: TileLevelSimulator(d, _PDK) for n, d in _DESIGNS.items()}
+
+conv_layers = st.builds(
+    ConvLayer,
+    name=st.just("c"),
+    in_channels=st.integers(min_value=1, max_value=256),
+    out_channels=st.integers(min_value=1, max_value=256),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+    in_size=st.integers(min_value=8, max_value=64),
+    padding=st.integers(min_value=0, max_value=2),
+)
+
+fc_layers = st.builds(
+    FCLayer,
+    name=st.just("fc"),
+    in_features=st.integers(min_value=1, max_value=4096),
+    out_features=st.integers(min_value=1, max_value=4096),
+)
+
+layers = st.one_of(conv_layers, fc_layers)
+
+
+def _exposed_load_allowance(layer, n_cs) -> float:
+    """The event model exposes each tile's first slab load (the closed
+    form double-buffers every load); allow tiles x load cycles."""
+    design = _DESIGNS[n_cs]
+    array = design.cs.array
+    load = array.weight_bits_per_slab() / (
+        design.total_weight_bandwidth / design.n_cs)
+    return array.k_tiles(layer) * load
+
+
+@given(layers, st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=120)
+def test_event_never_exceeds_additive_bound(layer, n_cs):
+    """The closed form (compute + full serial writeback) bounds the event
+    simulation, up to the per-tile initial weight load it exposes."""
+    closed = _CLOSED[n_cs].run_layer(layer).cycles
+    event = _EVENT[n_cs].run_layer(layer).cycles
+    assert event <= closed + _exposed_load_allowance(layer, n_cs) + 1e-9
+
+
+@given(layers, st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=120)
+def test_event_at_least_compute_and_bus(layer, n_cs):
+    """The event simulation can hide writeback under compute but can never
+    beat the per-CS compute time or the raw bus occupancy."""
+    closed = _CLOSED[n_cs].run_layer(layer)
+    event = _EVENT[n_cs].run_layer(layer)
+    assert event.cycles >= closed.compute_cycles * (1 - 1e-9)
+    assert event.cycles >= event.bus_busy_cycles * (1 - 1e-9)
+
+
+@given(conv_layers)
+@settings(max_examples=60)
+def test_single_cs_models_agree_exactly(layer):
+    """With one CS there is no overlap to exploit: the models coincide up
+    to the exposed per-tile loads and one tile of drain accounting."""
+    closed = _CLOSED[1].run_layer(layer).cycles
+    event = _EVENT[1].run_layer(layer).cycles
+    slack = _exposed_load_allowance(layer, 1) + 64
+    assert abs(event - closed) <= 0.02 * closed + slack

@@ -1,0 +1,134 @@
+"""Parameter sensitivity and roofline analyses."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.framework import Workload
+from repro.core.roofline import roofline
+from repro.core.sensitivity import (
+    PARAMETERS,
+    elasticity,
+    sensitivity_profile,
+)
+from repro.core.params import design_point
+from repro.workloads.models import alexnet, resnet18
+from repro.workloads.transformer import tiny_encoder
+
+
+@pytest.fixture(scope="module")
+def points(pdk, baseline, m3d):
+    return design_point(baseline, pdk), design_point(m3d, pdk)
+
+
+@pytest.fixture(scope="module")
+def compute_bound():
+    return Workload(compute_ops=16e9, data_bits=1e9)
+
+
+@pytest.fixture(scope="module")
+def memory_bound():
+    return Workload(compute_ops=1e9, data_bits=16e9)
+
+
+# --- sensitivity -----------------------------------------------------------------
+
+def test_compute_bound_sensitive_to_peak(points, compute_bound):
+    base, m3d = points
+    result = elasticity(compute_bound, base, m3d, "peak_ops_per_cycle")
+    assert result.value > 0.5  # more M3D compute -> more benefit
+
+
+def test_compute_bound_insensitive_to_bandwidth(points, compute_bound):
+    base, m3d = points
+    result = elasticity(compute_bound, base, m3d,
+                        "bandwidth_bits_per_cycle")
+    assert abs(result.value) < 0.05
+
+
+def test_memory_bound_sensitive_to_bandwidth(points, memory_bound):
+    base, m3d = points
+    result = elasticity(memory_bound, base, m3d,
+                        "bandwidth_bits_per_cycle")
+    assert result.value > 0.5
+
+
+def test_energy_constants_cancel_when_shared(points, compute_bound):
+    """Perturbing alpha or E_C on BOTH sides barely moves the ratio —
+    the calibration-robustness claim of EXPERIMENTS.md."""
+    base, m3d = points
+    for parameter in ("memory_energy_per_bit", "compute_energy_per_op"):
+        result = elasticity(compute_bound, base, m3d, parameter,
+                            applied_to="both")
+        assert abs(result.value) < 0.1, parameter
+
+
+def test_profile_sorted_by_magnitude(points, compute_bound):
+    base, m3d = points
+    profile = sensitivity_profile(compute_bound, base, m3d)
+    magnitudes = [abs(e.value) for e in profile]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+    assert {e.parameter for e in profile} == set(PARAMETERS)
+
+
+def test_unknown_parameter_rejected(points, compute_bound):
+    base, m3d = points
+    with pytest.raises(ConfigurationError):
+        elasticity(compute_bound, base, m3d, "n_cs")
+
+
+# --- roofline ---------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def resnet_roofline(pdk, baseline):
+    return roofline(baseline, resnet18(), pdk)
+
+
+def test_points_under_ceiling(resnet_roofline):
+    for point in resnet_roofline.points:
+        assert point.achieved <= resnet_roofline.ceiling(point.intensity) \
+            * (1 + 1e-9)
+
+
+def test_resnet_convs_compute_bound(resnet_roofline):
+    """3x3 convs reuse weights heavily -> right of the ridge."""
+    by_name = {p.layer: p for p in resnet_roofline.points}
+    assert by_name["L2.0 CONV2"].bound == "compute"
+    assert by_name["L4.1 CONV2"].bound == "compute"
+
+
+def test_encoder_layers_memory_bound(pdk, baseline):
+    """Batch-1 FC chains sit left of the ridge (Obs. 5's regime)."""
+    model = roofline(baseline, tiny_encoder(), pdk)
+    assert len(model.memory_bound_layers()) == len(model.points)
+
+
+def test_batching_moves_encoder_right(pdk, baseline):
+    one = roofline(baseline, tiny_encoder(), pdk, batch=1)
+    many = roofline(baseline, tiny_encoder(), pdk, batch=256)
+    point_one = one.points[0]
+    point_many = many.points[0]
+    assert point_many.intensity > point_one.intensity
+    assert point_many.achieved > point_one.achieved
+
+
+def test_ridge_consistency(resnet_roofline):
+    ridge = resnet_roofline.ridge_intensity
+    assert resnet_roofline.ceiling(ridge) == pytest.approx(
+        resnet_roofline.peak_ops_per_cycle)
+    assert resnet_roofline.ceiling(ridge / 2) == pytest.approx(
+        resnet_roofline.peak_ops_per_cycle / 2)
+
+
+def test_m3d_raises_both_ceilings(pdk, baseline, m3d):
+    two_d = roofline(baseline, resnet18(), pdk)
+    three_d = roofline(m3d, resnet18(), pdk)
+    assert three_d.peak_ops_per_cycle == 8 * two_d.peak_ops_per_cycle
+    assert three_d.bandwidth_bytes_per_cycle \
+        == 8 * two_d.bandwidth_bytes_per_cycle
+    # Same banking ratio -> same ridge: the M3D chip is a scaled-up 2D chip.
+    assert three_d.ridge_intensity == pytest.approx(two_d.ridge_intensity)
+
+
+def test_pool_layers_excluded(resnet_roofline):
+    names = [p.layer for p in resnet_roofline.points]
+    assert "POOL" not in names

@@ -1,0 +1,88 @@
+"""FET models: Si CMOS and BEOL CNFETs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.devices import (
+    FETKind,
+    access_fet_width_relaxation,
+    beol_cnfet,
+    silicon_nmos,
+    silicon_pmos,
+)
+from repro.tech.node import NODE_130NM
+
+
+def test_nmos_defaults_to_min_width():
+    fet = silicon_nmos(NODE_130NM)
+    assert fet.width == pytest.approx(2 * NODE_130NM.feature_size)
+    assert fet.kind == FETKind.SILICON_NMOS
+
+
+def test_nmos_is_not_beol_compatible():
+    assert not silicon_nmos(NODE_130NM).beol_compatible
+
+
+def test_cnfet_is_beol_compatible():
+    assert beol_cnfet(NODE_130NM).beol_compatible
+
+
+def test_pmos_weaker_than_nmos():
+    nmos = silicon_nmos(NODE_130NM)
+    pmos = silicon_pmos(NODE_130NM)
+    assert pmos.drive_current_per_width < nmos.drive_current_per_width
+
+
+def test_cnfet_drive_derated():
+    nmos = silicon_nmos(NODE_130NM)
+    cnfet = beol_cnfet(NODE_130NM, relative_drive=0.7)
+    assert cnfet.drive_current_per_width == pytest.approx(
+        0.7 * nmos.drive_current_per_width)
+
+
+def test_on_current_scales_with_width():
+    fet = silicon_nmos(NODE_130NM)
+    wide = fet.widened(3.0)
+    assert wide.on_current == pytest.approx(3.0 * fet.on_current)
+
+
+def test_widened_preserves_kind():
+    assert beol_cnfet(NODE_130NM).widened(2.0).kind == FETKind.CNFET
+
+
+def test_widened_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        silicon_nmos(NODE_130NM).widened(0.0)
+
+
+def test_width_for_current_inverts_on_current():
+    fet = silicon_nmos(NODE_130NM)
+    width = fet.width_for_current(fet.on_current)
+    assert width == pytest.approx(fet.width)
+
+
+def test_width_for_current_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        silicon_nmos(NODE_130NM).width_for_current(0.0)
+
+
+def test_access_fet_width_relaxation_matches_drive_ratio():
+    reference = silicon_nmos(NODE_130NM)
+    candidate = beol_cnfet(NODE_130NM, relative_drive=0.5)
+    assert access_fet_width_relaxation(reference, candidate) == pytest.approx(2.0)
+
+
+def test_relaxation_is_one_for_equal_devices():
+    reference = silicon_nmos(NODE_130NM)
+    assert access_fet_width_relaxation(reference, reference) == pytest.approx(1.0)
+
+
+def test_cnfet_leakage_lower_than_si():
+    nmos = silicon_nmos(NODE_130NM)
+    cnfet = beol_cnfet(NODE_130NM)
+    assert cnfet.leakage_current_per_width < nmos.leakage_current_per_width
+
+
+def test_custom_width_respected():
+    fet = silicon_nmos(NODE_130NM, width=1e-6)
+    assert fet.width == pytest.approx(1e-6)

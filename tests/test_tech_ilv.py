@@ -1,0 +1,48 @@
+"""Inter-layer via model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.ilv import ILVModel, default_ilv
+
+
+def test_default_pitch_positive():
+    assert default_ilv().pitch > 0
+
+
+def test_scaled_pitch():
+    ilv = default_ilv()
+    assert ilv.scaled(1.3).pitch == pytest.approx(1.3 * ilv.pitch)
+
+
+def test_scaled_preserves_rc():
+    ilv = default_ilv()
+    scaled = ilv.scaled(2.0)
+    assert scaled.resistance == ilv.resistance
+    assert scaled.capacitance == ilv.capacitance
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        default_ilv().scaled(0.0)
+
+
+def test_density_inverse_square_of_pitch():
+    ilv = default_ilv()
+    assert ilv.scaled(2.0).density_per_m2 == pytest.approx(
+        ilv.density_per_m2 / 4.0)
+
+
+def test_rc_delay_product():
+    ilv = ILVModel(pitch=1e-7, resistance=10.0, capacitance=1e-16)
+    assert ilv.rc_delay() == pytest.approx(1e-15)
+
+
+def test_rc_delay_negligible_vs_gate_delay():
+    from repro.tech import constants
+    assert default_ilv().rc_delay() < constants.GATE_DELAY_130NM / 1000
+
+
+def test_invalid_pitch_rejected():
+    with pytest.raises(ConfigurationError):
+        ILVModel(pitch=-1.0)

@@ -1,0 +1,72 @@
+"""Alternative BEOL memory technology presets."""
+
+import pytest
+
+from repro.tech.memories import (
+    FEFET,
+    MEMORY_TECHNOLOGIES,
+    PCM,
+    RRAM,
+    SRAM_6T,
+    STT_MRAM,
+    beol_technologies,
+    memory_technology,
+)
+from repro.tech.node import NODE_130NM
+
+
+def test_presets_registered():
+    assert set(MEMORY_TECHNOLOGIES) == {
+        "rram", "stt_mram", "fefet", "pcm", "sram_6t"}
+
+
+def test_lookup_by_name():
+    assert memory_technology("fefet") is FEFET
+
+
+def test_unknown_lookup_raises():
+    with pytest.raises(KeyError):
+        memory_technology("dram")
+
+
+def test_sram_is_not_beol_compatible():
+    assert not SRAM_6T.beol_compatible
+    assert SRAM_6T not in beol_technologies()
+
+
+def test_all_beol_presets_are_nonvolatile():
+    for tech in beol_technologies():
+        assert tech.nonvolatile
+
+
+def test_rram_preset_matches_pdk_constants(pdk):
+    cell = RRAM.cell(NODE_130NM)
+    assert cell.area(None) == pytest.approx(pdk.rram_cell.area(None))
+    assert cell.read_energy_per_bit == pdk.rram_cell.read_energy_per_bit
+
+
+def test_density_ordering():
+    assert PCM.bitcell_area_f2 < FEFET.bitcell_area_f2 \
+        < RRAM.bitcell_area_f2 < STT_MRAM.bitcell_area_f2 \
+        < SRAM_6T.bitcell_area_f2
+
+
+def test_sram_about_4x_rram():
+    assert SRAM_6T.density_ratio_vs(RRAM) == pytest.approx(4.0)
+
+
+def test_cell_instantiation_carries_energies():
+    cell = STT_MRAM.cell(NODE_130NM)
+    assert cell.read_energy_per_bit == STT_MRAM.read_energy_per_bit
+    assert cell.write_energy_per_bit == STT_MRAM.write_energy_per_bit
+
+
+def test_writes_cost_more_than_reads():
+    for tech in MEMORY_TECHNOLOGIES.values():
+        assert tech.write_energy_per_bit >= tech.read_energy_per_bit
+
+
+def test_pdk_with_memory_cell(pdk):
+    swapped = pdk.with_memory_cell(FEFET.cell(pdk.node))
+    assert swapped.rram_bitcell_area < pdk.rram_bitcell_area
+    assert pdk.rram_bitcell_area == RRAM.cell(pdk.node).area(None)

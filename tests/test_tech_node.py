@@ -1,0 +1,77 @@
+"""Technology node model and scaling helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.node import (
+    NODE_40NM,
+    NODE_130NM,
+    TechnologyNode,
+    scale_area,
+    scale_delay,
+    scale_energy,
+)
+from repro.units import NM, UM2
+
+
+def test_130nm_feature_size():
+    assert NODE_130NM.feature_size == pytest.approx(130 * NM)
+
+
+def test_f2_is_feature_size_squared():
+    assert NODE_130NM.f2 == pytest.approx((130 * NM) ** 2)
+
+
+def test_area_from_f2():
+    assert NODE_130NM.area_from_f2(36.0) == pytest.approx(36.0 * NODE_130NM.f2)
+
+
+def test_area_from_f2_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        NODE_130NM.area_from_f2(-1.0)
+
+
+def test_40nm_node_is_smaller_and_faster():
+    assert NODE_40NM.feature_size < NODE_130NM.feature_size
+    assert NODE_40NM.gate_delay < NODE_130NM.gate_delay
+    assert NODE_40NM.gate_area < NODE_130NM.gate_area
+
+
+def test_scale_area_is_quadratic():
+    scaled = scale_area(100 * UM2, NODE_130NM, NODE_40NM)
+    assert scaled == pytest.approx(100 * UM2 * (40 / 130) ** 2)
+
+
+def test_scale_area_identity():
+    assert scale_area(5.0, NODE_130NM, NODE_130NM) == pytest.approx(5.0)
+
+
+def test_scale_delay_is_linear():
+    assert scale_delay(1e-9, NODE_130NM, NODE_40NM) == pytest.approx(
+        1e-9 * 40 / 130)
+
+
+def test_scale_energy_accounts_for_voltage():
+    scaled = scale_energy(1e-12, NODE_130NM, NODE_40NM)
+    expected = 1e-12 * (40 / 130) * (0.9 / 1.2) ** 2
+    assert scaled == pytest.approx(expected)
+
+
+def test_scale_round_trip():
+    there = scale_area(7.0, NODE_130NM, NODE_40NM)
+    back = scale_area(there, NODE_40NM, NODE_130NM)
+    assert back == pytest.approx(7.0)
+
+
+def test_invalid_node_rejected():
+    with pytest.raises(ConfigurationError):
+        TechnologyNode(name="bad", feature_size=-1.0, supply_voltage=1.0,
+                       gate_area=1.0, gate_energy=1.0, gate_delay=1.0,
+                       gate_leakage=0.0)
+
+
+def test_negative_leakage_rejected():
+    with pytest.raises(ConfigurationError):
+        TechnologyNode(name="bad", feature_size=1e-7, supply_voltage=1.0,
+                       gate_area=1e-12, gate_energy=1e-15, gate_delay=1e-10,
+                       gate_leakage=-1.0)

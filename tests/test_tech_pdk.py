@@ -1,0 +1,87 @@
+"""The bundled PDK."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import foundry_m3d_pdk
+from repro.tech.node import NODE_130NM
+from repro.tech.stackup import TierKind
+
+
+def test_pdk_node(pdk):
+    assert pdk.node is NODE_130NM
+
+
+def test_pdk_stacks_differ_on_cnfet_placement(pdk):
+    assert pdk.stack.tier("cnfet").placeable
+    assert not pdk.stack_2d.tier("cnfet").placeable
+
+
+def test_pdk_libraries_match_tiers(pdk):
+    assert pdk.silicon_library.tier_kind == TierKind.SILICON_LOGIC
+    assert pdk.cnfet_library.tier_kind == TierKind.CNFET_LOGIC
+
+
+def test_rram_bitcell_area_fet_limited(pdk):
+    assert pdk.rram_bitcell_area == pytest.approx(36 * NODE_130NM.f2)
+
+
+def test_m3d_cell_at_delta_one_is_iso(pdk):
+    assert pdk.m3d_rram_cell(1.0).area(pdk.ilv) == pytest.approx(
+        pdk.rram_cell.area(None))
+
+
+def test_m3d_cell_grows_with_delta(pdk):
+    base = pdk.m3d_rram_cell(1.0).area(pdk.ilv)
+    assert pdk.m3d_rram_cell(2.0).area(pdk.ilv) == pytest.approx(2 * base)
+
+
+def test_m3d_cell_rejects_delta_below_one(pdk):
+    with pytest.raises(ConfigurationError):
+        pdk.m3d_rram_cell(0.8)
+
+
+def test_with_ilv_pitch_factor_scales_pitch(pdk):
+    scaled = pdk.with_ilv_pitch_factor(1.3)
+    assert scaled.ilv.pitch == pytest.approx(1.3 * pdk.ilv.pitch)
+    # Original untouched (frozen dataclasses).
+    assert scaled is not pdk
+
+
+def test_via_pitch_binds_above_1p3(pdk):
+    """The PDK is calibrated so the cell stays FET-limited to beta ~1.3."""
+    cell = pdk.m3d_rram_cell(1.0)
+    fine = pdk.with_ilv_pitch_factor(1.3)
+    coarse = pdk.with_ilv_pitch_factor(1.4)
+    assert cell.area(fine.ilv) == pytest.approx(cell.area(None), rel=0.01)
+    assert cell.area(coarse.ilv) > cell.area(None) * 1.5
+
+
+def test_sram_macro_area_includes_overhead(pdk):
+    bits = 8 * 1024 * 8
+    raw = bits * pdk.sram_bitcell_area
+    assert pdk.sram_macro_area(bits) == pytest.approx(1.3 * raw)
+
+
+def test_sram_macro_area_custom_overhead(pdk):
+    bits = 1024
+    assert pdk.sram_macro_area(bits, overhead=0.0) == pytest.approx(
+        bits * pdk.sram_bitcell_area)
+
+
+def test_sram_denser_than_rram_by_4x(pdk):
+    """Our SRAM cell is ~4x the RRAM cell (the paper assumes >= 2x)."""
+    ratio = pdk.sram_bitcell_area / pdk.rram_bitcell_area
+    assert ratio > 2.0
+
+
+def test_access_fets(pdk):
+    assert not pdk.si_access_fet.beol_compatible
+    assert pdk.cnfet_access_fet.beol_compatible
+
+
+def test_pdk_with_stronger_cnfets():
+    strong = foundry_m3d_pdk(cnfet_relative_drive=1.0)
+    weak = foundry_m3d_pdk(cnfet_relative_drive=0.5)
+    assert (strong.cnfet_access_fet.drive_current_per_width
+            > weak.cnfet_access_fet.drive_current_per_width)

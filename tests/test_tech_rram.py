@@ -1,0 +1,124 @@
+"""RRAM bit-cell, array, and bank-plan geometry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.devices import beol_cnfet, silicon_nmos
+from repro.tech.ilv import ILVModel
+from repro.tech.node import NODE_130NM
+from repro.tech.rram import (
+    RRAMArray,
+    RRAMBankPlan,
+    cell_for_access_fet,
+    default_rram_cell,
+)
+from repro.units import MEGABYTE
+
+
+@pytest.fixture
+def cell():
+    return default_rram_cell(NODE_130NM)
+
+
+def test_default_cell_area_is_36f2(cell):
+    assert cell.area(None) == pytest.approx(36 * NODE_130NM.f2)
+
+
+def test_cell_area_scales_with_access_width(cell):
+    relaxed = cell.with_access_width_factor(1.5)
+    assert relaxed.area(None) == pytest.approx(1.5 * cell.area(None))
+
+
+def test_access_width_below_one_rejected(cell):
+    with pytest.raises(ConfigurationError):
+        cell.with_access_width_factor(0.9)
+
+
+def test_default_cell_is_fet_limited_at_default_ilv(cell):
+    from repro.tech.ilv import default_ilv
+    assert cell.area(default_ilv()) == pytest.approx(cell.area(None))
+
+
+def test_cell_becomes_via_limited_at_coarse_pitch(cell):
+    coarse = ILVModel(pitch=2e-6)
+    via_limited = cell.vias_per_cell * coarse.pitch ** 2
+    assert cell.area(coarse) == pytest.approx(via_limited)
+    assert cell.area(coarse) > cell.area(None)
+
+
+def test_via_limited_area_quadratic_in_pitch(cell):
+    a1 = cell.area(ILVModel(pitch=2e-6))
+    a2 = cell.area(ILVModel(pitch=4e-6))
+    assert a2 == pytest.approx(4.0 * a1)
+
+
+def test_cell_for_weak_access_fet_grows():
+    reference = silicon_nmos(NODE_130NM)
+    weak = beol_cnfet(NODE_130NM, relative_drive=0.5)
+    grown = cell_for_access_fet(NODE_130NM, reference, weak)
+    assert grown.access_width_factor == pytest.approx(2.0)
+
+
+def test_cell_for_strong_access_fet_clamps_to_one():
+    reference = silicon_nmos(NODE_130NM)
+    strong = beol_cnfet(NODE_130NM, relative_drive=2.0)
+    assert cell_for_access_fet(
+        NODE_130NM, reference, strong).access_width_factor == 1.0
+
+
+def test_array_area_is_bits_times_cell(cell):
+    array = RRAMArray(cell=cell, capacity_bits=1000)
+    assert array.area == pytest.approx(1000 * cell.area(None))
+
+
+def test_array_64mb_area_about_327_mm2(cell):
+    array = RRAMArray(cell=cell, capacity_bits=64 * MEGABYTE)
+    assert array.area == pytest.approx(326.6e-6, rel=0.01)
+
+
+def test_array_read_energy(cell):
+    array = RRAMArray(cell=cell, capacity_bits=1024)
+    assert array.read_energy(100) == pytest.approx(
+        100 * cell.read_energy_per_bit)
+
+
+def test_array_write_energy_exceeds_read(cell):
+    array = RRAMArray(cell=cell, capacity_bits=1024)
+    assert array.write_energy(10) > array.read_energy(10)
+
+
+def test_array_rejects_zero_capacity(cell):
+    with pytest.raises(ConfigurationError):
+        RRAMArray(cell=cell, capacity_bits=0)
+
+
+def test_bank_plan_bandwidth_scales_with_banks(cell):
+    array = RRAMArray(cell=cell, capacity_bits=64 * MEGABYTE)
+    plan = RRAMBankPlan(array=array, banks=8, bank_width_bits=256)
+    assert plan.total_bandwidth_bits_per_cycle == 8 * 256
+
+
+def test_bank_plan_capacity_partition(cell):
+    array = RRAMArray(cell=cell, capacity_bits=64 * MEGABYTE)
+    plan = RRAMBankPlan(array=array, banks=8, bank_width_bits=256)
+    assert plan.bank_capacity_bits == 64 * MEGABYTE // 8
+
+
+def test_bank_plan_ceiling_partition_for_odd_banks(cell):
+    array = RRAMArray(cell=cell, capacity_bits=100)
+    plan = RRAMBankPlan(array=array, banks=3, bank_width_bits=8)
+    assert plan.bank_capacity_bits == 34
+
+
+def test_rebanked_preserves_array(cell):
+    array = RRAMArray(cell=cell, capacity_bits=64 * MEGABYTE)
+    plan = RRAMBankPlan(array=array, banks=1, bank_width_bits=256)
+    rebanked = plan.rebanked(8)
+    assert rebanked.banks == 8
+    assert rebanked.array is array
+
+
+def test_bank_plan_rejects_zero_banks(cell):
+    array = RRAMArray(cell=cell, capacity_bits=1024)
+    with pytest.raises(ConfigurationError):
+        RRAMBankPlan(array=array, banks=0, bank_width_bits=256)

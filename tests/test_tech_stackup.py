@@ -1,0 +1,96 @@
+"""Tier stack-ups: M3D, 2D-restricted, and interleaved."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.stackup import (
+    LayerStack,
+    Tier,
+    TierKind,
+    baseline_2d_stackup,
+    interleaved_stackup,
+    m3d_stackup,
+)
+
+
+def test_m3d_stack_has_cnfet_tier():
+    assert m3d_stackup().has_cnfet_tier
+
+
+def test_m3d_stack_bottom_is_silicon():
+    stack = m3d_stackup()
+    assert stack.tiers[0].kind == TierKind.SILICON_LOGIC
+    assert stack.tiers[0].level == 0
+
+
+def test_2d_stack_blocks_cnfet_placement():
+    stack = baseline_2d_stackup()
+    cnfet = stack.tier("cnfet")
+    assert not cnfet.placeable
+    assert cnfet.routable  # routing through the tier stays allowed
+
+
+def test_2d_stack_same_tier_count_as_m3d():
+    assert len(baseline_2d_stackup().tiers) == len(m3d_stackup().tiers)
+
+
+def test_placeable_tiers_m3d():
+    names = {t.name for t in m3d_stackup().placeable_tiers()}
+    assert names == {"si_cmos", "rram", "cnfet"}
+
+
+def test_placeable_tiers_2d():
+    names = {t.name for t in baseline_2d_stackup().placeable_tiers()}
+    assert names == {"si_cmos", "rram"}
+
+
+def test_device_tiers_excludes_metal():
+    for tier in m3d_stackup().device_tiers():
+        assert tier.kind != TierKind.METAL_ROUTING
+
+
+def test_tier_lookup_by_name():
+    assert m3d_stackup().tier("rram").kind == TierKind.RRAM
+
+
+def test_tier_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        m3d_stackup().tier("nonexistent")
+
+
+def test_thermal_resistance_grows_with_level():
+    stack = m3d_stackup()
+    bottom = stack.thermal_resistance_to_ambient(0)
+    top = stack.thermal_resistance_to_ambient(4)
+    assert top > bottom
+
+
+def test_interleaved_stack_pair_count():
+    stack = interleaved_stackup(3)
+    cnfet_tiers = [t for t in stack.tiers if t.kind == TierKind.CNFET_LOGIC]
+    rram_tiers = [t for t in stack.tiers if t.kind == TierKind.RRAM]
+    assert len(cnfet_tiers) == 3
+    assert len(rram_tiers) == 3
+
+
+def test_interleaved_stack_rejects_zero_pairs():
+    with pytest.raises(ConfigurationError):
+        interleaved_stackup(0)
+
+
+def test_stack_rejects_unordered_tiers():
+    with pytest.raises(ConfigurationError):
+        LayerStack(name="bad", tiers=(
+            Tier("a", TierKind.SILICON_LOGIC, level=1, placeable=True,
+                 routable=False),
+            Tier("b", TierKind.RRAM, level=0, placeable=True, routable=False),
+        ))
+
+
+def test_stack_rejects_duplicate_names():
+    with pytest.raises(ConfigurationError):
+        LayerStack(name="bad", tiers=(
+            Tier("a", TierKind.SILICON_LOGIC, level=0, placeable=True,
+                 routable=False),
+            Tier("a", TierKind.RRAM, level=1, placeable=True, routable=False),
+        ))

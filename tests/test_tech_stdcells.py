@@ -1,0 +1,95 @@
+"""Standard-cell libraries (Si and CNFET)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.node import NODE_130NM
+from repro.tech.stackup import TierKind
+from repro.tech.stdcells import cnfet_cell_library, silicon_cell_library
+
+
+@pytest.fixture(scope="module")
+def si_lib():
+    return silicon_cell_library(NODE_130NM)
+
+
+@pytest.fixture(scope="module")
+def cnfet_lib():
+    return cnfet_cell_library(NODE_130NM)
+
+
+def test_library_has_reference_nand(si_lib):
+    nand = si_lib.gate_equivalent
+    assert nand.name == "NAND2_X1"
+    assert nand.gate_equivalents == pytest.approx(1.0)
+
+
+def test_nand_area_matches_node(si_lib):
+    assert si_lib.gate_equivalent.area == pytest.approx(NODE_130NM.gate_area)
+
+
+def test_library_contains_core_cells(si_lib):
+    for name in ("INV_X1", "NOR2_X1", "XOR2_X1", "MUX2_X1", "FA_X1",
+                 "DFF_X1", "BUF_X8"):
+        assert si_lib.cell(name).name == name
+
+
+def test_unknown_cell_raises(si_lib):
+    with pytest.raises(KeyError):
+        si_lib.cell("NAND99_X9")
+
+
+def test_dff_larger_than_inverter(si_lib):
+    assert si_lib.cell("DFF_X1").area > si_lib.cell("INV_X1").area
+
+
+def test_stronger_buffer_has_lower_drive_resistance(si_lib):
+    assert (si_lib.cell("BUF_X8").drive_resistance
+            < si_lib.cell("INV_X1").drive_resistance)
+
+
+def test_area_for_gates_linear(si_lib):
+    assert si_lib.area_for_gates(1000) == pytest.approx(
+        1000 * si_lib.gate_equivalent.area)
+
+
+def test_energy_for_gates_scales_with_activity(si_lib):
+    low = si_lib.energy_for_gates(1000, activity=0.05)
+    high = si_lib.energy_for_gates(1000, activity=0.10)
+    assert high == pytest.approx(2 * low)
+
+
+def test_energy_rejects_invalid_activity(si_lib):
+    with pytest.raises(ConfigurationError):
+        si_lib.energy_for_gates(100, activity=1.5)
+
+
+def test_leakage_for_gates_linear(si_lib):
+    assert si_lib.leakage_for_gates(2000) == pytest.approx(
+        2 * si_lib.leakage_for_gates(1000))
+
+
+def test_cnfet_library_tier(cnfet_lib):
+    assert cnfet_lib.tier_kind == TierKind.CNFET_LOGIC
+
+
+def test_cnfet_cells_slower_than_silicon(si_lib, cnfet_lib):
+    si_nand = si_lib.gate_equivalent
+    cn_nand = cnfet_lib.gate_equivalent
+    assert cn_nand.intrinsic_delay > si_nand.intrinsic_delay
+    assert cn_nand.drive_resistance > si_nand.drive_resistance
+
+
+def test_cnfet_cells_leak_less(si_lib, cnfet_lib):
+    assert (cnfet_lib.gate_equivalent.leakage
+            < si_lib.gate_equivalent.leakage)
+
+
+def test_delay_with_load_monotonic(si_lib):
+    nand = si_lib.gate_equivalent
+    assert nand.delay_with_load(1e-14) > nand.delay_with_load(1e-15)
+
+
+def test_delay_with_load_rejects_negative(si_lib):
+    with pytest.raises(ConfigurationError):
+        si_lib.gate_equivalent.delay_with_load(-1e-15)

@@ -1,0 +1,103 @@
+"""Trace export and SVG layout export."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.simulator import simulate
+from repro.perf.trace import TRACE_COLUMNS, dominant_layers, to_csv, trace_rows
+from repro.physical.floorplan import build_floorplan
+from repro.physical.layout_export import floorplan_to_svg, save_svg
+from repro.physical.netlist import synthesize
+
+
+@pytest.fixture(scope="module")
+def report(pdk, m3d, resnet18_network):
+    return simulate(m3d, resnet18_network, pdk)
+
+
+@pytest.fixture(scope="module")
+def m3d_plan(pdk, m3d):
+    return build_floorplan(synthesize(m3d, pdk), m3d, pdk)
+
+
+# --- trace -------------------------------------------------------------------------
+
+def test_trace_one_row_per_layer(report, resnet18_network):
+    assert len(trace_rows(report)) == len(resnet18_network.layers)
+
+
+def test_trace_cycle_shares_sum_to_one(report):
+    shares = [row.cycle_share for row in trace_rows(report)]
+    assert sum(shares) == pytest.approx(1.0)
+
+
+def test_trace_row_consistency(report):
+    for row in trace_rows(report):
+        assert row.total_cycles == pytest.approx(
+            row.compute_cycles + row.writeback_cycles)
+
+
+def test_trace_csv_header(report):
+    csv = to_csv(report)
+    assert csv.splitlines()[0] == ",".join(TRACE_COLUMNS)
+
+
+def test_trace_csv_row_count(report, resnet18_network):
+    csv = to_csv(report)
+    assert len(csv.splitlines()) == 1 + len(resnet18_network.layers)
+
+
+def test_trace_csv_parsable(report):
+    for line in to_csv(report).splitlines()[1:]:
+        fields = line.split(",")
+        assert len(fields) == len(TRACE_COLUMNS)
+        float(fields[3])  # compute_cycles parses as a number
+
+
+def test_dominant_layers_sorted(report):
+    top = dominant_layers(report, 4)
+    cycles = [row.total_cycles for row in top]
+    assert cycles == sorted(cycles, reverse=True)
+    assert len(top) == 4
+
+
+def test_dominant_layers_rejects_zero(report):
+    with pytest.raises(ConfigurationError):
+        dominant_layers(report, 0)
+
+
+# --- layout export ---------------------------------------------------------------------
+
+def test_svg_structure(m3d_plan):
+    svg = floorplan_to_svg(m3d_plan)
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<rect") == 1 + len(m3d_plan.placements)  # die + blocks
+
+
+def test_svg_contains_block_titles(m3d_plan):
+    svg = floorplan_to_svg(m3d_plan)
+    assert "cs0" in svg
+    assert "rram_bank0" in svg
+
+
+def test_svg_m3d_arrays_translucent(m3d_plan):
+    svg = floorplan_to_svg(m3d_plan)
+    assert 'fill-opacity="0.35"' in svg  # upper-tier arrays
+
+
+def test_svg_2d_arrays_opaque(pdk, baseline):
+    plan = build_floorplan(synthesize(baseline, pdk), baseline, pdk)
+    svg = floorplan_to_svg(plan)
+    assert 'fill-opacity="0.35"' not in svg
+
+
+def test_svg_custom_title(m3d_plan):
+    svg = floorplan_to_svg(m3d_plan, title="hello <layout>")
+    assert "hello &lt;layout&gt;" in svg
+
+
+def test_save_svg(tmp_path, m3d_plan):
+    path = tmp_path / "plan.svg"
+    save_svg(m3d_plan, str(path))
+    assert path.read_text().startswith("<svg")

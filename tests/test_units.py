@@ -1,0 +1,48 @@
+"""Unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_length_hierarchy():
+    assert units.NM < units.UM < units.MM
+
+
+def test_area_consistency():
+    assert units.UM2 == pytest.approx(units.UM * units.UM)
+    assert units.MM2 == pytest.approx(units.MM * units.MM)
+
+
+def test_megabyte_is_bits():
+    assert units.MEGABYTE == 8 * 1024 * 1024
+    assert units.KILOBYTE == 8 * 1024
+    assert units.BYTE == 8
+
+
+def test_to_mm2_round_trip():
+    assert units.to_mm2(3.5 * units.MM2) == pytest.approx(3.5)
+
+
+def test_to_um2_round_trip():
+    assert units.to_um2(12.0 * units.UM2) == pytest.approx(12.0)
+
+
+def test_to_megabytes_round_trip():
+    assert units.to_megabytes(64 * units.MEGABYTE) == pytest.approx(64.0)
+
+
+def test_to_pj_round_trip():
+    assert units.to_pj(2.0 * units.PJ) == pytest.approx(2.0)
+
+
+def test_to_mw_round_trip():
+    assert units.to_mw(5.0 * units.MW) == pytest.approx(5.0)
+
+
+def test_to_mhz_round_trip():
+    assert units.to_mhz(20 * units.MHZ) == pytest.approx(20.0)
+
+
+def test_frequency_hierarchy():
+    assert units.KHZ < units.MHZ < units.GHZ

@@ -1,0 +1,125 @@
+"""Layer shape arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.layers import (
+    ConvLayer,
+    FCLayer,
+    LayerKind,
+    PoolLayer,
+    arithmetic_intensity,
+    weight_bits,
+)
+
+
+@pytest.fixture
+def conv():
+    return ConvLayer("c", in_channels=64, out_channels=128, kernel=3,
+                     stride=1, in_size=28, padding=1)
+
+
+def test_conv_out_size_same_padding(conv):
+    assert conv.out_size == 28
+
+
+def test_conv_out_size_stride2():
+    layer = ConvLayer("c", in_channels=64, out_channels=128, kernel=3,
+                      stride=2, in_size=56, padding=1)
+    assert layer.out_size == 28
+
+
+def test_conv_out_size_no_padding():
+    layer = ConvLayer("c", in_channels=3, out_channels=96, kernel=11,
+                      stride=4, in_size=227)
+    assert layer.out_size == 55  # AlexNet conv1
+
+
+def test_conv_weights(conv):
+    assert conv.weights == 128 * 64 * 9
+
+
+def test_conv_macs(conv):
+    assert conv.macs == conv.weights * 28 * 28
+
+
+def test_conv_element_counts(conv):
+    assert conv.input_elements == 64 * 28 * 28
+    assert conv.output_elements == 128 * 28 * 28
+
+
+def test_conv_kind(conv):
+    assert conv.kind == LayerKind.CONV
+
+
+def test_conv_rejects_kernel_larger_than_input():
+    with pytest.raises(ConfigurationError):
+        ConvLayer("bad", in_channels=3, out_channels=8, kernel=7, stride=1,
+                  in_size=5)
+
+
+def test_fc_as_1x1_conv_view():
+    layer = FCLayer("fc", in_features=512, out_features=1000)
+    assert layer.in_channels == 512
+    assert layer.out_channels == 1000
+    assert layer.kernel == 1
+    assert layer.out_size == 1
+
+
+def test_fc_weights_and_macs():
+    layer = FCLayer("fc", in_features=512, out_features=1000)
+    assert layer.weights == 512_000
+    assert layer.macs == 512_000
+
+
+def test_fc_rejects_zero_features():
+    with pytest.raises(ConfigurationError):
+        FCLayer("bad", in_features=0, out_features=10)
+
+
+def test_pool_has_no_weights():
+    pool = PoolLayer("p", channels=64, kernel=3, stride=2, in_size=112,
+                     padding=1)
+    assert pool.weights == 0
+
+
+def test_pool_out_size():
+    pool = PoolLayer("p", channels=64, kernel=3, stride=2, in_size=112,
+                     padding=1)
+    assert pool.out_size == 56
+
+
+def test_pool_macs_counts_window_ops():
+    pool = PoolLayer("p", channels=16, kernel=2, stride=2, in_size=4)
+    assert pool.macs == 16 * 2 * 2 * 4
+
+
+def test_pool_channels_preserved():
+    pool = PoolLayer("p", channels=96, kernel=3, stride=2, in_size=55)
+    assert pool.in_channels == pool.out_channels == 96
+
+
+def test_weight_bits_uses_precision(conv):
+    assert weight_bits(conv, 8) == conv.weights * 8
+    assert weight_bits(conv, 4) == conv.weights * 4
+
+
+def test_arithmetic_intensity(conv):
+    assert arithmetic_intensity(conv, 8) == pytest.approx(
+        conv.macs / (conv.weights * 8))
+
+
+def test_arithmetic_intensity_infinite_for_pool():
+    pool = PoolLayer("p", channels=16, kernel=2, stride=2, in_size=4)
+    assert math.isinf(arithmetic_intensity(pool))
+
+
+def test_conv3x3_intensity_higher_than_1x1():
+    """3x3 convs reuse each weight over the feature map like 1x1s, so
+    intensity per weight-bit is equal at equal OX*OY; bigger maps win."""
+    big = ConvLayer("big", 64, 64, kernel=3, stride=1, in_size=56, padding=1)
+    small = ConvLayer("small", 64, 64, kernel=3, stride=1, in_size=7,
+                      padding=1)
+    assert arithmetic_intensity(big) > arithmetic_intensity(small)

@@ -1,0 +1,139 @@
+"""Full-network builders: parameter counts must match the literature."""
+
+import pytest
+
+from repro.workloads.layers import ConvLayer, FCLayer
+from repro.workloads.models import (
+    alexnet,
+    available_networks,
+    build_network,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet152,
+    vgg16,
+)
+
+
+def test_alexnet_parameter_count():
+    assert alexnet().total_weights == pytest.approx(62.4e6, rel=0.01)
+
+
+def test_vgg16_parameter_count():
+    assert vgg16().total_weights == pytest.approx(138.3e6, rel=0.01)
+
+
+def test_resnet18_parameter_count():
+    """The paper sizes Fig. 9 around ResNet-18's ~12 M parameters."""
+    assert resnet18().total_weights == pytest.approx(11.7e6, rel=0.01)
+
+
+def test_resnet34_parameter_count():
+    assert resnet34().total_weights == pytest.approx(21.8e6, rel=0.01)
+
+
+def test_resnet50_parameter_count():
+    assert resnet50().total_weights == pytest.approx(25.5e6, rel=0.01)
+
+
+def test_resnet152_parameter_count():
+    """The paper sizes its 64 MB RRAM for ResNet-152's ~60 M parameters."""
+    assert resnet152().total_weights == pytest.approx(60.0e6, rel=0.01)
+
+
+def test_resnet18_mac_count():
+    assert resnet18().total_macs == pytest.approx(1.8e9, rel=0.05)
+
+
+def test_vgg16_mac_count():
+    assert vgg16().total_macs == pytest.approx(15.5e9, rel=0.05)
+
+
+def test_resnet18_table1_layer_names():
+    net = resnet18()
+    for name in ("CONV1", "L1.0 CONV1", "L2.0 DS", "L2.0 CONV1",
+                 "L3.0 CONV2", "L4.1 CONV2"):
+        assert net.layer(name) is not None
+
+
+def test_resnet18_stage_shapes():
+    net = resnet18()
+    l2 = net.layer("L2.0 CONV2")
+    assert isinstance(l2, ConvLayer)
+    assert l2.out_channels == 128
+    assert l2.out_size == 28
+    l4 = net.layer("L4.1 CONV2")
+    assert l4.out_channels == 512
+    assert l4.out_size == 7
+
+
+def test_resnet18_downsample_is_1x1_stride2():
+    ds = resnet18().layer("L2.0 DS")
+    assert ds.kernel == 1
+    assert ds.stride == 2
+    assert ds.in_channels == 64
+    assert ds.out_channels == 128
+
+
+def test_resnet50_bottleneck_structure():
+    net = resnet50()
+    conv1 = net.layer("L1.0 CONV1")
+    conv3 = net.layer("L1.0 CONV3")
+    assert conv1.kernel == 1
+    assert conv3.out_channels == 256  # 4x expansion
+
+
+def test_resnet152_depth_exceeds_resnet50():
+    assert len(resnet152().layers) > len(resnet50().layers)
+
+
+def test_vgg16_has_13_convs():
+    convs = [l for l in vgg16().layers if isinstance(l, ConvLayer)]
+    assert len(convs) == 13
+
+
+def test_vgg16_compact_fits_64mb():
+    from repro.units import MEGABYTE
+    compact = vgg16(compact_classifier=True)
+    assert compact.weight_bits(8) <= 64 * MEGABYTE
+    assert compact.name == "vgg16c"
+
+
+def test_vgg16_full_does_not_fit_64mb():
+    from repro.units import MEGABYTE
+    assert vgg16().weight_bits(8) > 64 * MEGABYTE
+
+
+def test_vgg16_compact_preserves_conv_trunk():
+    full_convs = [l for l in vgg16().layers if isinstance(l, ConvLayer)]
+    compact_convs = [l for l in vgg16(True).layers if isinstance(l, ConvLayer)]
+    assert [c.weights for c in full_convs] == [c.weights for c in compact_convs]
+
+
+def test_build_network_round_trip():
+    for name in available_networks():
+        net = build_network(name)
+        assert net.total_weights > 0
+        assert net.total_macs > 0
+
+
+def test_build_network_unknown_raises():
+    with pytest.raises(KeyError):
+        build_network("lenet")
+
+
+def test_layer_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        resnet18().layer("L9.9 CONV9")
+
+
+def test_weighted_layers_excludes_pools():
+    for layer in alexnet().weighted_layers():
+        assert layer.weights > 0
+
+
+def test_all_networks_end_with_classifier():
+    for name in available_networks():
+        last = build_network(name).layers[-1]
+        assert isinstance(last, FCLayer)
+        assert last.out_features == 1000

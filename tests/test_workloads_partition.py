@@ -1,0 +1,93 @@
+"""Workload partitioning (the paper's N#)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.layers import ConvLayer, FCLayer, PoolLayer
+from repro.workloads.models import resnet18
+from repro.workloads.partition import (
+    k_tiles,
+    max_parallel_partitions,
+    partition_plan,
+)
+
+
+def _conv(out_channels, in_channels=64, in_size=28):
+    return ConvLayer("c", in_channels=in_channels, out_channels=out_channels,
+                     kernel=3, stride=1, in_size=in_size, padding=1)
+
+
+def test_k_tiles_exact_multiple():
+    assert k_tiles(_conv(128), 16) == 8
+
+
+def test_k_tiles_rounds_up():
+    assert k_tiles(_conv(100), 16) == 7
+
+
+def test_k_tiles_minimum_one():
+    assert k_tiles(_conv(8), 16) == 1
+
+
+def test_resnet18_stage1_partitions_to_4():
+    """K = 64 with a 16-wide array -> only 4 partitions: the reason the
+    paper's Table I shows ~3.7x for stage-1 layers at N = 8."""
+    layer = resnet18().layer("L1.0 CONV1")
+    assert max_parallel_partitions(layer, 16) == 4
+
+
+def test_resnet18_stage4_partitions_to_32():
+    layer = resnet18().layer("L4.1 CONV2")
+    assert max_parallel_partitions(layer, 16) == 32
+
+
+def test_fc_partitions_along_outputs():
+    fc = FCLayer("fc", in_features=512, out_features=1000)
+    assert max_parallel_partitions(fc, 16) == 63
+
+
+def test_pool_partitions_along_channels():
+    pool = PoolLayer("p", channels=64, kernel=3, stride=2, in_size=112)
+    assert max_parallel_partitions(pool, 16) == 4
+
+
+def test_partition_plan_uses_min_of_n_and_tiles():
+    plan = partition_plan(_conv(64), available_cs=8, array_columns=16)
+    assert plan.used_cs == 4
+    assert plan.idle_cs == 4
+
+
+def test_partition_plan_all_cs_when_wide():
+    plan = partition_plan(_conv(512), available_cs=8, array_columns=16)
+    assert plan.used_cs == 8
+    assert plan.idle_cs == 0
+    assert plan.tiles_per_cs == 4
+
+
+def test_partition_plan_ceil_imbalance():
+    """17 tiles over 8 CSs: busiest CS takes 3 tiles, balance < 1."""
+    plan = partition_plan(_conv(17 * 16), available_cs=8, array_columns=16)
+    assert plan.tiles_total == 17
+    assert plan.tiles_per_cs == 3
+    assert plan.balance < 1.0
+
+
+def test_partition_plan_perfect_balance():
+    plan = partition_plan(_conv(128), available_cs=8, array_columns=16)
+    assert plan.balance == pytest.approx(1.0)
+
+
+def test_partition_plan_single_cs():
+    plan = partition_plan(_conv(512), available_cs=1, array_columns=16)
+    assert plan.used_cs == 1
+    assert plan.tiles_per_cs == plan.tiles_total
+
+
+def test_partition_plan_rejects_zero_cs():
+    with pytest.raises(ConfigurationError):
+        partition_plan(_conv(64), available_cs=0, array_columns=16)
+
+
+def test_k_tiles_rejects_zero_columns():
+    with pytest.raises(ConfigurationError):
+        k_tiles(_conv(64), 0)
