@@ -27,6 +27,7 @@ Subpackages
 * :mod:`repro.mapper` — ZigZag-style mapping DSE (Fig. 7 comparator).
 * :mod:`repro.physical` — block-level RTL-to-GDS flow (Fig. 4b).
 * :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.runtime` — parallel, memoized evaluation engine for sweeps.
 """
 
 from repro.errors import (
@@ -58,6 +59,14 @@ from repro.core import (
     speedup,
 )
 from repro.physical import run_flow
+from repro.runtime import (
+    EvaluationEngine,
+    ResultCache,
+    configure,
+    default_engine,
+    pmap,
+    stable_key,
+)
 
 __version__ = "1.0.0"
 
@@ -88,5 +97,11 @@ __all__ = [
     "edp_benefit",
     "analyze_network",
     "run_flow",
+    "EvaluationEngine",
+    "ResultCache",
+    "configure",
+    "default_engine",
+    "pmap",
+    "stable_key",
     "__version__",
 ]

@@ -120,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments", nargs="*", metavar="EXPERIMENT",
         help="experiment names (see 'list'), or 'all'")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel evaluation workers for sweeps "
+             "(1 = serial, 0 = one per CPU)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist evaluation results as JSON under DIR; a warm "
+             "directory serves repeat runs without re-evaluating")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result memoization entirely")
+    parser.add_argument(
+        "--runtime-stats", action="store_true",
+        help="print per-stage cache/parallelism statistics after running")
     return parser
 
 
@@ -131,6 +145,19 @@ def available_experiments() -> tuple[str, ...]:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.no_cache and args.cache_dir:
+        print("--no-cache and --cache-dir are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 0:
+        print("--jobs must be >= 0 (1 = serial, 0 = one per CPU)",
+              file=sys.stderr)
+        return 2
+    from repro.runtime.engine import configure, default_engine
+
+    engine = configure(jobs=args.jobs, cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache)
+    show_stats = args.runtime_stats or args.cache_dir is not None
     names = args.experiments or ["list"]
     if names == ["validate"]:
         from repro.validate import main as validate_main
@@ -157,4 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         if index:
             print()
         print(EXPERIMENTS[name][1]())
+    if show_stats:
+        from repro.experiments.reporting import format_run_report
+
+        print()
+        print(format_run_report(engine.report()))
     return 0

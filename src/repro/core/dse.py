@@ -11,7 +11,7 @@ pipeline as the single-knob studies, plus a Pareto-frontier extractor over
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import require
 from repro.tech.pdk import PDK, foundry_m3d_pdk
@@ -19,6 +19,8 @@ from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.core.relaxed_fet import reoptimized_2d_cs_count
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.serialize import from_jsonable, to_jsonable
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 
@@ -57,6 +59,18 @@ class DesignCandidate:
         better = (self.footprint < other.footprint
                   or self.edp_benefit > other.edp_benefit)
         return no_worse and better
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the disk result cache)."""
+        return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DesignCandidate":
+        """Inverse of :meth:`to_dict`."""
+        candidate = from_jsonable(data)
+        require(isinstance(candidate, cls),
+                f"expected a serialized {cls.__name__}")
+        return candidate
 
 
 def evaluate_design_point(
@@ -106,17 +120,35 @@ def explore(
     deltas: Iterable[float] = (1.0, 1.6, 2.0),
     betas: Iterable[float] = (1.0, 1.3),
     tier_pairs: Iterable[int] = (1, 2),
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[DesignCandidate, ...]:
-    """Full-factorial sweep over the joint design space."""
+    """Full-factorial sweep over the joint design space.
+
+    Points evaluate through ``engine`` (default: the process-wide engine),
+    so they are memoized across runs and, with ``jobs`` > 1, evaluated on
+    a process pool — in grid order either way.  ``jobs`` overrides the
+    engine's worker count for this sweep only.
+    """
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    points: list[DesignCandidate] = []
-    for capacity in capacities_bits:
-        for delta in deltas:
-            for beta in betas:
-                for pairs in tier_pairs:
-                    points.append(evaluate_design_point(
-                        pdk, network, capacity, delta, beta, pairs))
+    engine = engine if engine is not None else default_engine()
+    calls = [
+        {"pdk": pdk, "network": network, "capacity_bits": capacity,
+         "delta": delta, "beta": beta, "tier_pairs": pairs}
+        for capacity in capacities_bits
+        for delta in deltas
+        for beta in betas
+        for pairs in tier_pairs
+    ]
+    saved_jobs = engine.jobs
+    if jobs is not None:
+        engine.jobs = jobs
+    try:
+        points = engine.map(evaluate_design_point, calls,
+                            stage="dse.explore")
+    finally:
+        engine.jobs = saved_jobs
     return tuple(points)
 
 

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import require
 from repro.tech.pdk import PDK, foundry_m3d_pdk
@@ -19,6 +20,8 @@ from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.core.framework import DesignPoint, Workload, edp_benefit
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.serialize import from_jsonable, to_jsonable
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 
@@ -143,33 +146,59 @@ class CapacityPoint:
         """Capacity in MB for display."""
         return self.capacity_bits / MEGABYTE
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the disk result cache)."""
+        return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CapacityPoint":
+        """Inverse of :meth:`to_dict`."""
+        point = from_jsonable(data)
+        require(isinstance(point, cls),
+                f"expected a serialized {cls.__name__}")
+        return point
+
+
+def capacity_point(
+    pdk: PDK,
+    network: Network,
+    capacity_bits: int,
+) -> CapacityPoint:
+    """Evaluate one Fig. 9 capacity point with the simulator pipeline."""
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits)
+    benefit = compare_designs(
+        simulate(baseline, network, pdk),
+        simulate(m3d, network, pdk),
+    )
+    return CapacityPoint(
+        capacity_bits=capacity_bits,
+        n_cs=m3d.n_cs,
+        speedup=benefit.speedup,
+        edp_benefit=benefit.edp_benefit,
+    )
+
 
 def sweep_rram_capacity(
     capacities_bits: tuple[int, ...] = tuple(
         mb * MEGABYTE for mb in (12, 16, 24, 32, 48, 64, 96, 128)),
     pdk: PDK | None = None,
     network: Network | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[CapacityPoint, ...]:
     """Fig. 9: benefit vs baseline RRAM capacity at fixed DNN compute.
 
     Larger baseline memories free more silicon under the arrays in M3D,
     admitting more parallel CSs (Obs. 6); the workload must fit at the
-    smallest capacity (ResNet-18's ~12 M parameters at 12 MB).
+    smallest capacity (ResNet-18's ~12 M parameters at 12 MB).  Points
+    evaluate through ``engine`` (default: the process-wide engine).
     """
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    points: list[CapacityPoint] = []
-    for capacity in capacities_bits:
-        baseline = baseline_2d_design(pdk, capacity)
-        m3d = m3d_design(pdk, capacity)
-        benefit = compare_designs(
-            simulate(baseline, network, pdk),
-            simulate(m3d, network, pdk),
-        )
-        points.append(CapacityPoint(
-            capacity_bits=capacity,
-            n_cs=m3d.n_cs,
-            speedup=benefit.speedup,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(points)
+    engine = engine if engine is not None else default_engine()
+    calls = [
+        {"pdk": pdk, "network": network, "capacity_bits": capacity}
+        for capacity in capacities_bits
+    ]
+    return tuple(engine.map(capacity_point, calls,
+                            stage="insights.sweep_rram_capacity"))

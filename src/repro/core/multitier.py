@@ -16,6 +16,7 @@ from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.perf.compare import BenefitReport, compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 from repro.core.thermal import ThermalStack, temperature_rise
@@ -91,10 +92,12 @@ def sweep_tiers(
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     stack: ThermalStack | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[MultiTierResult, ...]:
     """The Fig. 10d sweep: EDP benefit vs tier-pair count."""
     require(max_pairs >= 1, "max_pairs must be >= 1")
-    return tuple(
-        multitier_study(pairs, pdk, network, capacity_bits, stack)
-        for pairs in range(1, max_pairs + 1)
-    )
+    engine = engine if engine is not None else default_engine()
+    calls = [(pairs, pdk, network, capacity_bits, stack)
+             for pairs in range(1, max_pairs + 1)]
+    return tuple(engine.map(multitier_study, calls,
+                            stage="multitier.sweep_tiers"))

@@ -26,6 +26,7 @@ from repro.arch.accelerator import (
 )
 from repro.perf.compare import BenefitReport, compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 
@@ -114,8 +115,14 @@ def sweep_fet_width(
     pdk: PDK | None = None,
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[RelaxedFETResult, ...]:
-    """The Fig. 10b-c sweep over access-FET width relaxation."""
-    return tuple(
-        relaxed_fet_study(delta, pdk, network, capacity_bits) for delta in deltas
-    )
+    """The Fig. 10b-c sweep over access-FET width relaxation.
+
+    Points evaluate through ``engine`` (default: the process-wide engine),
+    memoized and parallelizable like every other sweep.
+    """
+    engine = engine if engine is not None else default_engine()
+    calls = [(delta, pdk, network, capacity_bits) for delta in deltas]
+    return tuple(engine.map(relaxed_fet_study, calls,
+                            stage="relaxed_fet.sweep_fet_width"))

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import require
 from repro.core.framework import DesignPoint, Workload, edp_benefit
+from repro.runtime.engine import EvaluationEngine, default_engine
 
 #: Design-point fields whose elasticity is reported.
 PARAMETERS: tuple[str, ...] = (
@@ -90,10 +91,16 @@ def sensitivity_profile(
     baseline: DesignPoint,
     m3d: DesignPoint,
     applied_to: str = "m3d",
+    engine: EvaluationEngine | None = None,
 ) -> tuple[Elasticity, ...]:
-    """Elasticities for every reported parameter, largest magnitude first."""
-    results = [
-        elasticity(workload, baseline, m3d, parameter, applied_to)
-        for parameter in PARAMETERS
-    ]
+    """Elasticities for every reported parameter, largest magnitude first.
+
+    Per-parameter probes evaluate through ``engine`` (default: the
+    process-wide engine), so repeated profiles are memoized.
+    """
+    engine = engine if engine is not None else default_engine()
+    calls = [(workload, baseline, m3d, parameter, applied_to)
+             for parameter in PARAMETERS]
+    results = engine.map(elasticity, calls,
+                         stage="sensitivity.sensitivity_profile")
     return tuple(sorted(results, key=lambda e: abs(e.value), reverse=True))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.errors import require
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.perf.compare import BenefitReport
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
 from repro.core.relaxed_fet import relaxed_fet_study
@@ -90,6 +91,10 @@ def sweep_via_pitch(
     pdk: PDK | None = None,
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[ViaPitchResult, ...]:
-    """The Obs. 8 sweep over ILV pitch."""
-    return tuple(via_pitch_study(beta, pdk, network, capacity_bits) for beta in betas)
+    """The Obs. 8 sweep over ILV pitch, via the evaluation engine."""
+    engine = engine if engine is not None else default_engine()
+    calls = [(beta, pdk, network, capacity_bits) for beta in betas]
+    return tuple(engine.map(via_pitch_study, calls,
+                            stage="via_pitch.sweep_via_pitch"))

@@ -33,6 +33,7 @@ from repro.experiments.fig10 import (
     run_obs10,
 )
 from repro.experiments.obs3 import format_obs3, run_obs3
+from repro.experiments.reporting import format_run_report, format_table
 
 __all__ = [
     "CaseStudyResult",
@@ -61,4 +62,6 @@ __all__ = [
     "format_obs10",
     "run_obs3",
     "format_obs3",
+    "format_run_report",
+    "format_table",
 ]

@@ -14,6 +14,7 @@ from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.reporting import format_table, percent, times
 from repro.physical.flow import FlowResult, run_flow
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE, to_mm2, to_mw
 
 
@@ -61,11 +62,21 @@ class CaseStudyResult:
 def run_case_study(
     pdk: PDK | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
 ) -> CaseStudyResult:
-    """Run the flow on the 2D baseline and the iso-footprint M3D design."""
+    """Run the flow on the 2D baseline and the iso-footprint M3D design.
+
+    Both flow runs go through the evaluation engine, so a warm cache
+    (memory or ``--cache-dir``) serves repeat runs without re-running the
+    physical flow, and ``jobs`` >= 2 runs the two designs concurrently.
+    """
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    baseline = run_flow(baseline_2d_design(pdk, capacity_bits), pdk)
-    m3d = run_flow(m3d_design(pdk, capacity_bits), pdk)
+    engine = engine if engine is not None else default_engine()
+    baseline, m3d = engine.map(
+        run_flow,
+        [(baseline_2d_design(pdk, capacity_bits), pdk),
+         (m3d_design(pdk, capacity_bits), pdk)],
+        stage="casestudy.run_flow")
     return CaseStudyResult(baseline=baseline, m3d=m3d)
 
 

@@ -22,6 +22,7 @@ from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.reporting import format_table, percent, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
 from repro.workloads.transformer import tiny_encoder
@@ -48,34 +49,45 @@ class BatchingRow:
     edp_benefit: float
 
 
+def batching_row(
+    pdk: PDK,
+    batch: int,
+    capacity_bits: int,
+    network: Network,
+) -> BatchingRow:
+    """Evaluate the case-study pair at one token batch size."""
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    m3d = m3d_design(pdk, capacity_bits)
+    peak = baseline.cs.array.peak_macs_per_cycle
+    base_report = simulate(baseline, network, pdk, batch=batch)
+    m3d_report = simulate(m3d, network, pdk, batch=batch)
+    benefit = compare_designs(base_report, m3d_report)
+    utilization = network.total_macs * batch / (base_report.cycles * peak)
+    return BatchingRow(
+        batch=batch,
+        cycles_per_token_2d=base_report.cycles / batch,
+        cycles_per_token_m3d=m3d_report.cycles / batch,
+        utilization_2d=utilization,
+        speedup=benefit.speedup,
+        energy_benefit=benefit.energy_benefit,
+        edp_benefit=benefit.edp_benefit,
+    )
+
+
 def run_batching(
     pdk: PDK | None = None,
     batches: tuple[int, ...] = (1, 4, 16, 64, 256),
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[BatchingRow, ...]:
     """Sweep the token batch for an encoder workload on the case-study pair."""
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else tiny_encoder()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits)
-    peak = baseline.cs.array.peak_macs_per_cycle
-    rows: list[BatchingRow] = []
-    for batch in batches:
-        base_report = simulate(baseline, network, pdk, batch=batch)
-        m3d_report = simulate(m3d, network, pdk, batch=batch)
-        benefit = compare_designs(base_report, m3d_report)
-        utilization = network.total_macs * batch / (base_report.cycles * peak)
-        rows.append(BatchingRow(
-            batch=batch,
-            cycles_per_token_2d=base_report.cycles / batch,
-            cycles_per_token_m3d=m3d_report.cycles / batch,
-            utilization_2d=utilization,
-            speedup=benefit.speedup,
-            energy_benefit=benefit.energy_benefit,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(rows)
+    engine = engine if engine is not None else default_engine()
+    calls = [(pdk, batch, capacity_bits, network) for batch in batches]
+    return tuple(engine.map(batching_row, calls,
+                            stage="ext_batching.run_batching"))
 
 
 def format_batching(rows: tuple[BatchingRow, ...]) -> str:

@@ -28,6 +28,7 @@ from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE, to_mm2
 from repro.workloads.models import Network, resnet18
 
@@ -55,33 +56,45 @@ class MemTechRow:
     edp_benefit: float
 
 
+def memtech_row(
+    pdk: PDK,
+    tech: MemoryTechnology,
+    capacity_bits: int,
+    network: Network,
+) -> MemTechRow:
+    """Evaluate the case study under one BEOL memory preset."""
+    tech_pdk = pdk.with_memory_cell(tech.cell(pdk.node))
+    baseline = baseline_2d_design(tech_pdk, capacity_bits)
+    m3d = m3d_design(tech_pdk, capacity_bits)
+    benefit = compare_designs(
+        simulate(baseline, network, tech_pdk),
+        simulate(m3d, network, tech_pdk),
+    )
+    return MemTechRow(
+        technology=tech,
+        gamma_cells=baseline.area.gamma_cells,
+        n_cs=m3d.n_cs,
+        footprint=baseline.area.footprint,
+        speedup=benefit.speedup,
+        energy_benefit=benefit.energy_benefit,
+        edp_benefit=benefit.edp_benefit,
+    )
+
+
 def run_memtech(
     pdk: PDK | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[MemTechRow, ...]:
     """Evaluate the case study under every BEOL memory preset."""
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    rows: list[MemTechRow] = []
-    for tech in beol_technologies():
-        tech_pdk = pdk.with_memory_cell(tech.cell(pdk.node))
-        baseline = baseline_2d_design(tech_pdk, capacity_bits)
-        m3d = m3d_design(tech_pdk, capacity_bits)
-        benefit = compare_designs(
-            simulate(baseline, network, tech_pdk),
-            simulate(m3d, network, tech_pdk),
-        )
-        rows.append(MemTechRow(
-            technology=tech,
-            gamma_cells=baseline.area.gamma_cells,
-            n_cs=m3d.n_cs,
-            footprint=baseline.area.footprint,
-            speedup=benefit.speedup,
-            energy_benefit=benefit.energy_benefit,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(rows)
+    engine = engine if engine is not None else default_engine()
+    calls = [(pdk, tech, capacity_bits, network)
+             for tech in beol_technologies()]
+    return tuple(engine.map(memtech_row, calls,
+                            stage="ext_memtech.run_memtech"))
 
 
 def format_memtech(rows: tuple[MemTechRow, ...]) -> str:

@@ -23,6 +23,7 @@ from repro.arch.systolic import SystolicArrayConfig
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, available_networks, build_network, resnet18
 
@@ -57,38 +58,49 @@ class PrecisionRow:
     edp_benefit: float
 
 
+def precision_row(
+    pdk: PDK,
+    bits: int,
+    capacity_bits: int,
+    network: Network,
+) -> PrecisionRow:
+    """Evaluate the case-study pair at one operand precision."""
+    cs = _cs_for_precision(bits)
+    baseline = replace(baseline_2d_design(pdk, capacity_bits, cs=cs),
+                       precision_bits=bits)
+    m3d = replace(m3d_design(pdk, capacity_bits, cs=cs),
+                  precision_bits=bits)
+    fitting = tuple(
+        name for name in available_networks()
+        if build_network(name).weight_bits(bits) <= capacity_bits)
+    benefit = compare_designs(
+        simulate(baseline, network, pdk),
+        simulate(m3d, network, pdk),
+    )
+    return PrecisionRow(
+        precision_bits=bits,
+        n_cs=m3d.n_cs,
+        models_fitting=fitting,
+        speedup=benefit.speedup,
+        energy_benefit=benefit.energy_benefit,
+        edp_benefit=benefit.edp_benefit,
+    )
+
+
 def run_precision(
     pdk: PDK | None = None,
     precisions: tuple[int, ...] = (4, 8, 16),
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
+    engine: EvaluationEngine | None = None,
 ) -> tuple[PrecisionRow, ...]:
     """Sweep operand precision at fixed 64 MB capacity."""
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    rows: list[PrecisionRow] = []
-    for bits in precisions:
-        cs = _cs_for_precision(bits)
-        baseline = replace(baseline_2d_design(pdk, capacity_bits, cs=cs),
-                           precision_bits=bits)
-        m3d = replace(m3d_design(pdk, capacity_bits, cs=cs),
-                      precision_bits=bits)
-        fitting = tuple(
-            name for name in available_networks()
-            if build_network(name).weight_bits(bits) <= capacity_bits)
-        benefit = compare_designs(
-            simulate(baseline, network, pdk),
-            simulate(m3d, network, pdk),
-        )
-        rows.append(PrecisionRow(
-            precision_bits=bits,
-            n_cs=m3d.n_cs,
-            models_fitting=fitting,
-            speedup=benefit.speedup,
-            energy_benefit=benefit.energy_benefit,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(rows)
+    engine = engine if engine is not None else default_engine()
+    calls = [(pdk, bits, capacity_bits, network) for bits in precisions]
+    return tuple(engine.map(precision_row, calls,
+                            stage="ext_precision.run_precision"))
 
 
 def format_precision(rows: tuple[PrecisionRow, ...]) -> str:

@@ -20,13 +20,16 @@ from repro.core.relaxed_fet import RelaxedFETResult, sweep_fet_width
 from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
 from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch
 from repro.experiments.reporting import format_table, times
+from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
 from repro.workloads.models import Network, resnet18
 
 
-def run_fig10c(pdk: PDK | None = None) -> tuple[RelaxedFETResult, ...]:
+def run_fig10c(pdk: PDK | None = None,
+               engine: EvaluationEngine | None = None,
+               ) -> tuple[RelaxedFETResult, ...]:
     """Case 1 sweep over the access-FET width relaxation delta."""
-    return sweep_fet_width(pdk=pdk)
+    return sweep_fet_width(pdk=pdk, engine=engine)
 
 
 def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
@@ -44,9 +47,11 @@ def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
     )
 
 
-def run_obs8(pdk: PDK | None = None) -> tuple[ViaPitchResult, ...]:
+def run_obs8(pdk: PDK | None = None,
+             engine: EvaluationEngine | None = None,
+             ) -> tuple[ViaPitchResult, ...]:
     """Case 2 sweep over the ILV pitch beta."""
-    return sweep_via_pitch(pdk=pdk)
+    return sweep_via_pitch(pdk=pdk, engine=engine)
 
 
 def format_obs8(results: tuple[ViaPitchResult, ...]) -> str:
@@ -77,14 +82,17 @@ class Fig10dResult:
     parallel_layer_sweep: tuple[MultiTierResult, ...]
 
 
-def run_fig10d(pdk: PDK | None = None, max_pairs: int = 6) -> Fig10dResult:
+def run_fig10d(pdk: PDK | None = None, max_pairs: int = 6,
+               engine: EvaluationEngine | None = None) -> Fig10dResult:
     """Case 3 sweep for ResNet-18 and for its most parallel layer."""
     network = resnet18()
     single = Network(name="resnet18_L4.1_CONV2",
                      layers=(network.layer("L4.1 CONV2"),))
     return Fig10dResult(
-        network_sweep=sweep_tiers(max_pairs, pdk=pdk, network=network),
-        parallel_layer_sweep=sweep_tiers(max_pairs, pdk=pdk, network=single),
+        network_sweep=sweep_tiers(max_pairs, pdk=pdk, network=network,
+                                  engine=engine),
+        parallel_layer_sweep=sweep_tiers(max_pairs, pdk=pdk, network=single,
+                                         engine=engine),
     )
 
 

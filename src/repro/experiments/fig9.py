@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from repro.core.insights import CapacityPoint, sweep_rram_capacity
 from repro.experiments.reporting import format_table, times
+from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
 
 
-def run_fig9(pdk: PDK | None = None) -> tuple[CapacityPoint, ...]:
+def run_fig9(pdk: PDK | None = None,
+             engine: EvaluationEngine | None = None) -> tuple[CapacityPoint, ...]:
     """Run the capacity sweep (12-128 MB) on ResNet-18."""
-    return sweep_rram_capacity(pdk=pdk)
+    return sweep_rram_capacity(pdk=pdk, engine=engine)
 
 
 def format_fig9(points: tuple[CapacityPoint, ...]) -> str:

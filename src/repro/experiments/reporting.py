@@ -7,9 +7,12 @@ figures report; this module renders them as aligned ASCII tables so the
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import require
+
+if TYPE_CHECKING:
+    from repro.runtime.engine import RunReport
 
 
 def format_table(
@@ -42,3 +45,27 @@ def times(value: float, digits: int = 2) -> str:
 def percent(value: float, digits: int = 1) -> str:
     """Format a fraction as a percentage string."""
     return f"{value * 100:.{digits}f}%"
+
+
+def format_run_report(report: "RunReport") -> str:
+    """Render an engine :class:`~repro.runtime.engine.RunReport`.
+
+    One row per stage (calls, cache hits/misses, evaluated count, wall
+    time) plus a greppable summary line —
+    ``total: C calls, H hits, M misses, E evaluated, T s`` — which the CI
+    cache-smoke job matches on (a fully warm run shows ``, 0 misses,``).
+    """
+    rows = [
+        [stage.name, stage.calls, stage.cache_hits, stage.cache_misses,
+         stage.evaluated, f"{stage.wall_time:.3f} s"]
+        for stage in report.stages
+    ]
+    table = format_table(
+        f"Evaluation runtime — {report.jobs} job(s)",
+        ["stage", "calls", "hits", "misses", "evaluated", "wall time"],
+        rows,
+    )
+    summary = (f"\ntotal: {report.calls} calls, {report.cache_hits} hits, "
+               f"{report.cache_misses} misses, {report.evaluated} evaluated, "
+               f"{report.wall_time:.3f} s")
+    return table + summary

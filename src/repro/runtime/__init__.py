@@ -1,0 +1,51 @@
+"""Parallel, memoized evaluation runtime for sweeps and experiments.
+
+Public surface:
+
+* :class:`~repro.runtime.engine.EvaluationEngine` — memoized parallel map
+  with per-stage instrumentation; :func:`~repro.runtime.engine.default_engine`
+  / :func:`~repro.runtime.engine.configure` manage the process-wide default.
+* :func:`~repro.runtime.pmap.pmap` — deterministic process-pool map with
+  ordered results and a serial fallback.
+* :class:`~repro.runtime.cache.ResultCache` — content-addressed LRU +
+  optional on-disk JSON store.
+* :func:`~repro.runtime.keys.stable_key` — cross-process content hash of
+  PDKs, networks, and knobs.
+* :func:`~repro.runtime.serialize.to_jsonable` /
+  :func:`~repro.runtime.serialize.from_jsonable` — the generic dataclass
+  codec behind the disk store and ``to_dict`` / ``from_dict`` helpers.
+"""
+
+from repro.runtime.cache import MISSING, CacheStats, ResultCache
+from repro.runtime.engine import (
+    EvaluationEngine,
+    RunReport,
+    StageStats,
+    configure,
+    default_engine,
+    reset_default_engine,
+)
+from repro.runtime.keys import call_key, stable_key
+from repro.runtime.pmap import default_jobs, pmap, pmap_calls
+from repro.runtime.serialize import dumps, from_jsonable, loads, to_jsonable
+
+__all__ = [
+    "MISSING",
+    "CacheStats",
+    "ResultCache",
+    "EvaluationEngine",
+    "RunReport",
+    "StageStats",
+    "configure",
+    "default_engine",
+    "reset_default_engine",
+    "call_key",
+    "stable_key",
+    "default_jobs",
+    "pmap",
+    "pmap_calls",
+    "dumps",
+    "from_jsonable",
+    "loads",
+    "to_jsonable",
+]

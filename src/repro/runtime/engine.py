@@ -1,0 +1,264 @@
+"""The evaluation engine: memoized, parallel, instrumented sweep execution.
+
+Every design-space sweep in this repository is a map of a *pure* function
+over a grid of ``(PDK, network, knobs)`` points.  The engine exploits that
+purity three ways:
+
+* **memoization** — results are cached under a content hash of the full
+  call (function name + every argument field), in memory and optionally
+  on disk, so re-runs and overlapping sweeps skip evaluation entirely;
+* **parallelism** — cache-missing points evaluate on a deterministic
+  process pool (:func:`repro.runtime.pmap.pmap_calls`) with ordered
+  results, so ``jobs=N`` is observably identical to serial;
+* **instrumentation** — per-stage wall time and hit/miss counters
+  accumulate into a :class:`RunReport`, printable via
+  :func:`repro.experiments.reporting.format_run_report`.
+
+Sweep entry points accept an explicit engine or fall back to the
+process-wide default (:func:`default_engine`), which the CLI configures
+from ``--jobs`` / ``--cache-dir`` / ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import require
+from repro.runtime.cache import MISSING, ResultCache
+from repro.runtime.keys import call_key
+from repro.runtime.pmap import pmap_calls
+
+CallSpec = "tuple[tuple, dict]"
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Counters for one named stage of a run.
+
+    Attributes:
+        name: Stage label (defaults to the mapped function's name).
+        calls: Results requested through the engine.
+        evaluated: Calls actually executed (cache misses + uncacheable).
+        cache_hits: Results served from the cache.
+        cache_misses: Cacheable calls that had to be evaluated.
+        uncacheable: Calls whose arguments have no stable key (evaluated
+            every time, never stored).
+        wall_time: Wall-clock seconds spent in this stage.
+    """
+
+    name: str
+    calls: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    uncacheable: int = 0
+    wall_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregated engine statistics for a run.
+
+    Attributes:
+        stages: Per-stage counters, in first-use order.
+        jobs: Worker count the engine ran with.
+    """
+
+    stages: tuple[StageStats, ...]
+    jobs: int = 1
+
+    @property
+    def calls(self) -> int:
+        """Total results requested."""
+        return sum(stage.calls for stage in self.stages)
+
+    @property
+    def evaluated(self) -> int:
+        """Total calls actually executed."""
+        return sum(stage.evaluated for stage in self.stages)
+
+    @property
+    def cache_hits(self) -> int:
+        """Total cache hits."""
+        return sum(stage.cache_hits for stage in self.stages)
+
+    @property
+    def cache_misses(self) -> int:
+        """Total cache misses."""
+        return sum(stage.cache_misses for stage in self.stages)
+
+    @property
+    def wall_time(self) -> float:
+        """Total stage wall-clock seconds."""
+        return sum(stage.wall_time for stage in self.stages)
+
+    def stage(self, name: str) -> StageStats:
+        """Look up one stage's counters by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in run report")
+
+
+class _MutableStage:
+    """Accumulator behind one :class:`StageStats` snapshot."""
+
+    __slots__ = ("name", "calls", "evaluated", "cache_hits",
+                 "cache_misses", "uncacheable", "wall_time")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.evaluated = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.uncacheable = 0
+        self.wall_time = 0.0
+
+    def snapshot(self) -> StageStats:
+        return StageStats(
+            name=self.name, calls=self.calls, evaluated=self.evaluated,
+            cache_hits=self.cache_hits, cache_misses=self.cache_misses,
+            uncacheable=self.uncacheable, wall_time=self.wall_time)
+
+
+class EvaluationEngine:
+    """Memoized, parallel map over pure evaluation functions."""
+
+    def __init__(self, jobs: int = 1,
+                 cache: ResultCache | None = None,
+                 cache_dir: str | None = None,
+                 use_cache: bool = True,
+                 max_memory_entries: int = 4096) -> None:
+        require(jobs >= 0, "jobs must be >= 0 (0 = one per CPU)")
+        self.jobs = jobs
+        if not use_cache:
+            self.cache: ResultCache | None = None
+        elif cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ResultCache(max_memory_entries=max_memory_entries,
+                                     directory=cache_dir)
+        self._stages: dict[str, _MutableStage] = {}
+
+    def map(self, fn: Callable[..., Any], calls: Iterable[Any],
+            stage: str | None = None) -> list:
+        """Evaluate ``fn`` over ``calls``, returning results in order.
+
+        Each element of ``calls`` is a ``dict`` (keyword arguments), a
+        ``tuple`` (positional arguments), or any other value (a single
+        positional argument).  Cached results are returned without
+        evaluation; the rest run through the process pool (``jobs`` > 1)
+        or serially, then enter the cache.
+        """
+        specs = [self._normalize(item) for item in calls]
+        tally = self._stage(stage if stage is not None else fn.__qualname__)
+        start = time.perf_counter()
+        tally.calls += len(specs)
+
+        keys: list[str | None] = []
+        for args, kwargs in specs:
+            if self.cache is None:
+                keys.append(None)
+                continue
+            try:
+                keys.append(call_key(fn, args, kwargs))
+            except TypeError:
+                keys.append(None)
+
+        results: list[Any] = [MISSING] * len(specs)
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            if key is not None:
+                cached = self.cache.get(key)  # type: ignore[union-attr]
+                if cached is not MISSING:
+                    results[index] = cached
+                    tally.cache_hits += 1
+                    continue
+                tally.cache_misses += 1
+            else:
+                tally.uncacheable += 1
+            pending.append(index)
+
+        if pending:
+            evaluated = pmap_calls(fn, [specs[i] for i in pending],
+                                   jobs=self.jobs)
+            tally.evaluated += len(pending)
+            for index, value in zip(pending, evaluated):
+                results[index] = value
+                if keys[index] is not None:
+                    self.cache.put(keys[index], value)  # type: ignore[union-attr]
+
+        tally.wall_time += time.perf_counter() - start
+        return results
+
+    def call(self, fn: Callable[..., Any], *args: Any,
+             stage: str | None = None, **kwargs: Any) -> Any:
+        """Evaluate a single call through the cache (never the pool)."""
+        saved_jobs = self.jobs
+        self.jobs = 1
+        try:
+            return self.map(fn, [(tuple(args), dict(kwargs))],
+                            stage=stage)[0]
+        finally:
+            self.jobs = saved_jobs
+
+    def report(self) -> RunReport:
+        """Snapshot of the per-stage counters accumulated so far."""
+        return RunReport(
+            stages=tuple(stage.snapshot() for stage in self._stages.values()),
+            jobs=self.jobs)
+
+    def reset_stats(self) -> None:
+        """Zero the stage counters (the cache is untouched)."""
+        self._stages.clear()
+
+    def _stage(self, name: str) -> _MutableStage:
+        if name not in self._stages:
+            self._stages[name] = _MutableStage(name)
+        return self._stages[name]
+
+    @staticmethod
+    def _normalize(item: Any) -> tuple[tuple, dict]:
+        if isinstance(item, dict):
+            return (), dict(item)
+        if isinstance(item, tuple) and len(item) == 2 \
+                and isinstance(item[0], tuple) and isinstance(item[1], dict):
+            return item
+        if isinstance(item, tuple):
+            return item, {}
+        return (item,), {}
+
+
+_default_engine: EvaluationEngine | None = None
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide engine sweeps use when none is passed explicitly.
+
+    Created lazily as a serial, memory-cached engine; reconfigured by
+    :func:`configure` (which the CLI calls from its flags).
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = EvaluationEngine()
+    return _default_engine
+
+
+def configure(jobs: int = 1, cache_dir: str | None = None,
+              use_cache: bool = True,
+              max_memory_entries: int = 4096) -> EvaluationEngine:
+    """Replace the default engine; returns the new one."""
+    global _default_engine
+    _default_engine = EvaluationEngine(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+        max_memory_entries=max_memory_entries)
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Drop the default engine (a fresh one is created on next use)."""
+    global _default_engine
+    _default_engine = None

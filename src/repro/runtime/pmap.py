@@ -1,0 +1,64 @@
+"""Deterministic parallel map with a graceful serial fallback.
+
+:func:`pmap` evaluates ``fn`` over an item list on a process pool and
+returns results *in input order* — ``pmap(fn, items, jobs=N)`` is
+observably identical to ``[fn(item) for item in items]`` for any pure,
+picklable ``fn``.  ``jobs=1`` (the default), short inputs, and any pool
+*infrastructure* failure (sandboxed environments without semaphores,
+unpicklable functions, broken workers) run the plain serial map instead;
+exceptions raised by ``fn`` itself always propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import require
+
+#: Exceptions that mean "the pool is unusable", not "the task failed".
+_POOL_FAILURES = (BrokenProcessPool, PicklingError, AttributeError,
+                  ImportError, OSError, PermissionError)
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (``os.cpu_count``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def pmap(fn: Callable[..., Any], items: Iterable[Any],
+         jobs: int = 1) -> list:
+    """Map ``fn`` over ``items`` with ``jobs`` workers, preserving order.
+
+    ``jobs=1`` runs serially with zero pool overhead; ``jobs<=0`` selects
+    :func:`default_jobs`.  Results are returned in input order regardless
+    of worker scheduling, so parallel and serial runs are interchangeable.
+    """
+    work = list(items)
+    if jobs <= 0:
+        jobs = default_jobs()
+    require(jobs >= 1, "jobs must be >= 1")
+    if jobs == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except _POOL_FAILURES:
+        return [fn(item) for item in work]
+
+
+def _apply(payload: tuple) -> Any:
+    """Worker body for :func:`pmap_calls`: unpack and call."""
+    fn, args, kwargs = payload
+    return fn(*args, **kwargs)
+
+
+def pmap_calls(fn: Callable[..., Any],
+               calls: Sequence[tuple[tuple, dict]],
+               jobs: int = 1) -> list:
+    """Like :func:`pmap` for heterogeneous ``(args, kwargs)`` call specs."""
+    payloads = [(fn, args, kwargs) for args, kwargs in calls]
+    return pmap(_apply, payloads, jobs=jobs)

@@ -1,0 +1,370 @@
+"""Property tests for the evaluation runtime (``repro.runtime``).
+
+The contracts under test are the ones the sweeps rely on:
+
+* ``pmap(fn, items, jobs=N)`` returns the same values in the same order
+  as the serial map, for any ``N`` — parallelism is observably invisible;
+* cache keys are pure functions of call *content*: stable across
+  processes and equal-but-distinct objects, different whenever any PDK or
+  knob field differs;
+* a cache round-trip through disk returns an equal result object;
+* ``explore(jobs>1)`` equals ``explore(jobs=1)`` exactly, and a warm disk
+  cache serves a repeat sweep with zero ``evaluate_design_point`` calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.dse import DesignCandidate, evaluate_design_point, explore
+from repro.core.insights import CapacityPoint, capacity_point
+from repro.runtime import (
+    MISSING,
+    EvaluationEngine,
+    ResultCache,
+    call_key,
+    configure,
+    default_engine,
+    default_jobs,
+    dumps,
+    from_jsonable,
+    loads,
+    pmap,
+    pmap_calls,
+    reset_default_engine,
+    stable_key,
+    to_jsonable,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import format_run_report
+from repro.units import MEGABYTE
+from repro.workloads import resnet18, alexnet
+
+#: A small but non-trivial joint-DSE grid (4 points) reused across tests.
+SMALL_GRID = dict(capacities_bits=(32 * MEGABYTE,), deltas=(1.0, 1.6),
+                  betas=(1.0,), tier_pairs=(1, 2))
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b, offset=0):
+    return a + b + offset
+
+
+def _boom(x):
+    raise ValueError(f"task failure for {x}")
+
+
+def _type_name(value):
+    return type(value).__name__
+
+
+@pytest.fixture
+def fresh_default_engine():
+    """Isolate tests that touch the process-wide default engine."""
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+class TestPmap:
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 8])
+    def test_matches_serial_map_in_order_and_values(self, jobs):
+        items = list(range(12))
+        assert pmap(_square, items, jobs=jobs) == [x * x for x in items]
+
+    def test_jobs_zero_uses_all_cpus(self):
+        assert default_jobs() >= 1
+        assert pmap(_square, [1, 2, 3], jobs=0) == [1, 4, 9]
+
+    def test_negative_jobs_rejected_only_below_auto(self):
+        # jobs<=0 means "auto"; the guard inside pmap still holds.
+        assert pmap(_square, [2], jobs=-1) == [4]
+
+    def test_empty_input(self):
+        assert pmap(_square, [], jobs=4) == []
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_task_exception_propagates(self, jobs):
+        with pytest.raises(ValueError, match="task failure"):
+            pmap(_boom, [1, 2, 3], jobs=jobs)
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        offset = 10
+        results = pmap(lambda x: x + offset, [1, 2, 3], jobs=4)
+        assert results == [11, 12, 13]
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_pmap_calls_mixed_args_kwargs(self, jobs):
+        calls = [((1, 2), {}), ((3, 4), {"offset": 100}), ((0, 0), {})]
+        assert pmap_calls(_add, calls, jobs=jobs) == [3, 107, 0]
+
+
+class TestStableKey:
+    def test_is_a_sha256_hex_digest(self, pdk):
+        key = stable_key(pdk, 64 * MEGABYTE, 1.6)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_objects_same_key(self, pdk):
+        # A freshly reconstructed PDK/network must hash identically.
+        assert stable_key(pdk, resnet18(), 1.0) == \
+            stable_key(repro.foundry_m3d_pdk(), resnet18(), 1.0)
+
+    def test_stable_across_processes(self, pdk):
+        local = stable_key(pdk, resnet18(), 64 * MEGABYTE, 1.6)
+        script = (
+            "from repro.tech import foundry_m3d_pdk\n"
+            "from repro.workloads import resnet18\n"
+            "from repro.runtime import stable_key\n"
+            "from repro.units import MEGABYTE\n"
+            "print(stable_key(foundry_m3d_pdk(), resnet18(), "
+            "64 * MEGABYTE, 1.6))\n"
+        )
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ, PYTHONPATH=src)
+        remote = subprocess.run(
+            [sys.executable, "-c", script], env=env, text=True,
+            capture_output=True, check=True).stdout.strip()
+        assert remote == local
+
+    def test_any_pdk_field_change_changes_key(self, pdk):
+        base = stable_key(pdk)
+        assert stable_key(pdk.with_ilv_pitch_factor(1.3)) != base
+        for field in dataclasses.fields(pdk):
+            value = getattr(pdk, field.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            perturbed = dataclasses.replace(pdk, **{field.name: value * 2 + 1})
+            assert stable_key(perturbed) != base, field.name
+
+    def test_any_knob_change_changes_key(self, pdk):
+        net = resnet18()
+        base = call_key(evaluate_design_point, (pdk, net, 64 * MEGABYTE),
+                        {"delta": 1.0, "beta": 1.0, "tier_pairs": 1})
+        variants = [
+            ((pdk, net, 32 * MEGABYTE),
+             {"delta": 1.0, "beta": 1.0, "tier_pairs": 1}),
+            ((pdk, net, 64 * MEGABYTE),
+             {"delta": 1.6, "beta": 1.0, "tier_pairs": 1}),
+            ((pdk, net, 64 * MEGABYTE),
+             {"delta": 1.0, "beta": 1.3, "tier_pairs": 1}),
+            ((pdk, net, 64 * MEGABYTE),
+             {"delta": 1.0, "beta": 1.0, "tier_pairs": 2}),
+            ((pdk, alexnet(), 64 * MEGABYTE),
+             {"delta": 1.0, "beta": 1.0, "tier_pairs": 1}),
+        ]
+        keys = [call_key(evaluate_design_point, args, kwargs)
+                for args, kwargs in variants]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_key_distinguishes_functions(self, pdk):
+        assert call_key(_square, (pdk,), {}) != call_key(_type_name, (pdk,), {})
+
+
+class TestSerialization:
+    def test_design_candidate_round_trip(self, pdk):
+        candidate = evaluate_design_point(pdk, resnet18(), 32 * MEGABYTE,
+                                          delta=1.6, tier_pairs=2)
+        data = candidate.to_dict()
+        assert candidate == DesignCandidate.from_dict(
+            json.loads(json.dumps(data)))
+
+    def test_capacity_point_round_trip(self, pdk):
+        point = capacity_point(pdk, resnet18(), 32 * MEGABYTE)
+        assert point == CapacityPoint.from_dict(
+            json.loads(json.dumps(point.to_dict())))
+
+    def test_from_dict_rejects_other_types(self, pdk):
+        point = capacity_point(pdk, resnet18(), 32 * MEGABYTE)
+        with pytest.raises(ConfigurationError):
+            DesignCandidate.from_dict(point.to_dict())
+
+    def test_benefit_report_round_trip(self, resnet18_benefit):
+        assert loads(dumps(resnet18_benefit)) == resnet18_benefit
+
+    def test_containers_round_trip(self):
+        value = {"pair": (1, 2.5), "tags": frozenset({"a", "b"}),
+                 "levels": {"x", "y"}, "rows": [(1,), (2,)], "none": None}
+        assert from_jsonable(to_jsonable(value)) == value
+
+    def test_canonical_text_is_deterministic(self, pdk):
+        assert dumps(pdk) == dumps(repro.foundry_m3d_pdk())
+
+    def test_untrusted_module_rejected(self):
+        payload = {"__dataclass__": "os.path:join", "fields": {}}
+        with pytest.raises((ValueError, TypeError, ConfigurationError)):
+            from_jsonable(payload)
+
+    def test_unserializable_value_raises_type_error(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestResultCache:
+    def test_memory_round_trip_and_missing_sentinel(self):
+        cache = ResultCache()
+        assert cache.get("k") is MISSING
+        cache.put("k", None)  # a cached None is not a miss
+        assert cache.get("k") is None
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_disk_round_trip_returns_equal_candidate(self, pdk, tmp_path):
+        candidate = evaluate_design_point(pdk, resnet18(), 32 * MEGABYTE)
+        writer = ResultCache(directory=tmp_path)
+        key = stable_key(pdk, 32 * MEGABYTE)
+        writer.put(key, candidate)
+        reader = ResultCache(directory=tmp_path)  # fresh memory tier
+        restored = reader.get(key)
+        assert restored == candidate
+        assert isinstance(restored, DesignCandidate)
+        assert reader.stats.disk_hits == 1
+        assert reader.get(key) == candidate  # now from memory
+        assert reader.stats.memory_hits == 1
+
+    def test_tampered_disk_file_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("key", 42)
+        (tmp_path / "key.json").write_text("{not json", encoding="utf-8")
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("key") is MISSING
+
+    def test_stats_counters(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.get("absent")
+        cache.put("k", 7)
+        cache.get("k")
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+
+class TestEvaluationEngine:
+    def test_explore_parallel_identical_to_serial(self, pdk):
+        serial = explore(pdk, engine=EvaluationEngine(jobs=1, use_cache=False),
+                         **SMALL_GRID)
+        parallel = explore(pdk, engine=EvaluationEngine(jobs=4,
+                                                        use_cache=False),
+                           **SMALL_GRID)
+        assert parallel == serial  # dataclass equality: exact floats
+        assert [dumps(p) for p in parallel] == [dumps(s) for s in serial]
+
+    def test_memory_cache_hits_within_one_engine(self, pdk):
+        engine = EvaluationEngine()
+        first = explore(pdk, engine=engine, **SMALL_GRID)
+        second = explore(pdk, engine=engine, **SMALL_GRID)
+        assert second == first
+        stage = engine.report().stage("dse.explore")
+        assert stage.calls == 2 * len(first)
+        assert stage.evaluated == len(first)
+        assert stage.cache_hits == len(first)
+
+    def test_warm_disk_cache_runs_zero_evaluations(self, pdk, tmp_path,
+                                                   monkeypatch):
+        cold = EvaluationEngine(jobs=2, cache_dir=tmp_path)
+        expected = explore(pdk, engine=cold, **SMALL_GRID)
+        assert cold.report().stage("dse.explore").evaluated == len(expected)
+
+        # The acceptance bar: a *fresh* engine over the warm directory must
+        # answer entirely from disk — evaluate_design_point never runs.
+        @functools.wraps(evaluate_design_point)
+        def forbidden(*args, **kwargs):
+            raise AssertionError("evaluate_design_point called on warm cache")
+
+        monkeypatch.setattr("repro.core.dse.evaluate_design_point", forbidden)
+        warm = EvaluationEngine(jobs=1, cache_dir=tmp_path)
+        repeat = explore(pdk, engine=warm, **SMALL_GRID)
+        assert repeat == expected
+        stage = warm.report().stage("dse.explore")
+        assert stage.cache_hits == len(expected)
+        assert stage.cache_misses == 0
+        assert stage.evaluated == 0
+
+    def test_call_spec_normalization(self):
+        engine = EvaluationEngine(use_cache=False)
+        results = engine.map(_add, [
+            {"a": 1, "b": 2},           # kwargs dict
+            (3, 4),                     # positional tuple
+            ((5, 6), {"offset": 10}),   # explicit (args, kwargs) pair
+        ])
+        assert results == [3, 7, 21]
+        assert engine.map(_square, [5]) == [25]  # bare scalar argument
+
+    def test_uncacheable_arguments_still_evaluate(self):
+        engine = EvaluationEngine()
+        assert engine.map(_type_name, [object()], stage="s") == ["object"]
+        stage = engine.report().stage("s")
+        assert stage.uncacheable == 1
+        assert stage.evaluated == 1
+        assert stage.cache_hits == stage.cache_misses == 0
+
+    def test_single_call_api_memoizes(self):
+        engine = EvaluationEngine(jobs=4)
+        assert engine.call(_add, 1, 2, offset=3) == 6
+        assert engine.call(_add, 1, 2, offset=3) == 6
+        report = engine.report()
+        assert report.cache_hits == 1
+        assert report.evaluated == 1
+        assert engine.jobs == 4  # call() restores the worker count
+
+    def test_report_aggregates_and_stage_lookup(self):
+        engine = EvaluationEngine()
+        engine.map(_square, [1, 2], stage="a")
+        engine.map(_square, [1], stage="b")  # hit: same key as in "a"
+        report = engine.report()
+        assert report.calls == 3
+        assert report.cache_hits == 1
+        assert report.stage("a").calls == 2
+        with pytest.raises(KeyError):
+            report.stage("missing")
+        engine.reset_stats()
+        assert engine.report().stages == ()
+
+    def test_format_run_report_greppable_total(self):
+        engine = EvaluationEngine()
+        engine.map(_square, [1, 2, 3], stage="demo")
+        text = format_run_report(engine.report())
+        assert "demo" in text
+        assert "total: 3 calls, 0 hits, 3 misses, 3 evaluated" in text
+
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationEngine(jobs=-1)
+
+
+class TestDefaultEngine:
+    def test_configure_replaces_default(self, fresh_default_engine):
+        engine = configure(jobs=3, use_cache=False)
+        assert default_engine() is engine
+        assert engine.jobs == 3
+        assert engine.cache is None
+
+    def test_reset_creates_fresh_serial_engine(self, fresh_default_engine):
+        configure(jobs=5)
+        reset_default_engine()
+        engine = default_engine()
+        assert engine.jobs == 1
+        assert engine.cache is not None
