@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable
 
 from repro.experiments import (
     format_case_study,
+    format_dse,
     format_fig5,
     format_fig7,
     format_fig8,
@@ -28,8 +30,10 @@ from repro.experiments import (
     format_obs3,
     format_obs8,
     format_obs10,
+    format_table,
     format_table1,
     run_case_study,
+    run_dse,
     run_fig5,
     run_fig7,
     run_fig8,
@@ -80,6 +84,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
              _with_pdk(run_obs3, format_obs3)),
     "obs10": ("Obs. 10: thermal tier ceiling",
               _no_pdk(run_obs10, format_obs10)),
+    "dse": ("Extension: joint (capacity, delta, beta, Y) design space "
+            "with Pareto frontier",
+            _with_pdk(run_dse, format_dse)),
 }
 
 
@@ -134,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--runtime-stats", action="store_true",
         help="print per-stage cache/parallelism statistics after running")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-experiment wall time plus per-stage wall time, "
+             "evaluation counts, and cache/memo/dedup hit rates")
     return parser
 
 
@@ -157,7 +168,8 @@ def main(argv: list[str] | None = None) -> int:
 
     engine = configure(jobs=args.jobs, cache_dir=args.cache_dir,
                        use_cache=not args.no_cache)
-    show_stats = args.runtime_stats or args.cache_dir is not None
+    show_stats = (args.runtime_stats or args.profile
+                  or args.cache_dir is not None)
     names = args.experiments or ["list"]
     if names == ["validate"]:
         from repro.validate import main as validate_main
@@ -180,10 +192,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"try 'python -m repro list'", file=sys.stderr)
         return 2
+    timings: list[tuple[str, float]] = []
     for index, name in enumerate(names):
         if index:
             print()
+        started = time.perf_counter()
         print(EXPERIMENTS[name][1]())
+        timings.append((name, time.perf_counter() - started))
+    if args.profile:
+        print()
+        print(format_table(
+            "Experiment wall time",
+            ["experiment", "wall time"],
+            [[name, f"{elapsed:.3f} s"] for name, elapsed in timings],
+        ))
     if show_stats:
         from repro.experiments.reporting import format_run_report
 

@@ -41,7 +41,14 @@ from repro.core.insights import (
     sweep_rram_capacity,
 )
 from repro.core.allocate import Allocation, AllocationResult, optimize_freed_silicon
-from repro.core.dse import DesignCandidate, explore, pareto_frontier
+from repro.core.dse import (
+    DesignCandidate,
+    DesignPointPlan,
+    evaluate_design_point,
+    explore,
+    pareto_frontier,
+    plan_design_point,
+)
 from repro.core.roofline import RooflineModel, RooflinePoint, roofline
 from repro.core.sensitivity import Elasticity, elasticity, sensitivity_profile
 
@@ -76,8 +83,11 @@ __all__ = [
     "AllocationResult",
     "optimize_freed_silicon",
     "DesignCandidate",
+    "DesignPointPlan",
+    "evaluate_design_point",
     "explore",
     "pareto_frontier",
+    "plan_design_point",
     "RooflinePoint",
     "RooflineModel",
     "roofline",

@@ -20,10 +20,15 @@ from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.core.framework import DesignPoint, Workload, edp_benefit
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.cache import MISSING
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.memo import IdentityKey, memo_table
 from repro.runtime.serialize import from_jsonable, to_jsonable
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
+
+#: Capacity-plan memo: (PDK identity, capacity) -> (baseline, m3d) designs.
+_CAPACITY_MEMO = memo_table("insights.capacity_plan")
 
 
 @dataclass(frozen=True)
@@ -159,14 +164,28 @@ class CapacityPoint:
         return point
 
 
+def plan_capacity_point(pdk: PDK, capacity_bits: int):
+    """(baseline, m3d) design pair for one Fig. 9 capacity (no simulation).
+
+    Memoized on (PDK identity, capacity), same scheme as
+    :func:`repro.core.dse.plan_design_point`.
+    """
+    key = (IdentityKey(pdk), capacity_bits)
+    pair = _CAPACITY_MEMO.get(key)
+    if pair is MISSING:
+        pair = (baseline_2d_design(pdk, capacity_bits),
+                m3d_design(pdk, capacity_bits))
+        _CAPACITY_MEMO.put(key, pair)
+    return pair
+
+
 def capacity_point(
     pdk: PDK,
     network: Network,
     capacity_bits: int,
 ) -> CapacityPoint:
     """Evaluate one Fig. 9 capacity point with the simulator pipeline."""
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits)
+    baseline, m3d = plan_capacity_point(pdk, capacity_bits)
     benefit = compare_designs(
         simulate(baseline, network, pdk),
         simulate(m3d, network, pdk),
@@ -185,20 +204,35 @@ def sweep_rram_capacity(
     pdk: PDK | None = None,
     network: Network | None = None,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[CapacityPoint, ...]:
     """Fig. 9: benefit vs baseline RRAM capacity at fixed DNN compute.
 
     Larger baseline memories free more silicon under the arrays in M3D,
     admitting more parallel CSs (Obs. 6); the workload must fit at the
-    smallest capacity (ResNet-18's ~12 M parameters at 12 MB).  Points
-    evaluate through ``engine`` (default: the process-wide engine).
+    smallest capacity (ResNet-18's ~12 M parameters at 12 MB).  The sweep
+    is planned up front and the resulting ``simulate`` calls dispatch
+    through ``engine`` (default: the process-wide engine) in one
+    deduplicated batch; ``jobs`` applies to this sweep only.
     """
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
     engine = engine if engine is not None else default_engine()
-    calls = [
-        {"pdk": pdk, "network": network, "capacity_bits": capacity}
-        for capacity in capacities_bits
-    ]
-    return tuple(engine.map(capacity_point, calls,
-                            stage="insights.sweep_rram_capacity"))
+    plans = [plan_capacity_point(pdk, capacity)
+             for capacity in capacities_bits]
+    sim_calls = []
+    for baseline, m3d in plans:
+        sim_calls.append({"design": baseline, "network": network, "pdk": pdk})
+        sim_calls.append({"design": m3d, "network": network, "pdk": pdk})
+    reports = engine.map(simulate, sim_calls, stage="insights.simulate",
+                         jobs=jobs)
+    points = []
+    for index, (capacity, (_, m3d)) in enumerate(zip(capacities_bits, plans)):
+        benefit = compare_designs(reports[2 * index], reports[2 * index + 1])
+        points.append(CapacityPoint(
+            capacity_bits=capacity,
+            n_cs=m3d.n_cs,
+            speedup=benefit.speedup,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(points)

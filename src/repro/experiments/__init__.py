@@ -32,6 +32,7 @@ from repro.experiments.fig10 import (
     run_obs8,
     run_obs10,
 )
+from repro.experiments.ext_dse import format_dse, run_dse
 from repro.experiments.obs3 import format_obs3, run_obs3
 from repro.experiments.reporting import format_run_report, format_table
 
@@ -62,6 +63,8 @@ __all__ = [
     "format_obs10",
     "run_obs3",
     "format_obs3",
+    "run_dse",
+    "format_dse",
     "format_run_report",
     "format_table",
 ]

@@ -47,25 +47,54 @@ def percent(value: float, digits: int = 1) -> str:
     return f"{value * 100:.{digits}f}%"
 
 
+def _rate(hits: int, lookups: int) -> str:
+    """Hit-rate cell: ``hits/lookups`` as a percentage, or ``-``."""
+    if lookups <= 0:
+        return "-"
+    return percent(hits / lookups, 0)
+
+
 def format_run_report(report: "RunReport") -> str:
     """Render an engine :class:`~repro.runtime.engine.RunReport`.
 
-    One row per stage (calls, cache hits/misses, evaluated count, wall
-    time) plus a greppable summary line —
+    One row per stage (calls, cache hits/misses, in-batch dedup hits,
+    evaluated count, wall time) plus per-table memo hit rates, search
+    counters, and a greppable summary line —
     ``total: C calls, H hits, M misses, E evaluated, T s`` — which the CI
     cache-smoke job matches on (a fully warm run shows ``, 0 misses,``).
     """
     rows = [
         [stage.name, stage.calls, stage.cache_hits, stage.cache_misses,
-         stage.evaluated, f"{stage.wall_time:.3f} s"]
+         stage.dedup_hits, stage.evaluated,
+         _rate(stage.cache_hits + stage.dedup_hits, stage.calls),
+         f"{stage.wall_time:.3f} s"]
         for stage in report.stages
     ]
     table = format_table(
         f"Evaluation runtime — {report.jobs} job(s)",
-        ["stage", "calls", "hits", "misses", "evaluated", "wall time"],
+        ["stage", "calls", "hits", "misses", "dedup", "evaluated",
+         "hit rate", "wall time"],
         rows,
     )
+    sections = [table]
+    memos = [memo for memo in report.memos if memo.lookups]
+    if memos:
+        sections.append(format_table(
+            "Memo tables",
+            ["table", "hits", "misses", "entries", "hit rate"],
+            [[memo.name, memo.hits, memo.misses, memo.entries,
+              _rate(memo.hits, memo.lookups)] for memo in memos],
+        ))
+    counters = [counter for counter in report.counters if counter.values]
+    if counters:
+        sections.append(format_table(
+            "Counters",
+            ["counter", "value"],
+            [[f"{counter.name}.{key}", value]
+             for counter in counters
+             for key, value in counter.values],
+        ))
     summary = (f"\ntotal: {report.calls} calls, {report.cache_hits} hits, "
                f"{report.cache_misses} misses, {report.evaluated} evaluated, "
                f"{report.wall_time:.3f} s")
-    return table + summary
+    return "\n\n".join(sections) + summary

@@ -243,6 +243,13 @@ class CostModel:
             return self._global.energy_per_bit
         return level.energy_per_bit
 
+    def search_bounds(self, nest: LoopNest, rram_channel_bits: float,
+                      global_width_bits: float | None = None,
+                      ) -> "TilingSearchBounds":
+        """Admissible lower-bound evaluator for branch-and-bound search."""
+        return TilingSearchBounds(self, nest, rram_channel_bits,
+                                  global_width_bits)
+
     def evaluate(self, nest: LoopNest, tiling: Tiling,
                  rram_channel_bits: float,
                  global_width_bits: float | None = None) -> MappingCost:
@@ -305,3 +312,149 @@ class CostModel:
             global_bits=global_bits,
             utilization=util,
         )
+
+
+#: Relative safety factor keeping the fast bound admissible under
+#: floating-point reassociation noise (~1e-16 per op; 1e-12 is a three
+#: orders-of-magnitude cushion, still far below the 1e-9 tolerance any
+#: two genuinely different mappings are separated by in practice).
+BOUND_MARGIN = 1.0 - 1e-12
+
+
+class TilingSearchBounds:
+    """Admissible EDP lower bounds for one slice's tiling search.
+
+    The bound prices exactly the *mandatory* terms of
+    :meth:`CostModel.evaluate` — utilization-derated compute time, the
+    roofline of mandatory RRAM / global-SRAM operand traffic, and the
+    tiling-independent compute/register/accumulator energy — using flat
+    scalar arithmetic on quantities precomputed per nest.  Because every
+    mandatory term is reproduced (not relaxed) the bound is tight up to
+    floating-point reassociation, and :data:`BOUND_MARGIN` keeps it on
+    the admissible side of that noise: for every legal tiling,
+    ``lower_bound(...) <= evaluate(...).edp``.
+
+    Admissibility is what lets the mapper's branch-and-bound skip a
+    candidate whenever its bound exceeds the incumbent's true EDP without
+    ever changing the argmin (see DESIGN.md, "Branch-and-bound tiling
+    search"); ``tests/test_mapper_pruning.py`` checks both the inequality
+    and pruned-vs-exhaustive equivalence across all Table II
+    architectures and every mappable ResNet-18/AlexNet/VGG-16 layer.
+
+    A return of ``None`` means the candidate fails
+    :meth:`CostModel.tile_fits` (mirrored exactly), so the search skips
+    it just as the exhaustive scan does.
+    """
+
+    __slots__ = (
+        "_sp_k", "_sp_c", "_sp_oy", "_precision", "_k", "_c", "_oy",
+        "_rs", "_in_x", "_stride", "_s", "_size_w", "_size_o",
+        "_w_cap", "_i_cap", "_o_cap", "_o_row_bits",
+        "_rram_e", "_global_e", "_w_local_e", "_i_local_e",
+        "_base_energy", "_compute_cycles", "_width", "_rram_channel",
+        "_macs_over_spk",
+    )
+
+    def __init__(self, model: CostModel, nest: LoopNest,
+                 rram_channel_bits: float,
+                 global_width_bits: float | None = None) -> None:
+        spatial = model.arch.spatial
+        precision = model.precision_bits
+        self._sp_k = spatial.k
+        self._sp_c = spatial.c
+        self._sp_oy = spatial.oy
+        self._precision = precision
+        self._k = nest.k
+        self._c = nest.c
+        self._oy = nest.oy
+        self._rs = nest.r * nest.s
+        self._in_x = (nest.ox - 1) * nest.stride + nest.r
+        self._stride = nest.stride
+        self._s = nest.s
+        self._size_w = nest.operand_size(OperandKind.WEIGHT)
+        self._size_o = nest.operand_size(OperandKind.OUTPUT)
+        w_local = model._local[Operand.WEIGHT]
+        i_local = model._local[Operand.INPUT]
+        o_local = model._local[Operand.OUTPUT]
+        self._w_cap = None if w_local is None else w_local.total_capacity_bits
+        self._i_cap = None if i_local is None else i_local.total_capacity_bits
+        self._o_cap = None if o_local is None else o_local.total_capacity_bits
+        # Output-persistence check: tk * (ox * oy * ACC) vs local_O capacity.
+        self._o_row_bits = nest.ox * nest.oy * ACCUMULATOR_BITS
+        self._rram_e = model._rram.energy_per_bit
+        self._global_e = model._global.energy_per_bit
+        self._w_local_e = model._local_energy_per_bit(Operand.WEIGHT)
+        self._i_local_e = (0.0 if i_local is None else i_local.energy_per_bit)
+        macs = nest.macs
+        util = model.utilization(nest)
+        # Tiling-independent energy: spatially-reduced accumulator traffic,
+        # register traffic, and the MACs themselves.
+        self._base_energy = (
+            2.0 * macs / spatial.c * ACCUMULATOR_BITS
+            * model._local_energy_per_bit(Operand.OUTPUT)
+            + 3.0 * macs * precision * constants.REGISTER_ENERGY_PER_BIT
+            + macs * constants.MAC8_ENERGY_130NM)
+        self._compute_cycles = macs / (spatial.pe_count * util)
+        self._width = (global_width_bits if global_width_bits is not None
+                       else model._global.width_bits)
+        self._rram_channel = rram_channel_bits
+        self._macs_over_spk = macs / spatial.k
+
+    def lower_bound(self, order: LoopOrder, tk: int, tc: int,
+                    toy: int) -> float | None:
+        """Admissible EDP bound for ``Tiling(order, tk, tc, toy)``.
+
+        ``None`` when the tiling fails :meth:`CostModel.tile_fits`.
+        """
+        precision = self._precision
+        w_resident = (self._w_cap is not None
+                      and tk * tc * self._rs * precision <= self._w_cap)
+        tile_i = tc * self._in_x * ((toy - 1) * self._stride + self._s)
+        i_resident = (self._i_cap is not None
+                      and tile_i * precision <= self._i_cap)
+        minimal = (tk <= self._sp_k and tc <= self._sp_c
+                   and toy <= self._sp_oy)
+        if not minimal:
+            if self._w_cap is not None and not w_resident:
+                return None
+            if self._i_cap is not None and not i_resident:
+                return None
+
+        nk = math.ceil(self._k / tk)
+        nc = math.ceil(self._c / tc)
+        no = math.ceil(self._oy / toy)
+        size_w = self._size_w
+        size_o = self._size_o
+
+        if w_resident:
+            weight_reads = (size_w if order == LoopOrder.WEIGHT_OUTER
+                            else size_w * no)
+            rram_bits = weight_reads * precision
+            w_local_energy = size_w * no * precision * self._w_local_e
+        else:
+            rram_bits = size_w * no * precision
+            w_local_energy = 0.0
+
+        if i_resident:
+            global_in_bits = nk * nc * no * tile_i * precision
+            i_local_energy = self._macs_over_spk * precision * self._i_local_e
+        else:
+            global_in_bits = self._macs_over_spk * precision
+            i_local_energy = 0.0
+
+        if order == LoopOrder.WEIGHT_OUTER and not (
+                self._o_cap is not None
+                and tk * self._o_row_bits <= self._o_cap):
+            output_elems = size_o * nc + size_o * max(0, nc - 1)
+        else:
+            output_elems = size_o
+        global_out_bits = output_elems * ACCUMULATOR_BITS
+        global_bits = global_in_bits + global_out_bits
+
+        energy = (rram_bits * self._rram_e
+                  + global_bits * self._global_e
+                  + i_local_energy + w_local_energy + self._base_energy)
+        cycles = max(self._compute_cycles,
+                     global_bits / self._width,
+                     rram_bits / self._rram_channel)
+        return energy * cycles * BOUND_MARGIN

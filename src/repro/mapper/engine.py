@@ -32,8 +32,16 @@ from repro.arch.memory import MemoryKind
 from repro.arch.table2 import ArchitectureSpec
 from repro.mapper.cost import CostModel, LoopOrder, MappingCost, Tiling
 from repro.mapper.loopnest import LoopNest, loop_nest_of
-from repro.workloads.layers import Layer, LayerKind
+from repro.runtime.cache import MISSING
+from repro.runtime.memo import add_counts, memo_table
+from repro.workloads.layers import Layer, LayerKind, shape_key
 from repro.workloads.models import Network
+
+#: Slice-search memo: (arch fingerprint, nest, prune flag) -> MappingCost.
+_SLICE_MEMO = memo_table("mapper.slice")
+
+#: Layer-level memo: (chip fingerprint, layer shape) -> mapping numbers.
+_LAYER_MEMO = memo_table("mapper.layer")
 
 
 def arch_static_power(arch: ArchitectureSpec, pdk: PDK, n_cs: int = 1) -> float:
@@ -169,6 +177,15 @@ class MapperEngine:
             self.rram_channel_bits = float(bank_width_bits)
         self.cost_model = CostModel(arch, precision_bits)
         self._static_power = arch_static_power(arch, self.pdk, n_cs)
+        # Everything best_slice_cost reads beyond the nest itself ...
+        self._slice_fingerprint = (arch, precision_bits,
+                                   self.rram_channel_bits)
+        # ... and everything map_layer adds on top of the slice search
+        # (chip-level writeback, leakage, CS partitioning).  Equal
+        # fingerprints make per-layer mappings interchangeable; see
+        # DESIGN.md ("Layer memoization").
+        self._layer_fingerprint = self._slice_fingerprint + (
+            n_cs, writeback_bus_bits, frequency_hz, self._static_power)
 
     @property
     def cycle_time(self) -> float:
@@ -186,19 +203,121 @@ class MapperEngine:
                     for toy in _pow2_tiles(spatial.oy, nest.oy):
                         yield Tiling(order=order, tk=tk, tc=tc, toy=toy)
 
-    def best_slice_cost(self, nest: LoopNest) -> MappingCost:
-        """Lowest-EDP legal tiling for one CS's layer slice."""
+    def best_slice_cost(self, nest: LoopNest,
+                        prune: bool = True) -> MappingCost:
+        """Lowest-EDP legal tiling for one CS's layer slice.
+
+        With ``prune`` (the default) the search runs branch-and-bound:
+        each candidate is first priced by the admissible lower bound of
+        :meth:`repro.mapper.cost.CostModel.search_bounds`, and fully
+        evaluated only when the bound does not exceed the incumbent's
+        true EDP.  Because the bound never overestimates and candidates
+        are visited in the same order, the pruned search returns the
+        *identical* tiling and cost as ``prune=False`` (the exhaustive
+        reference scan) — proven in DESIGN.md and exercised by
+        ``tests/test_mapper_pruning.py``.  Results memoize on
+        ``(architecture fingerprint, nest, prune)``.
+        """
+        key = (self._slice_fingerprint, nest, prune)
+        memoized = _SLICE_MEMO.get(key)
+        if memoized is not MISSING:
+            return memoized
+        best = (self._search_pruned(nest) if prune
+                else self._search_exhaustive(nest))
+        if best is None:
+            raise MappingError(
+                f"no legal tiling for nest {nest} on {self.arch.name}")
+        _SLICE_MEMO.put(key, best)
+        return best
+
+    def _search_exhaustive(self, nest: LoopNest) -> MappingCost | None:
+        """Reference scan: evaluate every fitting candidate in order."""
         best: MappingCost | None = None
+        evaluated = 0
+        candidates = 0
         for tiling in self.candidate_tilings(nest):
+            candidates += 1
             if not self.cost_model.tile_fits(nest, tiling):
                 continue
             cost = self.cost_model.evaluate(
                 nest, tiling, rram_channel_bits=self.rram_channel_bits)
+            evaluated += 1
             if best is None or cost.edp < best.edp:
                 best = cost
-        if best is None:
-            raise MappingError(
-                f"no legal tiling for nest {nest} on {self.arch.name}")
+        add_counts("mapper.search", candidates=candidates,
+                   evaluated=evaluated)
+        return best
+
+    def _search_pruned(self, nest: LoopNest) -> MappingCost | None:
+        """Branch-and-bound scan: same argmin, far fewer full evaluations.
+
+        Pass 1 prices every candidate with the admissible lower bound of
+        :meth:`repro.mapper.cost.CostModel.search_bounds` and fully
+        evaluates only the minimum-bound candidate, whose true EDP seeds
+        the incumbent *bound* (it never becomes the incumbent mapping, so
+        first-candidate tie-breaking is untouched).  Pass 2 walks the
+        candidates in the exhaustive scan's order and skips any whose
+        bound exceeds the seed bound or the incumbent's true EDP.
+
+        Why no skip can change the result: a skipped candidate ``c`` has
+        ``lb(c) > min(seed, best.edp)`` with ``seed`` the true EDP of some
+        candidate and ``best.edp`` only ever shrinking toward the final
+        minimum; admissibility (``lb(c) <= edp(c)``) then forces
+        ``edp(c)`` strictly above an EDP some other candidate achieves,
+        so under the strict ``<`` incumbent update (ties keep the
+        earliest candidate) ``c`` can never be the exhaustive argmin.
+        A ``None`` bound is exactly ``tile_fits`` failing, which the
+        exhaustive scan skips too.
+        """
+        bounds = self.cost_model.search_bounds(nest, self.rram_channel_bits)
+        spatial = self.arch.spatial
+        tiles_k = _pow2_tiles(spatial.k, nest.k)
+        tiles_c = _pow2_tiles(spatial.c, nest.c)
+        tiles_oy = _pow2_tiles(spatial.oy, nest.oy)
+        evaluate = self.cost_model.evaluate
+        lower_bound = bounds.lower_bound
+        priced: list[tuple[float | None, LoopOrder, int, int, int]] = []
+        seed_index = -1
+        seed_bound = math.inf
+        for order in LoopOrder:
+            for tk in tiles_k:
+                for tc in tiles_c:
+                    for toy in tiles_oy:
+                        bound = lower_bound(order, tk, tc, toy)
+                        if bound is not None and bound < seed_bound:
+                            seed_bound = bound
+                            seed_index = len(priced)
+                        priced.append((bound, order, tk, tc, toy))
+        if seed_index < 0:
+            add_counts("mapper.search", candidates=len(priced))
+            return None
+        _, order, tk, tc, toy = priced[seed_index]
+        seed_cost = evaluate(
+            nest, Tiling(order=order, tk=tk, tc=tc, toy=toy),
+            rram_channel_bits=self.rram_channel_bits)
+        seed_bound = seed_cost.edp
+        best: MappingCost | None = None
+        best_edp = math.inf
+        pruned = 0
+        evaluated = 1
+        for index, (bound, order, tk, tc, toy) in enumerate(priced):
+            if bound is None:
+                continue
+            if bound > seed_bound or bound > best_edp:
+                pruned += 1
+                continue
+            if index == seed_index:
+                cost = seed_cost
+            else:
+                cost = evaluate(
+                    nest, Tiling(order=order, tk=tk, tc=tc, toy=toy),
+                    rram_channel_bits=self.rram_channel_bits)
+                evaluated += 1
+            if best is None or cost.edp < best_edp:
+                best = cost
+                best_edp = cost.edp
+        add_counts("mapper.search", candidates=len(priced), pruned=pruned,
+                   evaluated=evaluated)
         return best
 
     # --- per-layer mapping -------------------------------------------------------
@@ -226,7 +345,27 @@ class MapperEngine:
             dynamic_energy=dynamic, leakage_energy=leakage)
 
     def map_layer(self, layer: Layer) -> LayerMapping:
-        """Map one layer at chip level."""
+        """Map one layer at chip level.
+
+        Results memoize on ``(chip fingerprint, layer shape)``, so a
+        network's repeated layer shapes — and identical shapes across
+        networks on the same chip configuration — search once.
+        """
+        key = (self._layer_fingerprint, shape_key(layer))
+        memoized = _LAYER_MEMO.get(key)
+        if memoized is not MISSING:
+            used, slice_cost, cycles, dynamic, leakage = memoized
+            return LayerMapping(
+                layer=layer, used_cs=used, slice_cost=slice_cost,
+                cycles=cycles, dynamic_energy=dynamic,
+                leakage_energy=leakage)
+        mapping = self._map_layer_uncached(layer)
+        _LAYER_MEMO.put(key, (mapping.used_cs, mapping.slice_cost,
+                              mapping.cycles, mapping.dynamic_energy,
+                              mapping.leakage_energy))
+        return mapping
+
+    def _map_layer_uncached(self, layer: Layer) -> LayerMapping:
         if layer.kind == LayerKind.POOL:
             return self.map_pool(layer)
         nest = loop_nest_of(layer)

@@ -31,11 +31,16 @@ from repro.tech import constants
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.arch.accelerator import AcceleratorDesign, peripheral_area
 from repro.arch.systolic import SystolicArrayConfig
-from repro.workloads.layers import Layer, LayerKind
+from repro.runtime.cache import MISSING
+from repro.runtime.memo import memo_table
+from repro.workloads.layers import Layer, LayerKind, shape_key
 from repro.workloads.models import Network
 
 #: Average on-chip distance for writeback-bus transfers, metres.
 _WRITEBACK_WIRE_LENGTH = 5e-3
+
+#: Layer-level memo: (design fingerprint, layer shape) -> numeric results.
+_LAYER_MEMO = memo_table("simulator.layer")
 
 
 @dataclass(frozen=True)
@@ -130,6 +135,22 @@ class AcceleratorSimulator:
         self.pdk = pdk if pdk is not None else foundry_m3d_pdk()
         self.batch = batch
         self._static_power = self._compute_static_power()
+        # Everything run_layer reads beyond the layer itself, so equal
+        # fingerprints make layer results interchangeable — including
+        # across *different* designs (e.g. 2D baselines that differ only
+        # in footprint).  Documented in DESIGN.md ("Layer memoization").
+        self._fingerprint = (
+            design.cs.array,
+            design.n_cs,
+            design.total_weight_bandwidth,
+            design.writeback_bus_bits,
+            design.precision_bits,
+            design.pool_lanes,
+            design.bank_plan.array.cell.read_energy_per_bit,
+            design.cycle_time,
+            self._static_power,
+            batch,
+        )
 
     def _compute_static_power(self) -> float:
         """Chip static power in watts: all CSs + memory peripherals.
@@ -209,14 +230,27 @@ class AcceleratorSimulator:
     # --- execution -----------------------------------------------------------
 
     def run_layer(self, layer: Layer) -> LayerExecution:
-        """Execute one layer and return its timing/energy breakdown."""
-        if layer.kind == LayerKind.POOL:
-            used_cs, compute, writeback = self._pool_cycles(layer)
+        """Execute one layer and return its timing/energy breakdown.
+
+        Results memoize on ``(design fingerprint, layer shape)``: the
+        numeric breakdown of a repeated shape (ResNet residual blocks,
+        identical layers across sweep points) is computed once and
+        re-attached to each requesting layer.
+        """
+        key = (self._fingerprint, shape_key(layer))
+        memoized = _LAYER_MEMO.get(key)
+        if memoized is not MISSING:
+            used_cs, compute, writeback, cycles, dynamic, leakage = memoized
         else:
-            used_cs, compute, writeback = self._conv_fc_cycles(layer)
-        cycles = compute + writeback
-        dynamic = self._dynamic_energy(layer, used_cs)
-        leakage = self._static_power * cycles * self.design.cycle_time
+            if layer.kind == LayerKind.POOL:
+                used_cs, compute, writeback = self._pool_cycles(layer)
+            else:
+                used_cs, compute, writeback = self._conv_fc_cycles(layer)
+            cycles = compute + writeback
+            dynamic = self._dynamic_energy(layer, used_cs)
+            leakage = self._static_power * cycles * self.design.cycle_time
+            _LAYER_MEMO.put(
+                key, (used_cs, compute, writeback, cycles, dynamic, leakage))
         return LayerExecution(
             layer=layer,
             used_cs=used_cs,

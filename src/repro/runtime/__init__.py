@@ -14,6 +14,10 @@ Public surface:
 * :func:`~repro.runtime.serialize.to_jsonable` /
   :func:`~repro.runtime.serialize.from_jsonable` — the generic dataclass
   codec behind the disk store and ``to_dict`` / ``from_dict`` helpers.
+* :func:`~repro.runtime.memo.memo_table` — named, bounded fingerprint
+  memo tables for the hot per-layer paths (simulator, mapper), with a
+  global enable switch (:func:`~repro.runtime.memo.set_memoization`) and
+  per-table hit/miss stats surfaced in ``RunReport``.
 """
 
 from repro.runtime.cache import MISSING, CacheStats, ResultCache
@@ -26,8 +30,30 @@ from repro.runtime.engine import (
     reset_default_engine,
 )
 from repro.runtime.keys import call_key, stable_key
-from repro.runtime.pmap import default_jobs, pmap, pmap_calls
-from repro.runtime.serialize import dumps, from_jsonable, loads, to_jsonable
+from repro.runtime.memo import (
+    CounterStats,
+    IdentityKey,
+    MemoStats,
+    MemoTable,
+    add_counts,
+    counter_stats,
+    memo_stats,
+    memo_table,
+    memoization_disabled,
+    memoization_enabled,
+    reset_memoization,
+    set_memoization,
+)
+from repro.runtime.pmap import default_jobs, pmap, pmap_calls, shutdown_pool
+from repro.runtime.serialize import (
+    clear_fingerprint_cache,
+    dumps,
+    fingerprint_cache_enabled,
+    from_jsonable,
+    loads,
+    set_fingerprint_cache,
+    to_jsonable,
+)
 
 __all__ = [
     "MISSING",
@@ -41,11 +67,27 @@ __all__ = [
     "reset_default_engine",
     "call_key",
     "stable_key",
+    "CounterStats",
+    "IdentityKey",
+    "MemoStats",
+    "MemoTable",
+    "add_counts",
+    "counter_stats",
+    "memo_stats",
+    "memo_table",
+    "memoization_disabled",
+    "memoization_enabled",
+    "reset_memoization",
+    "set_memoization",
     "default_jobs",
     "pmap",
     "pmap_calls",
+    "shutdown_pool",
+    "clear_fingerprint_cache",
     "dumps",
+    "fingerprint_cache_enabled",
     "from_jsonable",
     "loads",
+    "set_fingerprint_cache",
     "to_jsonable",
 ]

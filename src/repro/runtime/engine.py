@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.errors import require
 from repro.runtime.cache import MISSING, ResultCache
 from repro.runtime.keys import call_key
+from repro.runtime.memo import CounterStats, MemoStats, counter_stats, memo_stats
 from repro.runtime.pmap import pmap_calls
 
 CallSpec = "tuple[tuple, dict]"
@@ -43,6 +44,8 @@ class StageStats:
         evaluated: Calls actually executed (cache misses + uncacheable).
         cache_hits: Results served from the cache.
         cache_misses: Cacheable calls that had to be evaluated.
+        dedup_hits: Calls answered by an identical call in the same batch
+            (the sweep planner's common-subexpression sharing).
         uncacheable: Calls whose arguments have no stable key (evaluated
             every time, never stored).
         wall_time: Wall-clock seconds spent in this stage.
@@ -53,6 +56,7 @@ class StageStats:
     evaluated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    dedup_hits: int = 0
     uncacheable: int = 0
     wall_time: float = 0.0
 
@@ -64,10 +68,16 @@ class RunReport:
     Attributes:
         stages: Per-stage counters, in first-use order.
         jobs: Worker count the engine ran with.
+        memos: Fine-grained memo-table counters (layer/mapper/plan
+            fingerprint tables), process-wide snapshots.
+        counters: Named counter groups (e.g. branch-and-bound search
+            totals), process-wide snapshots.
     """
 
     stages: tuple[StageStats, ...]
     jobs: int = 1
+    memos: tuple[MemoStats, ...] = ()
+    counters: tuple[CounterStats, ...] = ()
 
     @property
     def calls(self) -> int:
@@ -90,6 +100,11 @@ class RunReport:
         return sum(stage.cache_misses for stage in self.stages)
 
     @property
+    def dedup_hits(self) -> int:
+        """Total within-batch duplicate calls shared."""
+        return sum(stage.dedup_hits for stage in self.stages)
+
+    @property
     def wall_time(self) -> float:
         """Total stage wall-clock seconds."""
         return sum(stage.wall_time for stage in self.stages)
@@ -106,7 +121,7 @@ class _MutableStage:
     """Accumulator behind one :class:`StageStats` snapshot."""
 
     __slots__ = ("name", "calls", "evaluated", "cache_hits",
-                 "cache_misses", "uncacheable", "wall_time")
+                 "cache_misses", "dedup_hits", "uncacheable", "wall_time")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -114,6 +129,7 @@ class _MutableStage:
         self.evaluated = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.dedup_hits = 0
         self.uncacheable = 0
         self.wall_time = 0.0
 
@@ -121,7 +137,8 @@ class _MutableStage:
         return StageStats(
             name=self.name, calls=self.calls, evaluated=self.evaluated,
             cache_hits=self.cache_hits, cache_misses=self.cache_misses,
-            uncacheable=self.uncacheable, wall_time=self.wall_time)
+            dedup_hits=self.dedup_hits, uncacheable=self.uncacheable,
+            wall_time=self.wall_time)
 
 
 class EvaluationEngine:
@@ -144,14 +161,20 @@ class EvaluationEngine:
         self._stages: dict[str, _MutableStage] = {}
 
     def map(self, fn: Callable[..., Any], calls: Iterable[Any],
-            stage: str | None = None) -> list:
+            stage: str | None = None, jobs: int | None = None,
+            dedup: bool = True) -> list:
         """Evaluate ``fn`` over ``calls``, returning results in order.
 
         Each element of ``calls`` is a ``dict`` (keyword arguments), a
         ``tuple`` (positional arguments), or any other value (a single
         positional argument).  Cached results are returned without
-        evaluation; the rest run through the process pool (``jobs`` > 1)
-        or serially, then enter the cache.
+        evaluation; with ``dedup`` (the default), content-identical calls
+        within the batch evaluate once and share the result; the rest run
+        through the process pool or serially, then enter the cache.
+
+        ``jobs`` overrides the engine's worker count for this map only —
+        sweeps thread their ``jobs`` argument through here rather than
+        mutating the (shared) engine.
         """
         specs = [self._normalize(item) for item in calls]
         tally = self._stage(stage if stage is not None else fn.__qualname__)
@@ -160,7 +183,7 @@ class EvaluationEngine:
 
         keys: list[str | None] = []
         for args, kwargs in specs:
-            if self.cache is None:
+            if self.cache is None and not dedup:
                 keys.append(None)
                 continue
             try:
@@ -170,26 +193,41 @@ class EvaluationEngine:
 
         results: list[Any] = [MISSING] * len(specs)
         pending: list[int] = []
+        first_seen: dict[str, int] = {}
+        followers: dict[int, list[int]] = {}
         for index, key in enumerate(keys):
             if key is not None:
-                cached = self.cache.get(key)  # type: ignore[union-attr]
-                if cached is not MISSING:
-                    results[index] = cached
-                    tally.cache_hits += 1
-                    continue
-                tally.cache_misses += 1
+                if self.cache is not None:
+                    cached = self.cache.get(key)
+                    if cached is not MISSING:
+                        results[index] = cached
+                        tally.cache_hits += 1
+                        continue
+                if dedup:
+                    owner = first_seen.get(key)
+                    if owner is not None:
+                        followers.setdefault(owner, []).append(index)
+                        tally.dedup_hits += 1
+                        continue
+                    first_seen[key] = index
+                if self.cache is not None:
+                    tally.cache_misses += 1
             else:
                 tally.uncacheable += 1
             pending.append(index)
 
         if pending:
-            evaluated = pmap_calls(fn, [specs[i] for i in pending],
-                                   jobs=self.jobs)
+            evaluated = pmap_calls(
+                fn, [specs[i] for i in pending],
+                jobs=self.jobs if jobs is None else jobs,
+                invariants=self._invariants([specs[i] for i in pending]))
             tally.evaluated += len(pending)
             for index, value in zip(pending, evaluated):
                 results[index] = value
-                if keys[index] is not None:
-                    self.cache.put(keys[index], value)  # type: ignore[union-attr]
+                if keys[index] is not None and self.cache is not None:
+                    self.cache.put(keys[index], value)
+                for follower in followers.get(index, ()):
+                    results[follower] = value
 
         tally.wall_time += time.perf_counter() - start
         return results
@@ -197,19 +235,39 @@ class EvaluationEngine:
     def call(self, fn: Callable[..., Any], *args: Any,
              stage: str | None = None, **kwargs: Any) -> Any:
         """Evaluate a single call through the cache (never the pool)."""
-        saved_jobs = self.jobs
-        self.jobs = 1
-        try:
-            return self.map(fn, [(tuple(args), dict(kwargs))],
-                            stage=stage)[0]
-        finally:
-            self.jobs = saved_jobs
+        return self.map(fn, [(tuple(args), dict(kwargs))],
+                        stage=stage, jobs=1)[0]
 
     def report(self) -> RunReport:
-        """Snapshot of the per-stage counters accumulated so far."""
+        """Snapshot of the per-stage counters accumulated so far.
+
+        Includes process-wide memo-table and search-counter snapshots, so
+        one report covers both tiers of memoization (call-level cache +
+        layer/mapper fingerprint tables).
+        """
         return RunReport(
             stages=tuple(stage.snapshot() for stage in self._stages.values()),
-            jobs=self.jobs)
+            jobs=self.jobs,
+            memos=memo_stats(),
+            counters=counter_stats())
+
+    @staticmethod
+    def _invariants(specs: Sequence[tuple[tuple, dict]]) -> dict | None:
+        """Keyword arguments bound to the *same object* in every spec.
+
+        These ship to pool workers once (via the initializer) instead of
+        being pickled per call — e.g. the network shared by every point
+        of a sweep.  Identity (not equality) keeps detection O(calls).
+        """
+        if len(specs) < 2:
+            return None
+        head_kwargs = specs[0][1]
+        shared = {
+            name: value for name, value in head_kwargs.items()
+            if all(name in kwargs and kwargs[name] is value
+                   for _, kwargs in specs[1:])
+        }
+        return shared or None
 
     def reset_stats(self) -> None:
         """Zero the stage counters (the cache is untouched)."""
@@ -250,8 +308,15 @@ def default_engine() -> EvaluationEngine:
 def configure(jobs: int = 1, cache_dir: str | None = None,
               use_cache: bool = True,
               max_memory_entries: int = 4096) -> EvaluationEngine:
-    """Replace the default engine; returns the new one."""
+    """Replace the default engine; returns the new one.
+
+    Also retires the persistent worker pool: a reconfigured run should
+    not inherit workers forked under the previous configuration.
+    """
+    from repro.runtime.pmap import shutdown_pool
+
     global _default_engine
+    shutdown_pool()
     _default_engine = EvaluationEngine(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
         max_memory_entries=max_memory_entries)
@@ -260,5 +325,8 @@ def configure(jobs: int = 1, cache_dir: str | None = None,
 
 def reset_default_engine() -> None:
     """Drop the default engine (a fresh one is created on next use)."""
+    from repro.runtime.pmap import shutdown_pool
+
     global _default_engine
+    shutdown_pool()
     _default_engine = None

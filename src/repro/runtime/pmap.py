@@ -1,4 +1,4 @@
-"""Deterministic parallel map with a graceful serial fallback.
+"""Deterministic parallel map on a persistent worker pool.
 
 :func:`pmap` evaluates ``fn`` over an item list on a process pool and
 returns results *in input order* — ``pmap(fn, items, jobs=N)`` is
@@ -7,10 +7,28 @@ picklable ``fn``.  ``jobs=1`` (the default), short inputs, and any pool
 *infrastructure* failure (sandboxed environments without semaphores,
 unpicklable functions, broken workers) run the plain serial map instead;
 exceptions raised by ``fn`` itself always propagate unchanged.
+
+Two throughput refinements over a naive ``ProcessPoolExecutor.map``:
+
+* **persistent workers** — the executor is kept alive between calls and
+  reused while ``(jobs, invariants)`` are unchanged, so a sweep that
+  issues many small batches pays worker start-up once;
+* **invariant shipping** — keyword arguments bound to the *same object*
+  in every call of a batch (typically the PDK and the network) transfer
+  to the workers once, through the pool initializer, instead of being
+  pickled into every task; tasks themselves are submitted in chunks so
+  per-task IPC overhead amortizes.
+
+Changing the invariants (or ``jobs``) retires the old pool and starts a
+fresh one — the worker-side globals can never go stale.
+:func:`shutdown_pool` retires it explicitly (the engine's ``configure``
+does this, and an ``atexit`` hook covers interpreter shutdown).
 """
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -23,10 +41,119 @@ from repro.errors import require
 _POOL_FAILURES = (BrokenProcessPool, PicklingError, AttributeError,
                   ImportError, OSError, PermissionError)
 
+#: Target task chunks per worker; larger batches amortize IPC further.
+_CHUNKS_PER_WORKER = 4
+
+#: Invariant kwargs installed in each worker by the pool initializer.
+_worker_invariants: dict[str, Any] = {}
+
+_pool: ProcessPoolExecutor | None = None
+#: ``(jobs, ((name, id(value)), ...))`` the live pool was built for.  The
+#: invariant objects are pinned by ``_pool_invariants``, so the ids are
+#: stable for the pool's lifetime.
+_pool_token: tuple | None = None
+_pool_invariants: dict[str, Any] | None = None
+
 
 def default_jobs() -> int:
     """A sensible worker count for this machine (``os.cpu_count``)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _set_worker_invariants(invariants: dict[str, Any]) -> None:
+    """Pool initializer: install the batch-invariant keyword arguments."""
+    global _worker_invariants
+    _worker_invariants = invariants
+
+
+def _apply(payload: tuple) -> Any:
+    """Worker body: merge invariants back into the call, then run it."""
+    fn, args, kwargs = payload
+    if _worker_invariants:
+        merged = dict(_worker_invariants)
+        merged.update(kwargs)
+        kwargs = merged
+    return fn(*args, **kwargs)
+
+
+def _invariants_token(jobs: int,
+                      invariants: dict[str, Any] | None) -> tuple:
+    if not invariants:
+        return (jobs, ())
+    return (jobs, tuple(sorted(
+        (name, id(value)) for name, value in invariants.items())))
+
+
+def _pool_context():
+    """A fork-safe multiprocessing context for worker start-up.
+
+    Plain ``fork`` is unsafe here: once a first pool exists, this process
+    carries executor management threads, and forking the *next* pool's
+    workers from a multithreaded parent can deadlock the children on
+    locks captured mid-operation.  ``forkserver`` forks workers from a
+    clean single-threaded helper process instead (``spawn`` where it is
+    unavailable).
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+def _acquire_pool(jobs: int,
+                  invariants: dict[str, Any] | None) -> ProcessPoolExecutor:
+    """The persistent executor for ``(jobs, invariants)``, creating or
+    replacing it as needed."""
+    global _pool, _pool_token, _pool_invariants
+    token = _invariants_token(jobs, invariants)
+    if _pool is not None and token == _pool_token:
+        return _pool
+    shutdown_pool()
+    pool = ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_pool_context(),
+        initializer=_set_worker_invariants,
+        initargs=(dict(invariants) if invariants else {},))
+    _pool = pool
+    _pool_token = token
+    _pool_invariants = dict(invariants) if invariants else None
+    return pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Retire the persistent worker pool (a new one spawns on demand).
+
+    ``wait=True`` joins the executor's worker processes and management
+    threads before returning.  That matters on fork-based platforms: the
+    *next* pool's workers fork from this process, and forking while a
+    dying executor's threads still hold internal locks can deadlock the
+    children.  The ``atexit`` hook passes ``wait=False`` — nothing forks
+    after interpreter shutdown begins.
+    """
+    global _pool, _pool_token, _pool_invariants
+    pool, _pool = _pool, None
+    _pool_token = None
+    _pool_invariants = None
+    if pool is not None:
+        try:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            pass
+
+
+atexit.register(shutdown_pool, wait=False)
+
+
+def _run_serial(payloads: Sequence[tuple],
+                invariants: dict[str, Any] | None) -> list:
+    results = []
+    for fn, args, kwargs in payloads:
+        if invariants:
+            merged = dict(invariants)
+            merged.update(kwargs)
+            kwargs = merged
+        results.append(fn(*args, **kwargs))
+    return results
 
 
 def pmap(fn: Callable[..., Any], items: Iterable[Any],
@@ -37,28 +164,37 @@ def pmap(fn: Callable[..., Any], items: Iterable[Any],
     :func:`default_jobs`.  Results are returned in input order regardless
     of worker scheduling, so parallel and serial runs are interchangeable.
     """
-    work = list(items)
-    if jobs <= 0:
-        jobs = default_jobs()
-    require(jobs >= 1, "jobs must be >= 1")
-    if jobs == 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            return list(pool.map(fn, work))
-    except _POOL_FAILURES:
-        return [fn(item) for item in work]
-
-
-def _apply(payload: tuple) -> Any:
-    """Worker body for :func:`pmap_calls`: unpack and call."""
-    fn, args, kwargs = payload
-    return fn(*args, **kwargs)
+    return pmap_calls(fn, [((item,), {}) for item in items], jobs=jobs)
 
 
 def pmap_calls(fn: Callable[..., Any],
                calls: Sequence[tuple[tuple, dict]],
-               jobs: int = 1) -> list:
-    """Like :func:`pmap` for heterogeneous ``(args, kwargs)`` call specs."""
+               jobs: int = 1,
+               invariants: dict[str, Any] | None = None) -> list:
+    """Like :func:`pmap` for heterogeneous ``(args, kwargs)`` call specs.
+
+    ``invariants`` maps keyword names to objects shared by *every* call;
+    they are shipped to the workers once and merged back into each call
+    worker-side.  Per-call keyword arguments take precedence on merge,
+    so passing an argument both ways stays correct (just unoptimized).
+    """
+    if jobs <= 0:
+        jobs = default_jobs()
+    require(jobs >= 1, "jobs must be >= 1")
+    if invariants:
+        calls = [
+            (args,
+             {name: value for name, value in kwargs.items()
+              if name not in invariants or kwargs[name] is not invariants[name]})
+            for args, kwargs in calls
+        ]
     payloads = [(fn, args, kwargs) for args, kwargs in calls]
-    return pmap(_apply, payloads, jobs=jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        return _run_serial(payloads, invariants)
+    chunksize = max(1, -(-len(payloads) // (jobs * _CHUNKS_PER_WORKER)))
+    try:
+        pool = _acquire_pool(jobs, invariants)
+        return list(pool.map(_apply, payloads, chunksize=chunksize))
+    except _POOL_FAILURES:
+        shutdown_pool()
+        return _run_serial(payloads, invariants)

@@ -12,6 +12,7 @@ from repro.workloads.layers import (
     Layer,
     LayerKind,
     PoolLayer,
+    shape_key,
 )
 from repro.workloads.models import (
     Network,
@@ -32,6 +33,7 @@ __all__ = [
     "ConvLayer",
     "FCLayer",
     "PoolLayer",
+    "shape_key",
     "Network",
     "alexnet",
     "vgg16",

@@ -244,6 +244,26 @@ class PoolLayer:
 Layer = ConvLayer | FCLayer | PoolLayer
 
 
+def shape_key(layer: Layer) -> tuple:
+    """Hashable fingerprint of a layer's *shape*, excluding its name.
+
+    Two layers with equal shape keys are indistinguishable to every
+    performance/energy model in this repository (all derived quantities —
+    MACs, weights, element counts, loop nests — are functions of these
+    fields), so per-layer results memoize on this key: ResNet's repeated
+    residual-block shapes evaluate once per design fingerprint.
+    """
+    if isinstance(layer, ConvLayer):
+        return ("conv", layer.in_channels, layer.out_channels, layer.kernel,
+                layer.stride, layer.in_size, layer.padding, layer.groups)
+    if isinstance(layer, FCLayer):
+        return ("fc", layer.in_features, layer.out_features)
+    if isinstance(layer, PoolLayer):
+        return ("pool", layer.channels, layer.kernel, layer.stride,
+                layer.in_size, layer.padding)
+    raise TypeError(f"unknown layer type {type(layer).__name__}")
+
+
 def weight_bits(layer: Layer, precision_bits: int = 8) -> int:
     """Weight storage of ``layer`` in bits at the given precision."""
     require(precision_bits >= 1, "precision must be >= 1 bit")

@@ -100,6 +100,46 @@ def test_empty_frontier_rejected():
         pareto_frontier([])
 
 
+def _candidate(footprint, edp_benefit, capacity_bits=1):
+    return DesignCandidate(capacity_bits, 1.0, 1.0, 1, 8, 1,
+                           footprint=footprint, speedup=1.0,
+                           edp_benefit=edp_benefit)
+
+
+def test_frontier_single_candidate_is_itself():
+    only = _candidate(2.0, 3.0)
+    assert pareto_frontier([only]) == (only,)
+
+
+def test_frontier_keeps_exact_duplicates():
+    """Two identical points don't dominate each other (no strict edge),
+    so both survive — callers see the true multiplicity of the grid."""
+    a = _candidate(1.0, 5.0)
+    b = _candidate(1.0, 5.0, capacity_bits=2)  # equal axes, distinct point
+    frontier = pareto_frontier([a, b])
+    assert len(frontier) == 2
+    assert set(frontier) == {a, b}
+
+
+def test_frontier_one_axis_tie_keeps_only_the_better_point():
+    """Equal footprint, different benefit: the better point dominates."""
+    worse = _candidate(1.0, 5.0)
+    better = _candidate(1.0, 6.0)
+    assert pareto_frontier([worse, better]) == (better,)
+    # Same footprint axis flipped: equal benefit, smaller footprint wins.
+    small = _candidate(1.0, 5.0)
+    large = _candidate(2.0, 5.0)
+    assert pareto_frontier([small, large]) == (small,)
+
+
+def test_frontier_dominated_interior_point_dropped():
+    corner_a = _candidate(1.0, 1.0)
+    corner_b = _candidate(3.0, 9.0)
+    interior = _candidate(2.0, 0.5)  # bigger than a, worse than both
+    assert pareto_frontier([corner_a, interior, corner_b]) == \
+        (corner_a, corner_b)
+
+
 # --- array internals --------------------------------------------------------------------
 
 def test_case_study_bank_reads_in_one_cycle():

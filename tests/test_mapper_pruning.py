@@ -1,0 +1,102 @@
+"""Branch-and-bound tiling search: exactness and admissibility.
+
+The pruned search (``best_slice_cost(prune=True)``) must return the
+*identical* tiling and cost as the exhaustive reference scan for every
+(architecture, layer) pair the repo evaluates — not approximately equal:
+``MappingCost`` equality compares the chosen tiling and every float.  The
+argument (DESIGN.md, "Branch-and-bound tiling search") rests on two
+properties exercised here:
+
+* admissibility — ``lower_bound(candidate) <= evaluate(candidate).edp``
+  for every fitting candidate;
+* feasibility mirroring — the bound is ``None`` exactly when
+  ``tile_fits`` rejects the candidate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.table2 import table_ii_architectures
+from repro.errors import MappingError
+from repro.mapper.cost import CostModel
+from repro.mapper.engine import MapperEngine
+from repro.mapper.loopnest import loop_nest_of
+from repro.runtime.memo import memoization_disabled
+from repro.workloads.layers import LayerKind
+from repro.workloads.models import alexnet, resnet18, vgg16
+
+NETWORKS = (resnet18, alexnet, vgg16)
+
+
+def _mappable_nests(arch):
+    """Every distinct (network, layer) nest the mapper would search."""
+    for build in NETWORKS:
+        for layer in build().layers:
+            if layer.kind == LayerKind.POOL:
+                continue
+            yield build().name, layer
+
+
+@pytest.mark.parametrize("arch", table_ii_architectures(),
+                         ids=lambda arch: arch.name)
+def test_pruned_search_identical_to_exhaustive(arch):
+    """Acceptance bar: same tiling, same cost, across every architecture
+    and every ResNet-18/AlexNet/VGG-16 conv/FC layer."""
+    engine = MapperEngine(arch)
+    checked = 0
+    with memoization_disabled():
+        for network_name, layer in _mappable_nests(arch):
+            nest = loop_nest_of(layer)
+            try:
+                exhaustive = engine.best_slice_cost(nest, prune=False)
+            except MappingError:
+                with pytest.raises(MappingError):
+                    engine.best_slice_cost(nest, prune=True)
+                continue
+            pruned = engine.best_slice_cost(nest, prune=True)
+            # Dataclass equality: identical tiling and bit-identical floats.
+            assert pruned == exhaustive, (network_name, layer.name)
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("arch", table_ii_architectures()[:2],
+                         ids=lambda arch: arch.name)
+def test_lower_bound_admissible_and_mirrors_feasibility(arch):
+    engine = MapperEngine(arch)
+    model = CostModel(arch)
+    nests = {loop_nest_of(layer) for _, layer in _mappable_nests(arch)}
+    for nest in sorted(nests, key=lambda n: (n.k, n.c, n.ox, n.oy, n.r)):
+        bounds = model.search_bounds(nest, engine.rram_channel_bits)
+        for tiling in engine.candidate_tilings(nest):
+            bound = bounds.lower_bound(tiling.order, tiling.tk, tiling.tc,
+                                       tiling.toy)
+            fits = model.tile_fits(nest, tiling)
+            assert (bound is None) == (not fits), (nest, tiling)
+            if not fits:
+                continue
+            cost = model.evaluate(
+                nest, tiling, rram_channel_bits=engine.rram_channel_bits)
+            assert bound <= cost.edp, (nest, tiling)
+
+
+def test_pruning_skips_most_evaluations():
+    """The point of the exercise: far fewer full evaluations."""
+    from repro.runtime.memo import (
+        counter_stats,
+        reset_memoization,
+        set_memoization,
+    )
+
+    arch = table_ii_architectures()[0]
+    reset_memoization()
+    previous = set_memoization(False)
+    try:
+        MapperEngine(arch).map_network(resnet18())
+        search = next(c for c in counter_stats() if c.name == "mapper.search")
+        counts = dict(search.values)
+    finally:
+        set_memoization(previous)
+        reset_memoization()
+    assert counts["pruned"] > 5 * counts["evaluated"]

@@ -9,7 +9,10 @@ The contracts under test are the ones the sweeps rely on:
   knob field differs;
 * a cache round-trip through disk returns an equal result object;
 * ``explore(jobs>1)`` equals ``explore(jobs=1)`` exactly, and a warm disk
-  cache serves a repeat sweep with zero ``evaluate_design_point`` calls.
+  cache serves a repeat sweep with zero ``simulate`` calls;
+* within one batch, calls with identical content evaluate once
+  (``dedup_hits``), and memo tables / the fingerprint cache / the
+  persistent worker pool are observationally invisible.
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ from repro.core.insights import CapacityPoint, capacity_point
 from repro.runtime import (
     MISSING,
     EvaluationEngine,
+    IdentityKey,
+    MemoTable,
     ResultCache,
     call_key,
     configure,
@@ -38,9 +43,13 @@ from repro.runtime import (
     dumps,
     from_jsonable,
     loads,
+    memoization_disabled,
     pmap,
     pmap_calls,
     reset_default_engine,
+    reset_memoization,
+    set_memoization,
+    shutdown_pool,
     stable_key,
     to_jsonable,
 )
@@ -277,29 +286,37 @@ class TestEvaluationEngine:
         first = explore(pdk, engine=engine, **SMALL_GRID)
         second = explore(pdk, engine=engine, **SMALL_GRID)
         assert second == first
-        stage = engine.report().stage("dse.explore")
-        assert stage.calls == 2 * len(first)
-        assert stage.evaluated == len(first)
-        assert stage.cache_hits == len(first)
+        stage = engine.report().stage("dse.simulate")
+        # Two simulate calls per grid point; within the first batch,
+        # repeated (design, network, pdk) triples dedup to one evaluation
+        # each, and the repeat sweep is served entirely from cache.
+        assert stage.calls == 2 * 2 * len(first)
+        assert stage.evaluated == stage.cache_misses
+        assert stage.evaluated + stage.dedup_hits == 2 * len(first)
+        assert stage.dedup_hits > 0
+        assert stage.cache_hits == 2 * len(first)
 
     def test_warm_disk_cache_runs_zero_evaluations(self, pdk, tmp_path,
                                                    monkeypatch):
+        from repro.perf.simulator import simulate
+
         cold = EvaluationEngine(jobs=2, cache_dir=tmp_path)
         expected = explore(pdk, engine=cold, **SMALL_GRID)
-        assert cold.report().stage("dse.explore").evaluated == len(expected)
+        cold_stage = cold.report().stage("dse.simulate")
+        assert cold_stage.evaluated == cold_stage.cache_misses > 0
 
         # The acceptance bar: a *fresh* engine over the warm directory must
-        # answer entirely from disk — evaluate_design_point never runs.
-        @functools.wraps(evaluate_design_point)
+        # answer entirely from disk — the simulator never runs.
+        @functools.wraps(simulate)
         def forbidden(*args, **kwargs):
-            raise AssertionError("evaluate_design_point called on warm cache")
+            raise AssertionError("simulate called on warm cache")
 
-        monkeypatch.setattr("repro.core.dse.evaluate_design_point", forbidden)
+        monkeypatch.setattr("repro.core.dse.simulate", forbidden)
         warm = EvaluationEngine(jobs=1, cache_dir=tmp_path)
         repeat = explore(pdk, engine=warm, **SMALL_GRID)
         assert repeat == expected
-        stage = warm.report().stage("dse.explore")
-        assert stage.cache_hits == len(expected)
+        stage = warm.report().stage("dse.simulate")
+        assert stage.cache_hits == 2 * len(expected)
         assert stage.cache_misses == 0
         assert stage.evaluated == 0
 
@@ -353,6 +370,179 @@ class TestEvaluationEngine:
     def test_rejects_negative_jobs(self):
         with pytest.raises(ConfigurationError):
             EvaluationEngine(jobs=-1)
+
+
+class TestMemoTables:
+    @pytest.fixture(autouse=True)
+    def clean_tables(self):
+        reset_memoization()
+        previous = set_memoization(True)
+        yield
+        set_memoization(previous)
+        reset_memoization()
+
+    def test_hit_and_miss_counting(self):
+        table = MemoTable("unit.counting")
+        assert table.get("k") is MISSING
+        table.put("k", 41)
+        assert table.get("k") == 41
+        stats = table.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_disabled_tables_bypass_storage(self):
+        table = MemoTable("unit.disabled")
+        with memoization_disabled():
+            table.put("k", 1)
+            assert table.get("k") is MISSING
+        assert len(table) == 0
+        # Disabled lookups are not counted: toggling is observationally
+        # invisible apart from recomputation.
+        assert table.stats().lookups == 0
+
+    def test_fifo_eviction_beyond_bound(self):
+        table = MemoTable("unit.bounded", max_entries=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        table.put("c", 3)
+        assert table.get("a") is MISSING
+        assert table.get("b") == 2
+        assert table.get("c") == 3
+
+    def test_identity_key_semantics(self):
+        first, second = {"x": 1}, {"x": 1}  # equal but distinct, unhashable
+        assert IdentityKey(first) == IdentityKey(first)
+        assert hash(IdentityKey(first)) == hash(IdentityKey(first))
+        assert IdentityKey(first) != IdentityKey(second)
+
+    def test_simulator_layer_memo_is_bit_identical(self, pdk):
+        from repro.arch.accelerator import m3d_design
+        from repro.perf.simulator import simulate
+        from repro.units import MEGABYTE as MB
+
+        design = m3d_design(pdk, 64 * MB)
+        network = resnet18()
+        memoized = simulate(design, network, pdk)
+        warm = simulate(design, network, pdk)  # repeated shapes hit
+        with memoization_disabled():
+            reference = simulate(design, network, pdk)
+        for run in (memoized, warm):
+            assert run.edp == reference.edp
+            for got, want in zip(run.layers, reference.layers):
+                assert got == want  # exact float equality, field by field
+
+    def test_memo_stats_surface_in_run_report(self, pdk):
+        from repro.arch.accelerator import baseline_2d_design
+        from repro.perf.simulator import simulate
+        from repro.units import MEGABYTE as MB
+
+        engine = EvaluationEngine()
+        design = baseline_2d_design(pdk, 32 * MB)
+        engine.map(simulate, [{"design": design, "network": resnet18(),
+                               "pdk": pdk}], stage="memo-demo")
+        report = engine.report()
+        by_name = {memo.name: memo for memo in report.memos}
+        assert by_name["simulator.layer"].misses > 0
+        assert by_name["simulator.layer"].hits > 0  # repeated shapes
+
+
+_EVALUATIONS = []
+
+
+def _tracked_square(x):
+    _EVALUATIONS.append(x)
+    return x * x
+
+
+class TestDedupAndPool:
+    def test_within_batch_dedup_evaluates_once(self):
+        _EVALUATIONS.clear()
+        engine = EvaluationEngine()
+        results = engine.map(_tracked_square, [7, 7, 7, 3], stage="dd")
+        assert results == [49, 49, 49, 9]
+        assert _EVALUATIONS == [7, 3]
+        stage = engine.report().stage("dd")
+        assert stage.calls == 4
+        assert stage.evaluated == stage.cache_misses == 2
+        assert stage.dedup_hits == 2
+        assert stage.cache_hits == 0
+
+    def test_dedup_works_without_cache(self):
+        _EVALUATIONS.clear()
+        engine = EvaluationEngine(use_cache=False)
+        assert engine.map(_tracked_square, [5, 5], stage="dd") == [25, 25]
+        assert _EVALUATIONS == [5]
+        stage = engine.report().stage("dd")
+        assert stage.dedup_hits == 1
+        assert stage.cache_misses == 0  # no cache to miss
+
+    def test_dedup_disabled_evaluates_every_call(self):
+        _EVALUATIONS.clear()
+        engine = EvaluationEngine(use_cache=False)
+        assert engine.map(_tracked_square, [5, 5], stage="dd",
+                          dedup=False) == [25, 25]
+        assert _EVALUATIONS == [5, 5]
+        assert engine.report().stage("dd").dedup_hits == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_invariant_kwargs_ship_once_and_results_match(self, jobs):
+        shared = 100  # same object in every call -> detected invariant
+        calls = [((i, 2), {"offset": shared}) for i in range(6)]
+        assert pmap_calls(_add, calls, jobs=jobs,
+                          invariants={"offset": shared}) == \
+            [i + 2 + 100 for i in range(6)]
+
+    def test_engine_parallel_map_with_shared_objects(self, pdk):
+        # The engine detects kwargs shared by identity across the batch
+        # and ships them through the pool initializer; results must be
+        # indistinguishable from the serial path.
+        serial = explore(pdk, engine=EvaluationEngine(jobs=1,
+                                                      use_cache=False),
+                         **SMALL_GRID)
+        pooled = explore(pdk, engine=EvaluationEngine(jobs=2,
+                                                      use_cache=False),
+                         **SMALL_GRID)
+        assert pooled == serial
+
+    def test_shutdown_pool_is_idempotent(self):
+        assert pmap(_square, [1, 2, 3], jobs=2) == [1, 4, 9]
+        shutdown_pool()
+        shutdown_pool()
+        assert pmap(_square, [4], jobs=2) == [16]
+
+    def test_pool_persists_across_batches(self):
+        # sys.modules lookup: the package re-exports a `pmap` *function*,
+        # which shadows the submodule on attribute-style imports.
+        import repro.runtime.pmap
+        pmap_module = sys.modules["repro.runtime.pmap"]
+
+        shutdown_pool()
+        pmap(_square, [1, 2, 3, 4], jobs=2)
+        first = pmap_module._pool
+        pmap(_square, [5, 6, 7, 8], jobs=2)
+        assert pmap_module._pool is first  # same workers, args re-shipped
+        shutdown_pool()
+        assert pmap_module._pool is None
+
+
+class TestFingerprintCache:
+    def test_dumps_matches_uncached_reference(self, pdk):
+        from repro.runtime import (
+            clear_fingerprint_cache,
+            set_fingerprint_cache,
+        )
+
+        previous = set_fingerprint_cache(False)
+        try:
+            reference = dumps([pdk, resnet18(), {"k": (1, 2.5)}])
+            set_fingerprint_cache(True)
+            clear_fingerprint_cache()
+            cold = dumps([pdk, resnet18(), {"k": (1, 2.5)}])
+            warm = dumps([pdk, resnet18(), {"k": (1, 2.5)}])
+        finally:
+            set_fingerprint_cache(previous)
+        assert cold == reference
+        assert warm == reference
 
 
 class TestDefaultEngine:
