@@ -3,118 +3,51 @@
 Usage::
 
     python -m repro list                 # show available experiments
+    python -m repro list --markdown      # ...as a GitHub-markdown table
     python -m repro table1               # Table I
     python -m repro fig5 fig9            # several at once
     python -m repro all                  # everything
+    python -m repro dse --jobs 4 --trace out.json   # traced parallel run
 
-Each experiment prints the same rows/series the paper reports (and that
-the benchmark harness regenerates).
+Experiments resolve through :mod:`repro.experiments.registry`: every run
+builds **one** :class:`~repro.experiments.registry.ExperimentContext`
+(shared PDK + engine), so memo tables and the result cache are shared
+across the experiments of an invocation.  ``--profile`` / ``--trace`` /
+``--trace-csv`` / ``--metrics`` switch on the observability layer
+(:mod:`repro.obs`) for the run; it is off — and zero-cost — otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable
 
-from repro.experiments import (
-    format_case_study,
-    format_dse,
-    format_fig5,
-    format_fig7,
-    format_fig8,
-    format_fig9,
-    format_fig10c,
-    format_fig10d,
-    format_obs3,
-    format_obs8,
-    format_obs10,
-    format_table,
-    format_table1,
-    run_case_study,
-    run_dse,
-    run_fig5,
-    run_fig7,
-    run_fig8,
-    run_fig9,
-    run_fig10c,
-    run_fig10d,
-    run_obs3,
-    run_obs8,
-    run_obs10,
-    run_table1,
+import repro.experiments  # noqa: F401  (imports populate the registry)
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentContext,
+    all_experiments,
+    get_experiment,
+    registry_markdown,
 )
-from repro.tech import foundry_m3d_pdk
+from repro.experiments.reporting import format_table
 
 
-def _with_pdk(run: Callable, fmt: Callable) -> Callable[[], str]:
+def _compat_runner(exp: Experiment) -> Callable[[], str]:
     def runner() -> str:
-        return fmt(run(foundry_m3d_pdk()))
+        return exp.run_formatted()
     return runner
 
 
-def _no_pdk(run: Callable, fmt: Callable) -> Callable[[], str]:
-    def runner() -> str:
-        return fmt(run())
-    return runner
-
-
-#: Experiment name -> (description, runner).
+#: Experiment name -> (description, zero-arg runner).  Deprecated
+#: compatibility view of the registry; new code should use
+#: :func:`repro.experiments.registry.all_experiments`.
 EXPERIMENTS: dict[str, tuple[str, Callable[[], str]]] = {
-    "casestudy": ("Fig. 2 + Obs. 2: physical design case study",
-                  _with_pdk(run_case_study, format_case_study)),
-    "fig5": ("Fig. 5: whole-model benefits",
-             _with_pdk(run_fig5, format_fig5)),
-    "table1": ("Table I: per-layer ResNet-18 benefits",
-               _with_pdk(run_table1, format_table1)),
-    "fig7": ("Fig. 7: Table II architectures, two evaluators",
-             _with_pdk(run_fig7, format_fig7)),
-    "fig8": ("Fig. 8 / Obs. 5: bandwidth vs CS count",
-             _no_pdk(run_fig8, format_fig8)),
-    "fig9": ("Fig. 9 / Obs. 6: RRAM capacity sweep",
-             _with_pdk(run_fig9, format_fig9)),
-    "fig10c": ("Fig. 10c / Obs. 7: access-FET width relaxation",
-               _with_pdk(run_fig10c, format_fig10c)),
-    "obs8": ("Obs. 8: ILV via pitch sweep",
-             _with_pdk(run_obs8, format_obs8)),
-    "fig10d": ("Fig. 10d / Obs. 9: interleaved tier pairs",
-               _with_pdk(run_fig10d, format_fig10d)),
-    "obs3": ("Obs. 3: SRAM-class 2D baseline",
-             _with_pdk(run_obs3, format_obs3)),
-    "obs10": ("Obs. 10: thermal tier ceiling",
-              _no_pdk(run_obs10, format_obs10)),
-    "dse": ("Extension: joint (capacity, delta, beta, Y) design space "
-            "with Pareto frontier",
-            _with_pdk(run_dse, format_dse)),
+    exp.name: (exp.summary, _compat_runner(exp)) for exp in all_experiments()
 }
-
-
-def _register_extensions() -> None:
-    """Extension studies (beyond the paper's evaluation section)."""
-    from repro.experiments.ext_batching import format_batching, run_batching
-    from repro.experiments.ext_beol_logic import (
-        format_beol_logic,
-        run_beol_logic,
-    )
-    from repro.experiments.ext_memtech import format_memtech, run_memtech
-    from repro.experiments.ext_precision import format_precision, run_precision
-
-    EXPERIMENTS["ext-memtech"] = (
-        "Extension: BEOL memory technologies",
-        _with_pdk(run_memtech, format_memtech))
-    EXPERIMENTS["ext-beol-logic"] = (
-        "Extension: CSs in the BEOL CNFET tier",
-        _with_pdk(run_beol_logic, format_beol_logic))
-    EXPERIMENTS["ext-precision"] = (
-        "Extension: operand precision sweep",
-        _with_pdk(run_precision, format_precision))
-    EXPERIMENTS["ext-batching"] = (
-        "Extension: transformer token batching",
-        _with_pdk(run_batching, format_batching))
-
-
-_register_extensions()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,8 +76,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage cache/parallelism statistics after running")
     parser.add_argument(
         "--profile", action="store_true",
-        help="print per-experiment wall time plus per-stage wall time, "
-             "evaluation counts, and cache/memo/dedup hit rates")
+        help="print per-experiment wall time, the top trace spans, and "
+             "per-stage evaluation counts and cache/memo/dedup hit rates")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of the run (open in Perfetto or "
+             "chrome://tracing); worker spans appear as separate lanes")
+    parser.add_argument(
+        "--trace-csv", default=None, metavar="PATH",
+        help="write the flat span table (name, depth, worker, timings) "
+             "as CSV to PATH")
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text format to PATH")
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="with 'list': print the experiment table as GitHub markdown")
     return parser
 
 
@@ -164,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         print("--jobs must be >= 0 (1 = serial, 0 = one per CPU)",
               file=sys.stderr)
         return 2
-    from repro.runtime.engine import configure, default_engine
+    from repro.runtime.engine import configure
 
     engine = configure(jobs=args.jobs, cache_dir=args.cache_dir,
                        use_cache=not args.no_cache)
@@ -178,6 +125,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.report import main as report_main
         return report_main()
     if names == ["list"]:
+        if args.markdown:
+            print(registry_markdown())
+            return 0
         print("available experiments:")
         for name, (description, _) in EXPERIMENTS.items():
             print(f"  {name:10s} {description}")
@@ -192,13 +142,27 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"try 'python -m repro list'", file=sys.stderr)
         return 2
+
+    observe = bool(args.profile or args.trace or args.trace_csv
+                   or args.metrics)
+    if observe:
+        from repro.obs.trace import trace
+        observation = trace()
+    else:
+        observation = contextlib.nullcontext(None)
+
     timings: list[tuple[str, float]] = []
-    for index, name in enumerate(names):
-        if index:
-            print()
-        started = time.perf_counter()
-        print(EXPERIMENTS[name][1]())
-        timings.append((name, time.perf_counter() - started))
+    with observation as tracer:
+        ctx = ExperimentContext.create(engine=engine, tracer=tracer)
+        for index, name in enumerate(names):
+            if index:
+                print()
+            started = time.perf_counter()
+            print(get_experiment(name).run_formatted(ctx))
+            timings.append((name, time.perf_counter() - started))
+        # Snapshot inside the context so the report carries the trace.
+        report = engine.report()
+
     if args.profile:
         print()
         print(format_table(
@@ -206,9 +170,37 @@ def main(argv: list[str] | None = None) -> int:
             ["experiment", "wall time"],
             [[name, f"{elapsed:.3f} s"] for name, elapsed in timings],
         ))
+        top = report.top_spans()
+        if top:
+            from repro.experiments.reporting import format_top_spans
+            print()
+            print(format_top_spans(top))
     if show_stats:
         from repro.experiments.reporting import format_run_report
 
         print()
-        print(format_run_report(engine.report()))
+        print(format_run_report(report))
+    if observe:
+        _export_observations(args, tracer)
     return 0
+
+
+def _export_observations(args: argparse.Namespace, tracer) -> None:
+    """Write the trace/metrics artifacts requested on the command line."""
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_prometheus,
+        write_spans_csv,
+    )
+    from repro.obs.metrics import registry
+
+    spans = tuple(tracer.roots)
+    if args.trace:
+        write_chrome_trace(args.trace, spans)
+        print(f"\nwrote Chrome trace: {args.trace}", file=sys.stderr)
+    if args.trace_csv:
+        write_spans_csv(args.trace_csv, spans)
+        print(f"\nwrote span CSV: {args.trace_csv}", file=sys.stderr)
+    if args.metrics:
+        write_prometheus(args.metrics, registry())
+        print(f"\nwrote metrics: {args.metrics}", file=sys.stderr)

@@ -93,11 +93,15 @@ def sweep_tiers(
     capacity_bits: int = 64 * MEGABYTE,
     stack: ThermalStack | None = None,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[MultiTierResult, ...]:
-    """The Fig. 10d sweep: EDP benefit vs tier-pair count."""
+    """The Fig. 10d sweep: EDP benefit vs tier-pair count.
+
+    ``jobs`` overrides the engine's worker count for this sweep only.
+    """
     require(max_pairs >= 1, "max_pairs must be >= 1")
     engine = engine if engine is not None else default_engine()
     calls = [(pairs, pdk, network, capacity_bits, stack)
              for pairs in range(1, max_pairs + 1)]
     return tuple(engine.map(multitier_study, calls,
-                            stage="multitier.sweep_tiers"))
+                            stage="multitier.sweep_tiers", jobs=jobs))

@@ -116,13 +116,15 @@ def sweep_fet_width(
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[RelaxedFETResult, ...]:
     """The Fig. 10b-c sweep over access-FET width relaxation.
 
     Points evaluate through ``engine`` (default: the process-wide engine),
-    memoized and parallelizable like every other sweep.
+    memoized and parallelizable like every other sweep; ``jobs`` overrides
+    the engine's worker count for this sweep only.
     """
     engine = engine if engine is not None else default_engine()
     calls = [(delta, pdk, network, capacity_bits) for delta in deltas]
     return tuple(engine.map(relaxed_fet_study, calls,
-                            stage="relaxed_fet.sweep_fet_width"))
+                            stage="relaxed_fet.sweep_fet_width", jobs=jobs))

@@ -92,9 +92,13 @@ def sweep_via_pitch(
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[ViaPitchResult, ...]:
-    """The Obs. 8 sweep over ILV pitch, via the evaluation engine."""
+    """The Obs. 8 sweep over ILV pitch, via the evaluation engine.
+
+    ``jobs`` overrides the engine's worker count for this sweep only.
+    """
     engine = engine if engine is not None else default_engine()
     calls = [(beta, pdk, network, capacity_bits) for beta in betas]
     return tuple(engine.map(via_pitch_study, calls,
-                            stage="via_pitch.sweep_via_pitch"))
+                            stage="via_pitch.sweep_via_pitch", jobs=jobs))

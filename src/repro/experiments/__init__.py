@@ -1,8 +1,11 @@
 """Experiment drivers: one module per table/figure of the paper.
 
-Each driver exposes a ``run_*`` function returning structured results and a
-``format_*`` function rendering the same rows/series the paper reports.
-The benchmark harness (``benchmarks/``) and the examples call these.
+Each driver registers its experiments with :mod:`repro.experiments.registry`
+(uniform ``run(ctx: ExperimentContext)`` entry points) and keeps thin
+``run_*`` shims for the legacy call signatures.  A ``format_*`` function
+renders the same rows/series the paper reports.  The CLI, the benchmark
+harness (``benchmarks/``) and the examples all resolve experiments through
+the registry.
 
 | Paper artifact | Driver |
 |---|---|
@@ -14,8 +17,21 @@ The benchmark harness (``benchmarks/``) and the examples call these.
 | Fig. 9 / Obs. 6  | :mod:`repro.experiments.fig9` |
 | Fig. 10 / Obs. 7-10 | :mod:`repro.experiments.fig10` |
 | Obs. 3           | :mod:`repro.experiments.obs3` |
+
+The import order below is the registration order, and therefore the order
+``repro list`` and ``repro all`` present the experiments in.
 """
 
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentContext,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    registry_markdown,
+    run_experiment,
+)
 from repro.experiments.casestudy import CaseStudyResult, format_case_study, run_case_study
 from repro.experiments.fig5 import Fig5Row, format_fig5, run_fig5
 from repro.experiments.table1 import Table1Row, format_table1, run_table1
@@ -32,11 +48,24 @@ from repro.experiments.fig10 import (
     run_obs8,
     run_obs10,
 )
-from repro.experiments.ext_dse import format_dse, run_dse
 from repro.experiments.obs3 import format_obs3, run_obs3
+from repro.experiments.ext_dse import format_dse, run_dse
+from repro.experiments.ext_memtech import format_memtech, run_memtech
+from repro.experiments.ext_beol_logic import format_beol_logic, run_beol_logic
+from repro.experiments.ext_precision import format_precision, run_precision
+from repro.experiments.ext_batching import format_batching, run_batching
+from repro.experiments.folding import format_folding, run_folding
 from repro.experiments.reporting import format_run_report, format_table
 
 __all__ = [
+    "Experiment",
+    "ExperimentContext",
+    "all_experiments",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "registry_markdown",
+    "run_experiment",
     "CaseStudyResult",
     "run_case_study",
     "format_case_study",
@@ -65,6 +94,16 @@ __all__ = [
     "format_obs3",
     "run_dse",
     "format_dse",
+    "run_memtech",
+    "format_memtech",
+    "run_beol_logic",
+    "format_beol_logic",
+    "run_precision",
+    "format_precision",
+    "run_batching",
+    "format_batching",
+    "run_folding",
+    "format_folding",
     "format_run_report",
     "format_table",
 ]

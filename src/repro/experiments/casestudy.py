@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, percent, times
 from repro.physical.flow import FlowResult, run_flow
-from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE, to_mm2, to_mw
 
 
@@ -63,21 +64,12 @@ def run_case_study(
     pdk: PDK | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> CaseStudyResult:
-    """Run the flow on the 2D baseline and the iso-footprint M3D design.
-
-    Both flow runs go through the evaluation engine, so a warm cache
-    (memory or ``--cache-dir``) serves repeat runs without re-running the
-    physical flow, and ``jobs`` >= 2 runs the two designs concurrently.
-    """
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    engine = engine if engine is not None else default_engine()
-    baseline, m3d = engine.map(
-        run_flow,
-        [(baseline_2d_design(pdk, capacity_bits), pdk),
-         (m3d_design(pdk, capacity_bits), pdk)],
-        stage="casestudy.run_flow")
-    return CaseStudyResult(baseline=baseline, m3d=m3d)
+    """Deprecated shim: builds a context for :func:`casestudy_experiment`."""
+    return casestudy_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        capacity_bits=capacity_bits)
 
 
 def format_case_study(result: CaseStudyResult) -> str:
@@ -108,3 +100,21 @@ def format_case_study(result: CaseStudyResult) -> str:
         f"peak power density: {times(result.peak_density_ratio, 4)}"
     )
     return table + summary
+
+
+@experiment("casestudy", "Fig. 2 + Obs. 2: physical design case study",
+            formatter=format_case_study)
+def casestudy_experiment(ctx: ExperimentContext,
+                         capacity_bits: int = 64 * MEGABYTE) -> CaseStudyResult:
+    """Run the flow on the 2D baseline and the iso-footprint M3D design.
+
+    Both flow runs go through the evaluation engine, so a warm cache
+    (memory or ``--cache-dir``) serves repeat runs without re-running the
+    physical flow, and ``jobs`` >= 2 runs the two designs concurrently.
+    """
+    baseline, m3d = ctx.engine.map(
+        run_flow,
+        [(baseline_2d_design(ctx.pdk, capacity_bits), ctx.pdk),
+         (m3d_design(ctx.pdk, capacity_bits), ctx.pdk)],
+        stage="casestudy.run_flow", jobs=ctx.jobs)
+    return CaseStudyResult(baseline=baseline, m3d=m3d)

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, percent, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
 from repro.workloads.transformer import tiny_encoder
@@ -80,14 +81,28 @@ def run_batching(
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[BatchingRow, ...]:
+    """Deprecated shim: builds a context for :func:`batching_experiment`."""
+    return batching_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        batches=batches, network=network, capacity_bits=capacity_bits)
+
+
+@experiment("ext-batching", "Extension: transformer token batching",
+            formatter=lambda rows: format_batching(rows))
+def batching_experiment(
+    ctx: ExperimentContext,
+    batches: tuple[int, ...] = (1, 4, 16, 64, 256),
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
 ) -> tuple[BatchingRow, ...]:
     """Sweep the token batch for an encoder workload on the case-study pair."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else tiny_encoder()
-    engine = engine if engine is not None else default_engine()
-    calls = [(pdk, batch, capacity_bits, network) for batch in batches]
-    return tuple(engine.map(batching_row, calls,
-                            stage="ext_batching.run_batching"))
+    calls = [(ctx.pdk, batch, capacity_bits, network) for batch in batches]
+    return tuple(ctx.engine.map(batching_row, calls,
+                                stage="ext_batching.run_batching",
+                                jobs=ctx.jobs))
 
 
 def format_batching(rows: tuple[BatchingRow, ...]) -> str:

@@ -19,13 +19,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.tech import constants
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.core.thermal import ThermalStack, temperature_rise
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
-from repro.perf.simulator import AcceleratorSimulator
+from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 
@@ -90,9 +91,25 @@ def run_beol_logic(
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
     stack: ThermalStack | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> BEOLLogicResult:
+    """Deprecated shim: builds a context for :func:`beol_logic_experiment`."""
+    return beol_logic_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        capacity_bits=capacity_bits, network=network, stack=stack)
+
+
+@experiment("ext-beol-logic", "Extension: CSs in the BEOL CNFET tier",
+            formatter=lambda result: format_beol_logic(result))
+def beol_logic_experiment(
+    ctx: ExperimentContext,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
+    stack: ThermalStack | None = None,
 ) -> BEOLLogicResult:
     """Evaluate the M3D design extended with CNFET-tier CSs."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    pdk = ctx.pdk
     network = network if network is not None else resnet18()
     stack = stack if stack is not None else ThermalStack()
     baseline = baseline_2d_design(pdk, capacity_bits)
@@ -101,9 +118,11 @@ def run_beol_logic(
     extended = m3d_design(pdk, capacity_bits,
                           n_cs=plain_m3d.n_cs + extra)
 
-    baseline_report = AcceleratorSimulator(baseline, pdk).run(network)
-    plain_report = AcceleratorSimulator(plain_m3d, pdk).run(network)
-    extended_report = AcceleratorSimulator(extended, pdk).run(network)
+    baseline_report, plain_report, extended_report = ctx.engine.map(
+        simulate,
+        [(baseline, network, pdk), (plain_m3d, network, pdk),
+         (extended, network, pdk)],
+        stage="ext_beol_logic.simulate", jobs=ctx.jobs)
     plain_benefit = compare_designs(baseline_report, plain_report)
     extended_benefit = compare_designs(baseline_report, extended_report)
 

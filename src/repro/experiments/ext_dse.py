@@ -12,6 +12,7 @@ result cache outright (see ``repro dse --profile``).
 from __future__ import annotations
 
 from repro.core.dse import DesignCandidate, explore, pareto_frontier
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
@@ -21,8 +22,9 @@ from repro.units import MEGABYTE, to_mm2
 def run_dse(pdk: PDK | None = None,
             engine: EvaluationEngine | None = None,
             jobs: int | None = None) -> tuple[DesignCandidate, ...]:
-    """Run the joint design-space grid (36 points) on ResNet-18."""
-    return explore(pdk=pdk, engine=engine, jobs=jobs)
+    """Deprecated shim: builds a context for :func:`dse_experiment`."""
+    return dse_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 
 
 def format_dse(candidates: tuple[DesignCandidate, ...]) -> str:
@@ -42,3 +44,12 @@ def format_dse(candidates: tuple[DesignCandidate, ...]) -> str:
          "speedup", "EDP benefit", "pareto"],
         rows,
     )
+
+
+@experiment("dse",
+            "Extension: joint (capacity, delta, beta, Y) design space "
+            "with Pareto frontier",
+            formatter=format_dse)
+def dse_experiment(ctx: ExperimentContext) -> tuple[DesignCandidate, ...]:
+    """Run the joint design-space grid (36 points) on ResNet-18."""
+    return explore(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)

@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.memories import MemoryTechnology, beol_technologies
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE, to_mm2
 from repro.workloads.models import Network, resnet18
 
@@ -86,15 +87,28 @@ def run_memtech(
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[MemTechRow, ...]:
+    """Deprecated shim: builds a context for :func:`memtech_experiment`."""
+    return memtech_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        capacity_bits=capacity_bits, network=network)
+
+
+@experiment("ext-memtech", "Extension: BEOL memory technologies",
+            formatter=lambda rows: format_memtech(rows))
+def memtech_experiment(
+    ctx: ExperimentContext,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
 ) -> tuple[MemTechRow, ...]:
     """Evaluate the case study under every BEOL memory preset."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    engine = engine if engine is not None else default_engine()
-    calls = [(pdk, tech, capacity_bits, network)
+    calls = [(ctx.pdk, tech, capacity_bits, network)
              for tech in beol_technologies()]
-    return tuple(engine.map(memtech_row, calls,
-                            stage="ext_memtech.run_memtech"))
+    return tuple(ctx.engine.map(memtech_row, calls,
+                                stage="ext_memtech.run_memtech",
+                                jobs=ctx.jobs))
 
 
 def format_memtech(rows: tuple[MemTechRow, ...]) -> str:

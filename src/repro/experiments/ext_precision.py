@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import (
     ComputingSubsystem,
     baseline_2d_design,
@@ -20,10 +20,11 @@ from repro.arch.accelerator import (
 )
 from repro.arch.pe import PEConfig
 from repro.arch.systolic import SystolicArrayConfig
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, available_networks, build_network, resnet18
 
@@ -93,14 +94,28 @@ def run_precision(
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
     engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[PrecisionRow, ...]:
+    """Deprecated shim: builds a context for :func:`precision_experiment`."""
+    return precision_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        precisions=precisions, capacity_bits=capacity_bits, network=network)
+
+
+@experiment("ext-precision", "Extension: operand precision sweep",
+            formatter=lambda rows: format_precision(rows))
+def precision_experiment(
+    ctx: ExperimentContext,
+    precisions: tuple[int, ...] = (4, 8, 16),
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
 ) -> tuple[PrecisionRow, ...]:
     """Sweep operand precision at fixed 64 MB capacity."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
     network = network if network is not None else resnet18()
-    engine = engine if engine is not None else default_engine()
-    calls = [(pdk, bits, capacity_bits, network) for bits in precisions]
-    return tuple(engine.map(precision_row, calls,
-                            stage="ext_precision.run_precision"))
+    calls = [(ctx.pdk, bits, capacity_bits, network) for bits in precisions]
+    return tuple(ctx.engine.map(precision_row, calls,
+                                stage="ext_precision.run_precision",
+                                jobs=ctx.jobs))
 
 
 def format_precision(rows: tuple[PrecisionRow, ...]) -> str:

@@ -19,6 +19,7 @@ from repro.core.multitier import MultiTierResult, multitier_study, sweep_tiers
 from repro.core.relaxed_fet import RelaxedFETResult, sweep_fet_width
 from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
 from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
@@ -27,9 +28,11 @@ from repro.workloads.models import Network, resnet18
 
 def run_fig10c(pdk: PDK | None = None,
                engine: EvaluationEngine | None = None,
+               jobs: int | None = None,
                ) -> tuple[RelaxedFETResult, ...]:
-    """Case 1 sweep over the access-FET width relaxation delta."""
-    return sweep_fet_width(pdk=pdk, engine=engine)
+    """Deprecated shim: builds a context for :func:`fig10c_experiment`."""
+    return fig10c_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 
 
 def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
@@ -47,11 +50,20 @@ def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
     )
 
 
+@experiment("fig10c", "Fig. 10c / Obs. 7: access-FET width relaxation",
+            formatter=format_fig10c)
+def fig10c_experiment(ctx: ExperimentContext) -> tuple[RelaxedFETResult, ...]:
+    """Case 1 sweep over the access-FET width relaxation delta."""
+    return sweep_fet_width(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+
+
 def run_obs8(pdk: PDK | None = None,
              engine: EvaluationEngine | None = None,
+             jobs: int | None = None,
              ) -> tuple[ViaPitchResult, ...]:
-    """Case 2 sweep over the ILV pitch beta."""
-    return sweep_via_pitch(pdk=pdk, engine=engine)
+    """Deprecated shim: builds a context for :func:`obs8_experiment`."""
+    return obs8_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 
 
 def format_obs8(results: tuple[ViaPitchResult, ...]) -> str:
@@ -69,6 +81,12 @@ def format_obs8(results: tuple[ViaPitchResult, ...]) -> str:
     )
 
 
+@experiment("obs8", "Obs. 8: ILV via pitch sweep", formatter=format_obs8)
+def obs8_experiment(ctx: ExperimentContext) -> tuple[ViaPitchResult, ...]:
+    """Case 2 sweep over the ILV pitch beta."""
+    return sweep_via_pitch(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+
+
 @dataclass(frozen=True)
 class Fig10dResult:
     """Tier sweep plus the highly parallel single-layer headline.
@@ -83,17 +101,12 @@ class Fig10dResult:
 
 
 def run_fig10d(pdk: PDK | None = None, max_pairs: int = 6,
-               engine: EvaluationEngine | None = None) -> Fig10dResult:
-    """Case 3 sweep for ResNet-18 and for its most parallel layer."""
-    network = resnet18()
-    single = Network(name="resnet18_L4.1_CONV2",
-                     layers=(network.layer("L4.1 CONV2"),))
-    return Fig10dResult(
-        network_sweep=sweep_tiers(max_pairs, pdk=pdk, network=network,
-                                  engine=engine),
-        parallel_layer_sweep=sweep_tiers(max_pairs, pdk=pdk, network=single,
-                                         engine=engine),
-    )
+               engine: EvaluationEngine | None = None,
+               jobs: int | None = None) -> Fig10dResult:
+    """Deprecated shim: builds a context for :func:`fig10d_experiment`."""
+    return fig10d_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        max_pairs=max_pairs)
 
 
 def format_fig10d(result: Fig10dResult) -> str:
@@ -113,6 +126,23 @@ def format_fig10d(result: Fig10dResult) -> str:
         ["pairs Y", "total CSs", "ResNet-18 EDP", "L4.1 CONV2 EDP",
          "temp rise"],
         rows,
+    )
+
+
+@experiment("fig10d", "Fig. 10d / Obs. 9: interleaved tier pairs",
+            formatter=format_fig10d)
+def fig10d_experiment(ctx: ExperimentContext,
+                      max_pairs: int = 6) -> Fig10dResult:
+    """Case 3 sweep for ResNet-18 and for its most parallel layer."""
+    network = resnet18()
+    single = Network(name="resnet18_L4.1_CONV2",
+                     layers=(network.layer("L4.1 CONV2"),))
+    return Fig10dResult(
+        network_sweep=sweep_tiers(max_pairs, pdk=ctx.pdk, network=network,
+                                  engine=ctx.engine, jobs=ctx.jobs),
+        parallel_layer_sweep=sweep_tiers(max_pairs, pdk=ctx.pdk,
+                                         network=single, engine=ctx.engine,
+                                         jobs=ctx.jobs),
     )
 
 
@@ -159,3 +189,9 @@ def format_obs10(rows: tuple[Obs10Row, ...]) -> str:
         ["power per pair", "max pairs", "rise at max"],
         table_rows,
     )
+
+
+@experiment("obs10", "Obs. 10: thermal tier ceiling", formatter=format_obs10)
+def obs10_experiment(ctx: ExperimentContext) -> tuple[Obs10Row, ...]:
+    """Obs. 10 is analytical (Eq. 17 only) — the context is unused."""
+    return run_obs10()

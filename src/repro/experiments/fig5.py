@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.models import build_network
 
@@ -46,25 +48,13 @@ def run_fig5(
     pdk: PDK | None = None,
     networks: tuple[str, ...] = FIG5_NETWORKS,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[Fig5Row, ...]:
-    """Simulate every Fig. 5 model on the 2D/M3D design pair."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits)
-    rows: list[Fig5Row] = []
-    for name in networks:
-        network = build_network(name)
-        benefit = compare_designs(
-            simulate(baseline, network, pdk),
-            simulate(m3d, network, pdk),
-        )
-        rows.append(Fig5Row(
-            network=name,
-            speedup=benefit.speedup,
-            energy_benefit=benefit.energy_benefit,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(rows)
+    """Deprecated shim: builds a context for :func:`fig5_experiment`."""
+    return fig5_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        networks=networks, capacity_bits=capacity_bits)
 
 
 def format_fig5(rows: tuple[Fig5Row, ...]) -> str:
@@ -82,3 +72,35 @@ def format_fig5(rows: tuple[Fig5Row, ...]) -> str:
         table_rows,
     )
     return table + f"\nEDP benefit range: {times(spread[0])} - {times(spread[1])}"
+
+
+@experiment("fig5", "Fig. 5: whole-model benefits", formatter=format_fig5)
+def fig5_experiment(
+    ctx: ExperimentContext,
+    networks: tuple[str, ...] = FIG5_NETWORKS,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[Fig5Row, ...]:
+    """Simulate every Fig. 5 model on the 2D/M3D design pair.
+
+    All 2 * len(networks) simulations run as one engine batch, so repeats
+    hit the cache and ``jobs`` >= 2 spreads models across workers.
+    """
+    baseline = baseline_2d_design(ctx.pdk, capacity_bits)
+    m3d = m3d_design(ctx.pdk, capacity_bits)
+    built = [build_network(name) for name in networks]
+    specs = []
+    for network in built:
+        specs.append((baseline, network, ctx.pdk))
+        specs.append((m3d, network, ctx.pdk))
+    reports = ctx.engine.map(simulate, specs, stage="fig5.simulate",
+                             jobs=ctx.jobs)
+    rows: list[Fig5Row] = []
+    for i, name in enumerate(networks):
+        benefit = compare_designs(reports[2 * i], reports[2 * i + 1])
+        rows.append(Fig5Row(
+            network=name,
+            speedup=benefit.speedup,
+            energy_benefit=benefit.energy_benefit,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)

@@ -31,7 +31,9 @@ from repro.arch.accelerator import (
     peripheral_area,
 )
 from repro.arch.table2 import ArchitectureSpec, table_ii_architectures
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, percent, times
+from repro.runtime.engine import EvaluationEngine
 from repro.mapper.cost import CostModel
 from repro.mapper.engine import MapperEngine, arch_static_power
 from repro.mapper.loopnest import loop_nest_of
@@ -159,19 +161,46 @@ def run_fig7(
     pdk: PDK | None = None,
     network: Network | None = None,
     frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[Fig7Row, ...]:
-    """Evaluate every Table II architecture with both tools."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    """Deprecated shim: builds a context for :func:`fig7_experiment`."""
+    return fig7_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        network=network, frequency_hz=frequency_hz)
+
+
+@experiment("fig7", "Fig. 7: Table II architectures, two evaluators",
+            formatter=lambda rows: format_fig7(rows))
+def fig7_experiment(
+    ctx: ExperimentContext,
+    network: Network | None = None,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+) -> tuple[Fig7Row, ...]:
+    """Evaluate every Table II architecture with both tools.
+
+    The 2 * |archs| mapper evaluations (the expensive half) run as one
+    engine batch; the cheap analytical passes run as a second batch.
+    """
+    pdk = ctx.pdk
     network = network if network is not None else alexnet()
+    archs = table_ii_architectures()
+    counts = [arch_n_cs(arch, pdk) for arch in archs]
+    mapper_specs = []
+    analytic_specs = []
+    for arch, n_cs in zip(archs, counts):
+        mapper_specs.append((arch, network, 1, pdk, frequency_hz, False))
+        mapper_specs.append((arch, network, n_cs, pdk, frequency_hz, False))
+        analytic_specs.append((arch, network, 1, pdk, frequency_hz))
+        analytic_specs.append((arch, network, n_cs, pdk, frequency_hz))
+    mapper = ctx.engine.map(_mapper_eval, mapper_specs,
+                            stage="fig7.mapper_eval", jobs=ctx.jobs)
+    analytic = ctx.engine.map(_analytical_eval, analytic_specs,
+                              stage="fig7.analytic_eval", jobs=ctx.jobs)
     rows: list[Fig7Row] = []
-    for arch in table_ii_architectures():
-        n_cs = arch_n_cs(arch, pdk)
-        m2 = _mapper_eval(arch, network, 1, pdk, frequency_hz,
-                          shared_channel=False)
-        m3 = _mapper_eval(arch, network, n_cs, pdk, frequency_hz,
-                          shared_channel=False)
-        a2 = _analytical_eval(arch, network, 1, pdk, frequency_hz)
-        a3 = _analytical_eval(arch, network, n_cs, pdk, frequency_hz)
+    for i, (arch, n_cs) in enumerate(zip(archs, counts)):
+        m2, m3 = mapper[2 * i], mapper[2 * i + 1]
+        a2, a3 = analytic[2 * i], analytic[2 * i + 1]
         rows.append(Fig7Row(
             arch=arch,
             n_cs=n_cs,

@@ -19,6 +19,7 @@ from repro.core.insights import (
     obs5_memory_bound_ratio,
     sweep_bandwidth_vs_cs,
 )
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 
 
@@ -77,3 +78,10 @@ def format_fig8(result: Fig8Result) -> str:
         f"{times(result.memory_bound_rebalance)} better EDP (paper ~2.1x)",
     ]
     return "\n".join(parts)
+
+
+@experiment("fig8", "Fig. 8 / Obs. 5: bandwidth vs CS count",
+            formatter=format_fig8)
+def fig8_experiment(ctx: ExperimentContext) -> Fig8Result:
+    """Fig. 8 is analytical (abstract workloads) — the context is unused."""
+    return run_fig8()

@@ -9,15 +9,10 @@ paper reports 1x at 12 MB rising to 6.8x at 128 MB.
 from __future__ import annotations
 
 from repro.core.insights import CapacityPoint, sweep_rram_capacity
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
-
-
-def run_fig9(pdk: PDK | None = None,
-             engine: EvaluationEngine | None = None) -> tuple[CapacityPoint, ...]:
-    """Run the capacity sweep (12-128 MB) on ResNet-18."""
-    return sweep_rram_capacity(pdk=pdk, engine=engine)
 
 
 def format_fig9(points: tuple[CapacityPoint, ...]) -> str:
@@ -34,3 +29,18 @@ def format_fig9(points: tuple[CapacityPoint, ...]) -> str:
         rows,
     )
     return table
+
+
+@experiment("fig9", "Fig. 9 / Obs. 6: RRAM capacity sweep",
+            formatter=format_fig9)
+def fig9_experiment(ctx: ExperimentContext) -> tuple[CapacityPoint, ...]:
+    """Run the capacity sweep (12-128 MB) on ResNet-18."""
+    return sweep_rram_capacity(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+
+
+def run_fig9(pdk: PDK | None = None,
+             engine: EvaluationEngine | None = None,
+             jobs: int | None = None) -> tuple[CapacityPoint, ...]:
+    """Deprecated shim: builds a context for :func:`fig9_experiment`."""
+    return fig9_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))

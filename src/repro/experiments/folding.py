@@ -21,13 +21,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.tech import constants
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.physical.flow import run_flow
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE, to_mm2
 from repro.workloads.models import Network, resnet18
 
@@ -74,12 +75,29 @@ def run_folding(
     pdk: PDK | None = None,
     capacity_bits: int = 64 * MEGABYTE,
     network: Network | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> FoldingResult:
+    """Deprecated shim: builds a context for :func:`folding_experiment`."""
+    return folding_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        capacity_bits=capacity_bits, network=network)
+
+
+@experiment("folding", "Prior-work contrast: folding-only M3D",
+            formatter=lambda result: format_folding(result))
+def folding_experiment(
+    ctx: ExperimentContext,
+    capacity_bits: int = 64 * MEGABYTE,
+    network: Network | None = None,
 ) -> FoldingResult:
     """Evaluate folding-only M3D against the architectural case study."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    pdk = ctx.pdk
     network = network if network is not None else resnet18()
 
-    flow_2d = run_flow(baseline_2d_design(pdk, capacity_bits), pdk)
+    (flow_2d,) = ctx.engine.map(
+        run_flow, [(baseline_2d_design(pdk, capacity_bits), pdk)],
+        stage="folding.run_flow", jobs=ctx.jobs)
     baseline = flow_2d.design
 
     # Folded footprint: the memory tier and the logic tier overlap.
@@ -99,10 +117,12 @@ def run_folding(
     folded_energy = 1.0 - WIRE_ENERGY_SHARE * (1.0 - wl_ratio)
     folded_energy_benefit = 1.0 / folded_energy
 
-    architectural = compare_designs(
-        simulate(baseline, network, pdk),
-        simulate(m3d_design(pdk, capacity_bits), network, pdk),
-    )
+    base_report, m3d_report = ctx.engine.map(
+        simulate,
+        [(baseline, network, pdk),
+         (m3d_design(pdk, capacity_bits), network, pdk)],
+        stage="folding.simulate", jobs=ctx.jobs)
+    architectural = compare_designs(base_report, m3d_report)
     return FoldingResult(
         footprint_2d=baseline.area.footprint,
         footprint_folded=folded_footprint,

@@ -12,15 +12,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import (
     baseline_2d_design,
     m3d_design,
     peripheral_area,
 )
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.models import Network, resnet18
 
@@ -48,29 +50,14 @@ def run_obs3(
     density_ratios: tuple[float, ...] = (1.0, 1.5, 2.0),
     network: Network | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
 ) -> tuple[Obs3Row, ...]:
-    """Sweep the baseline memory density ratio (1.0 = RRAM baseline)."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    network = network if network is not None else resnet18()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    cs_area = baseline.area.cs_unit
-    perif = peripheral_area(pdk)
-    rows: list[Obs3Row] = []
-    for ratio in density_ratios:
-        freed = baseline.area.cells * ratio - perif
-        n_cs = 1 + max(0, math.floor(freed / cs_area))
-        m3d = m3d_design(pdk, capacity_bits, n_cs=n_cs)
-        benefit = compare_designs(
-            simulate(baseline, network, pdk),
-            simulate(m3d, network, pdk),
-        )
-        rows.append(Obs3Row(
-            density_ratio=ratio,
-            n_cs=n_cs,
-            speedup=benefit.speedup,
-            edp_benefit=benefit.edp_benefit,
-        ))
-    return tuple(rows)
+    """Deprecated shim: builds a context for :func:`obs3_experiment`."""
+    return obs3_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        density_ratios=density_ratios, network=network,
+        capacity_bits=capacity_bits)
 
 
 def format_obs3(rows: tuple[Obs3Row, ...]) -> str:
@@ -86,3 +73,42 @@ def format_obs3(rows: tuple[Obs3Row, ...]) -> str:
         ["baseline cell area", "M3D CSs", "speedup", "EDP benefit"],
         table_rows,
     )
+
+
+@experiment("obs3", "Obs. 3: SRAM-class 2D baseline", formatter=format_obs3)
+def obs3_experiment(
+    ctx: ExperimentContext,
+    density_ratios: tuple[float, ...] = (1.0, 1.5, 2.0),
+    network: Network | None = None,
+    capacity_bits: int = 64 * MEGABYTE,
+) -> tuple[Obs3Row, ...]:
+    """Sweep the baseline memory density ratio (1.0 = RRAM baseline).
+
+    The shared-baseline simulation and every per-ratio M3D simulation run
+    as one engine batch (the repeated baseline deduplicates).
+    """
+    pdk = ctx.pdk
+    network = network if network is not None else resnet18()
+    baseline = baseline_2d_design(pdk, capacity_bits)
+    cs_area = baseline.area.cs_unit
+    perif = peripheral_area(pdk)
+    counts: list[int] = []
+    specs = [(baseline, network, pdk)]
+    for ratio in density_ratios:
+        freed = baseline.area.cells * ratio - perif
+        n_cs = 1 + max(0, math.floor(freed / cs_area))
+        counts.append(n_cs)
+        specs.append((m3d_design(pdk, capacity_bits, n_cs=n_cs), network, pdk))
+    reports = ctx.engine.map(simulate, specs, stage="obs3.simulate",
+                             jobs=ctx.jobs)
+    base_report = reports[0]
+    rows: list[Obs3Row] = []
+    for ratio, n_cs, m3d_report in zip(density_ratios, counts, reports[1:]):
+        benefit = compare_designs(base_report, m3d_report)
+        rows.append(Obs3Row(
+            density_ratio=ratio,
+            n_cs=n_cs,
+            speedup=benefit.speedup,
+            edp_benefit=benefit.edp_benefit,
+        ))
+    return tuple(rows)

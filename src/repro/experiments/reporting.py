@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.errors import require
 
 if TYPE_CHECKING:
+    from repro.obs.trace import SpanSummary
     from repro.runtime.engine import RunReport
 
 
@@ -98,3 +99,21 @@ def format_run_report(report: "RunReport") -> str:
                f"{report.cache_misses} misses, {report.evaluated} evaluated, "
                f"{report.wall_time:.3f} s")
     return "\n\n".join(sections) + summary
+
+
+def format_top_spans(summaries: "Sequence[SpanSummary]") -> str:
+    """Render trace-span aggregates (``repro <exp> --profile``).
+
+    One row per span name: call count, total wall time (including
+    children), self time (excluding children), and mean per call.
+    """
+    rows = [
+        [summary.name, summary.count, f"{summary.total:.3f} s",
+         f"{summary.self_time:.3f} s", f"{summary.mean * 1e3:.2f} ms"]
+        for summary in summaries
+    ]
+    return format_table(
+        "Top spans by total wall time",
+        ["span", "count", "total", "self", "mean/call"],
+        rows,
+    )

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.tech.pdk import PDK, foundry_m3d_pdk
+from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine
 from repro.units import MEGABYTE
 from repro.workloads.layers import LayerKind
 from repro.workloads.models import resnet18
@@ -66,14 +68,29 @@ class Table1Row:
 def run_table1(
     pdk: PDK | None = None,
     capacity_bits: int = 64 * MEGABYTE,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[Table1Row, ...]:
+    """Deprecated shim: builds a context for :func:`table1_experiment`."""
+    return table1_experiment(
+        ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
+        capacity_bits=capacity_bits)
+
+
+@experiment("table1", "Table I: per-layer ResNet-18 benefits",
+            formatter=lambda rows: format_table1(rows))
+def table1_experiment(
+    ctx: ExperimentContext,
+    capacity_bits: int = 64 * MEGABYTE,
 ) -> tuple[Table1Row, ...]:
     """Produce every Table I row, including the merged stem and the total."""
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits)
+    baseline = baseline_2d_design(ctx.pdk, capacity_bits)
+    m3d = m3d_design(ctx.pdk, capacity_bits)
     network = resnet18()
-    base_report = simulate(baseline, network, pdk)
-    m3d_report = simulate(m3d, network, pdk)
+    base_report, m3d_report = ctx.engine.map(
+        simulate,
+        [(baseline, network, ctx.pdk), (m3d, network, ctx.pdk)],
+        stage="table1.simulate", jobs=ctx.jobs)
     benefit = compare_designs(base_report, m3d_report)
 
     rows: list[Table1Row] = []

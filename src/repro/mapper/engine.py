@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import MappingError, require
+from repro.obs.trace import span as _span
 from repro.tech import constants
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.arch.accelerator import (
@@ -221,9 +222,15 @@ class MapperEngine:
         key = (self._slice_fingerprint, nest, prune)
         memoized = _SLICE_MEMO.get(key)
         if memoized is not MISSING:
+            with _span("mapper.best_slice_cost") as sp:
+                if sp:
+                    sp.set(arch=self.arch.name, memo="hit")
             return memoized
-        best = (self._search_pruned(nest) if prune
-                else self._search_exhaustive(nest))
+        with _span("mapper.best_slice_cost") as sp:
+            if sp:
+                sp.set(arch=self.arch.name, memo="miss", prune=prune)
+            best = (self._search_pruned(nest) if prune
+                    else self._search_exhaustive(nest))
         if best is None:
             raise MappingError(
                 f"no legal tiling for nest {nest} on {self.arch.name}")
@@ -354,12 +361,18 @@ class MapperEngine:
         key = (self._layer_fingerprint, shape_key(layer))
         memoized = _LAYER_MEMO.get(key)
         if memoized is not MISSING:
+            with _span("mapper.map_layer") as sp:
+                if sp:
+                    sp.set(layer=layer.name, memo="hit")
             used, slice_cost, cycles, dynamic, leakage = memoized
             return LayerMapping(
                 layer=layer, used_cs=used, slice_cost=slice_cost,
                 cycles=cycles, dynamic_energy=dynamic,
                 leakage_energy=leakage)
-        mapping = self._map_layer_uncached(layer)
+        with _span("mapper.map_layer") as sp:
+            if sp:
+                sp.set(layer=layer.name, memo="miss")
+            mapping = self._map_layer_uncached(layer)
         _LAYER_MEMO.put(key, (mapping.used_cs, mapping.slice_cost,
                               mapping.cycles, mapping.dynamic_energy,
                               mapping.leakage_energy))
@@ -391,7 +404,9 @@ class MapperEngine:
         require(network.weight_bits(self.precision_bits)
                 <= self.arch.rram_capacity_bits,
                 f"{network.name} weights do not fit this architecture's RRAM")
-        layers = tuple(self.map_layer(layer) for layer in network.layers)
+        with _span("mapper.map_network", network=network.name,
+                   arch=self.arch.name, n_cs=self.n_cs):
+            layers = tuple(self.map_layer(layer) for layer in network.layers)
         return MappingReport(
             arch=self.arch,
             network=network,

@@ -1,0 +1,76 @@
+"""Zero-dependency observability: tracing, metrics, exporters.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.trace` — context-local nested-span tracing with a
+  falsy :data:`NULL_SPAN` fast path when disabled;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  context-local :class:`MetricsRegistry` with picklable snapshots;
+* :mod:`repro.obs.export` — Chrome-trace JSON, flat CSV, and
+  Prometheus-text exporters.
+
+Everything is off by default; ``with trace() as tracer:`` (or the CLI's
+``--trace``/``--profile`` flags) turns it on for a scope.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    spans_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_csv,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    SpanSummary,
+    Tracer,
+    current_tracer,
+    is_enabled,
+    set_enabled,
+    span,
+    summarize_spans,
+    trace,
+    walk_spans,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "Span",
+    "SpanSummary",
+    "Tracer",
+    "chrome_trace",
+    "current_tracer",
+    "is_enabled",
+    "prometheus_text",
+    "registry",
+    "set_enabled",
+    "span",
+    "spans_csv",
+    "summarize_spans",
+    "trace",
+    "use_registry",
+    "validate_chrome_trace",
+    "walk_spans",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_spans_csv",
+]

@@ -1,0 +1,211 @@
+"""Exporters: Chrome-trace JSON, flat CSV, Prometheus text.
+
+* :func:`chrome_trace` — the ``chrome://tracing`` / Perfetto JSON object
+  format: one complete (``"ph": "X"``) event per span, lanes (``tid``)
+  assigned per worker label so a parallel sweep reads as one merged
+  timeline.  :func:`validate_chrome_trace` checks the schema (the CI
+  trace-smoke step runs it on real CLI output).
+* :func:`spans_csv` — one row per span (depth-first), for spreadsheets
+  and ad-hoc grepping.
+* :func:`prometheus_text` — the Prometheus exposition format for a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+from typing import Any, Iterable, Sequence
+
+from repro.obs.metrics import MetricSample, MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "chrome_trace",
+    "prometheus_text",
+    "spans_csv",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_spans_csv",
+]
+
+#: Process id used for every event (one logical process per trace).
+_TRACE_PID = 1
+
+#: The main (non-worker) lane.
+_MAIN_LANE = "main"
+
+
+def _lane_of(span: Span, inherited: str) -> str:
+    return span.worker if span.worker is not None else inherited
+
+
+def _collect_events(span: Span, lane: str, origin: float,
+                    lanes: dict[str, int],
+                    events: list[dict[str, Any]]) -> None:
+    lane = _lane_of(span, lane)
+    tid = lanes.setdefault(lane, len(lanes) + 1)
+    events.append({
+        "name": span.name,
+        "ph": "X",
+        "ts": max(0.0, (span.start - origin) * 1e6),
+        "dur": span.duration * 1e6,
+        "pid": _TRACE_PID,
+        "tid": tid,
+        "cat": span.name.split(".", 1)[0],
+        "args": {key: _jsonable(value) for key, value in span.attrs.items()},
+    })
+    for child in span.children:
+        _collect_events(child, lane, origin, lanes, events)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(spans: Sequence[Span]) -> dict[str, Any]:
+    """Lower a span forest to the Chrome trace-event JSON object format.
+
+    Every span becomes one complete event; worker-labelled subtrees get
+    their own ``tid`` lane (named via ``thread_name`` metadata events) so
+    ``--jobs N`` runs render as N+1 parallel tracks.
+    """
+    origin = min((span.start for span in spans), default=0.0)
+    lanes: dict[str, int] = {_MAIN_LANE: 1}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        _collect_events(span, _MAIN_LANE, origin, lanes, events)
+    metadata = [
+        {"name": "thread_name", "ph": "M", "pid": _TRACE_PID, "tid": tid,
+         "args": {"name": lane}}
+        for lane, tid in sorted(lanes.items(), key=lambda item: item[1])
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str | os.PathLike, spans: Sequence[Span]) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1)
+
+
+def validate_chrome_trace(data: Any) -> list[str]:
+    """Schema errors in a Chrome-trace object (empty list = valid).
+
+    Checks the invariants the trace viewers rely on: a ``traceEvents``
+    list whose members carry ``name``/``ph``/``pid``/``tid``, complete
+    (``X``) events with non-negative ``ts``/``dur``, and metadata events
+    with an ``args`` dict.
+    """
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where} has no name")
+        phase = event.get("ph")
+        if phase not in ("X", "M", "B", "E", "i", "C"):
+            errors.append(f"{where} has unknown phase {phase!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}.{key} must be an int")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"{where}.{key} must be a number >= 0")
+        if phase == "M" and not isinstance(event.get("args"), dict):
+            errors.append(f"{where}.args must be an object")
+    return errors
+
+
+def spans_csv(spans: Sequence[Span]) -> str:
+    """One CSV row per span: depth-first, with flattened attributes."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["name", "depth", "worker", "start_s", "duration_s",
+                     "self_s", "attrs"])
+
+    def visit(span: Span, depth: int, worker: str) -> None:
+        worker = span.worker if span.worker is not None else worker
+        attrs = ";".join(f"{key}={value}"
+                         for key, value in sorted(span.attrs.items()))
+        writer.writerow([span.name, depth, worker,
+                         f"{span.start:.6f}", f"{span.duration:.6f}",
+                         f"{span.self_time:.6f}", attrs])
+        for child in span.children:
+            visit(child, depth + 1, worker)
+
+    for span in spans:
+        visit(span, 0, _MAIN_LANE)
+    return out.getvalue()
+
+
+def write_spans_csv(path: str | os.PathLike, spans: Sequence[Span]) -> None:
+    """Write :func:`spans_csv` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_csv(spans))
+
+
+def _prom_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [f'{key}="{value}"' for key, value in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _prom_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(source: MetricsRegistry | Sequence[MetricSample]) -> str:
+    """The Prometheus text exposition of a registry (or its snapshot)."""
+    samples = (source.snapshot() if isinstance(source, MetricsRegistry)
+               else tuple(source))
+    lines: list[str] = []
+    typed: set[str] = set()
+    for sample in samples:
+        if sample.name not in typed:
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+            typed.add(sample.name)
+        labels = _prom_labels(sample.labels)
+        if sample.kind in ("counter", "gauge"):
+            lines.append(f"{sample.name}{labels} "
+                         f"{_prom_number(sample.value)}")
+            continue
+        for bound, cumulative in sample.buckets:
+            bucket_labels = _prom_labels(
+                (*sample.labels, ("le", _prom_number(bound))))
+            lines.append(f"{sample.name}_bucket{bucket_labels} {cumulative}")
+        lines.append(f"{sample.name}_sum{labels} "
+                     f"{_prom_number(sample.value)}")
+        lines.append(f"{sample.name}_count{labels} {sample.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str | os.PathLike,
+                     source: MetricsRegistry | Sequence[MetricSample]) -> None:
+    """Write :func:`prometheus_text` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(source))

@@ -1,0 +1,267 @@
+"""Counters, gauges, and histograms for the evaluation runtime.
+
+A :class:`MetricsRegistry` holds named, labelled instruments:
+
+* :class:`Counter` — monotonically increasing totals (calls, hits);
+* :class:`Gauge` — last-written values (worker counts, table sizes);
+* :class:`Histogram` — bucketed timing distributions (stage latency).
+
+Like tracing (:mod:`repro.obs.trace`), metrics are context-local: call
+sites record into :func:`registry`, a :class:`contextvars.ContextVar`
+default that :func:`use_registry` can scope — which is how pool workers
+record into a private registry whose :meth:`~MetricsRegistry.snapshot`
+ships back with the task result and merges into the parent's registry
+(:meth:`~MetricsRegistry.merge`).
+
+Recording call sites guard on :func:`repro.obs.trace.is_enabled`, so the
+disabled default costs one boolean test per site.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "registry",
+    "use_registry",
+]
+
+#: Default histogram buckets (seconds): five decades around typical
+#: evaluation-stage latencies, plus the implicit +Inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels(labels: dict[str, object]) -> Labels:
+    """Canonical (sorted, stringified) label tuple."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One instrument's picklable state (the unit of snapshot/merge).
+
+    Attributes:
+        kind: ``"counter"``, ``"gauge"``, or ``"histogram"``.
+        name: Metric name (Prometheus-style, e.g.
+            ``repro_engine_calls_total``).
+        labels: Sorted ``(key, value)`` label pairs.
+        value: Counter total / gauge value / histogram sum.
+        count: Histogram observation count (0 otherwise).
+        minimum: Smallest histogram observation (``inf`` when empty).
+        maximum: Largest histogram observation (``-inf`` when empty).
+        buckets: Histogram ``(upper_bound, cumulative_count)`` pairs,
+            ending with the ``+Inf`` bound.
+    """
+
+    kind: str
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+    count: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    buckets: tuple[tuple[float, int], ...] = ()
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def sample(self) -> MetricSample:
+        """Picklable state snapshot."""
+        return MetricSample(kind="counter", name=self.name,
+                            labels=self.labels, value=self.value)
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def sample(self) -> MetricSample:
+        """Picklable state snapshot."""
+        return MetricSample(kind="gauge", name=self.name,
+                            labels=self.labels, value=self.value)
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max summary."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: Labels,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # + the Inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def sample(self) -> MetricSample:
+        """Picklable state snapshot (buckets cumulative, Prometheus-style)."""
+        cumulative = 0
+        buckets: list[tuple[float, int]] = []
+        for bound, count in zip((*self.bounds, math.inf), self.bucket_counts):
+            cumulative += count
+            buckets.append((bound, cumulative))
+        return MetricSample(kind="histogram", name=self.name,
+                            labels=self.labels, value=self.total,
+                            count=self.count, minimum=self.minimum,
+                            maximum=self.maximum, buckets=tuple(buckets))
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with snapshot/merge support."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, Labels],
+                            Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter registered under ``(name, labels)`` (created once)."""
+        return self._instrument("counter", Counter, name, _labels(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge registered under ``(name, labels)`` (created once)."""
+        return self._instrument("gauge", Gauge, name, _labels(labels))
+
+    def histogram(self, name: str, *,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        """The histogram registered under ``(name, labels)`` (created once).
+
+        ``buckets`` sets the bounds on first creation; later lookups of an
+        existing histogram ignore it.
+        """
+        return self._instrument(
+            "histogram",
+            lambda metric_name, metric_labels: Histogram(
+                metric_name, metric_labels, buckets),
+            name, _labels(labels))
+
+    def _instrument(self, kind: str, factory, name: str, labels: Labels):
+        key = (kind, name, labels)
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            instrument = self._metrics[key] = factory(name, labels)
+        return instrument
+
+    def snapshot(self) -> tuple[MetricSample, ...]:
+        """Picklable samples of every instrument, sorted by (name, labels)."""
+        return tuple(sorted(
+            (metric.sample() for metric in self._metrics.values()),
+            key=lambda s: (s.name, s.labels)))
+
+    def merge(self, samples: Iterable[MetricSample]) -> None:
+        """Fold foreign samples (e.g. a worker snapshot) into this registry.
+
+        Counters and histograms add; gauges take the incoming value.
+        """
+        for sample in samples:
+            if sample.kind == "counter":
+                self.counter(sample.name, **dict(sample.labels)) \
+                    .inc(sample.value)
+            elif sample.kind == "gauge":
+                self.gauge(sample.name, **dict(sample.labels)) \
+                    .set(sample.value)
+            elif sample.kind == "histogram":
+                self._merge_histogram(sample)
+            else:
+                raise ValueError(f"unknown metric kind {sample.kind!r}")
+
+    def _merge_histogram(self, sample: MetricSample) -> None:
+        bounds = tuple(bound for bound, _ in sample.buckets[:-1])
+        histogram = self._instrument(
+            "histogram",
+            lambda name, labels: Histogram(name, labels, bounds or
+                                           DEFAULT_BUCKETS),
+            sample.name, sample.labels)
+        histogram.count += sample.count
+        histogram.total += sample.value
+        histogram.minimum = min(histogram.minimum, sample.minimum)
+        histogram.maximum = max(histogram.maximum, sample.maximum)
+        previous = 0
+        for index, (_, cumulative) in enumerate(sample.buckets):
+            if index < len(histogram.bucket_counts):
+                histogram.bucket_counts[index] += cumulative - previous
+            previous = cumulative
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+_default = MetricsRegistry()
+_active: ContextVar[MetricsRegistry] = ContextVar("repro_obs_metrics",
+                                                  default=_default)
+
+
+def registry() -> MetricsRegistry:
+    """The context-local metrics registry call sites record into."""
+    return _active.get()
+
+
+@contextmanager
+def use_registry(target: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the context-local registry to ``target`` for a block.
+
+    Pool workers use this to isolate per-task metrics for shipping.
+    """
+    token = _active.set(target)
+    try:
+        yield target
+    finally:
+        _active.reset(token)

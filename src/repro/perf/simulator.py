@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import require
+from repro.obs.trace import span as _span
 from repro.tech import constants
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.arch.accelerator import AcceleratorDesign, peripheral_area
@@ -240,15 +241,22 @@ class AcceleratorSimulator:
         key = (self._fingerprint, shape_key(layer))
         memoized = _LAYER_MEMO.get(key)
         if memoized is not MISSING:
+            with _span("simulator.run_layer") as sp:
+                if sp:
+                    sp.set(layer=layer.name, memo="hit")
             used_cs, compute, writeback, cycles, dynamic, leakage = memoized
         else:
-            if layer.kind == LayerKind.POOL:
-                used_cs, compute, writeback = self._pool_cycles(layer)
-            else:
-                used_cs, compute, writeback = self._conv_fc_cycles(layer)
-            cycles = compute + writeback
-            dynamic = self._dynamic_energy(layer, used_cs)
-            leakage = self._static_power * cycles * self.design.cycle_time
+            with _span("simulator.run_layer") as sp:
+                if sp:
+                    sp.set(layer=layer.name, memo="miss")
+                if layer.kind == LayerKind.POOL:
+                    used_cs, compute, writeback = self._pool_cycles(layer)
+                else:
+                    used_cs, compute, writeback = self._conv_fc_cycles(layer)
+                cycles = compute + writeback
+                dynamic = self._dynamic_energy(layer, used_cs)
+                leakage = (self._static_power * cycles
+                           * self.design.cycle_time)
             _LAYER_MEMO.put(
                 key, (used_cs, compute, writeback, cycles, dynamic, leakage))
         return LayerExecution(
@@ -268,7 +276,9 @@ class AcceleratorSimulator:
                 f"{network.name} weights do not fit in on-chip RRAM "
                 f"({network.weight_bits(self.design.precision_bits)} bits > "
                 f"{self.design.rram_capacity_bits} bits)")
-        results = tuple(self.run_layer(layer) for layer in network.layers)
+        with _span("simulator.run", network=network.name,
+                   n_cs=self.design.n_cs):
+            results = tuple(self.run_layer(layer) for layer in network.layers)
         return ExecutionReport(design=self.design, network=network, layers=results)
 
 

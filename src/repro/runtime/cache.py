@@ -18,6 +18,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import require
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.trace import is_enabled as _obs_enabled, span as _span
 from repro.runtime.serialize import dumps, loads
 
 #: Sentinel distinguishing "missing" from a cached ``None``.
@@ -108,19 +110,27 @@ class ResultCache:
             text = path.read_text(encoding="utf-8")
         except OSError:
             return MISSING
-        try:
-            return loads(text)
-        except (ValueError, TypeError, KeyError, AttributeError,
-                ImportError):
-            return MISSING
+        if _obs_enabled():
+            _metrics_registry().counter("repro_cache_disk_reads_total").inc()
+        with _span("cache.deserialize", bytes=len(text)):
+            try:
+                return loads(text)
+            except (ValueError, TypeError, KeyError, AttributeError,
+                    ImportError):
+                return MISSING
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.directory is None:
             return
-        try:
-            text = dumps(value)
-        except TypeError:
-            return  # value has no JSON lowering; memory tier only
+        with _span("cache.serialize") as sp:
+            try:
+                text = dumps(value)
+            except TypeError:
+                return  # value has no JSON lowering; memory tier only
+            if sp:
+                sp.set(bytes=len(text))
+        if _obs_enabled():
+            _metrics_registry().counter("repro_cache_disk_writes_total").inc()
         path = self._disk_path(key)
         try:
             handle = tempfile.NamedTemporaryFile(

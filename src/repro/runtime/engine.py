@@ -26,6 +26,15 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import require
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.trace import (
+    Span,
+    SpanSummary,
+    current_tracer,
+    is_enabled as _obs_enabled,
+    span as _span,
+    summarize_spans,
+)
 from repro.runtime.cache import MISSING, ResultCache
 from repro.runtime.keys import call_key
 from repro.runtime.memo import CounterStats, MemoStats, counter_stats, memo_stats
@@ -72,12 +81,15 @@ class RunReport:
             fingerprint tables), process-wide snapshots.
         counters: Named counter groups (e.g. branch-and-bound search
             totals), process-wide snapshots.
+        spans: Root spans of the active trace at snapshot time (empty
+            unless tracing was on; see :mod:`repro.obs`).
     """
 
     stages: tuple[StageStats, ...]
     jobs: int = 1
     memos: tuple[MemoStats, ...] = ()
     counters: tuple[CounterStats, ...] = ()
+    spans: tuple[Span, ...] = ()
 
     @property
     def calls(self) -> int:
@@ -115,6 +127,14 @@ class RunReport:
             if stage.name == name:
                 return stage
         raise KeyError(f"no stage named {name!r} in run report")
+
+    def top_spans(self, limit: int = 10) -> tuple[SpanSummary, ...]:
+        """Per-name span aggregates, by total time descending.
+
+        Empty unless the run was traced; the CLI prints this table under
+        ``--profile``.
+        """
+        return summarize_spans(self.spans, limit=limit)
 
 
 class _MutableStage:
@@ -180,7 +200,34 @@ class EvaluationEngine:
         tally = self._stage(stage if stage is not None else fn.__qualname__)
         start = time.perf_counter()
         tally.calls += len(specs)
+        before = (tally.cache_hits, tally.dedup_hits, tally.evaluated)
+        # Opened/closed manually (not ``with``) to keep the long body at
+        # its original indentation; the except below closes it on error
+        # so the tracer's open-span stack cannot wedge.
+        map_span = _span("engine.map", stage=tally.name, calls=len(specs))
+        map_span.__enter__()
+        try:
+            results = self._map_body(fn, specs, tally, jobs, dedup)
+        except BaseException:
+            map_span.__exit__(None, None, None)
+            raise
 
+        elapsed = time.perf_counter() - start
+        tally.wall_time += elapsed
+        if map_span:
+            map_span.set(cache_hits=tally.cache_hits - before[0],
+                         dedup_hits=tally.dedup_hits - before[1],
+                         evaluated=tally.evaluated - before[2])
+        map_span.__exit__(None, None, None)
+        if _obs_enabled():
+            self._record_metrics(tally.name, len(specs), before,
+                                 tally, elapsed)
+        return results
+
+    def _map_body(self, fn: Callable[..., Any],
+                  specs: "list[tuple[tuple, dict]]", tally: "_MutableStage",
+                  jobs: int | None, dedup: bool) -> list:
+        """The cache/dedup/evaluate core of :meth:`map`."""
         keys: list[str | None] = []
         for args, kwargs in specs:
             if self.cache is None and not dedup:
@@ -229,8 +276,21 @@ class EvaluationEngine:
                 for follower in followers.get(index, ()):
                     results[follower] = value
 
-        tally.wall_time += time.perf_counter() - start
         return results
+
+    @staticmethod
+    def _record_metrics(stage: str, calls: int, before: tuple,
+                        tally: "_MutableStage", elapsed: float) -> None:
+        registry = _metrics_registry()
+        registry.counter("repro_engine_calls_total", stage=stage).inc(calls)
+        registry.counter("repro_engine_cache_hits_total", stage=stage) \
+            .inc(tally.cache_hits - before[0])
+        registry.counter("repro_engine_dedup_hits_total", stage=stage) \
+            .inc(tally.dedup_hits - before[1])
+        registry.counter("repro_engine_evaluated_total", stage=stage) \
+            .inc(tally.evaluated - before[2])
+        registry.histogram("repro_engine_stage_seconds", stage=stage) \
+            .observe(elapsed)
 
     def call(self, fn: Callable[..., Any], *args: Any,
              stage: str | None = None, **kwargs: Any) -> Any:
@@ -243,13 +303,20 @@ class EvaluationEngine:
 
         Includes process-wide memo-table and search-counter snapshots, so
         one report covers both tiers of memoization (call-level cache +
-        layer/mapper fingerprint tables).
+        layer/mapper fingerprint tables).  When a trace is active, the
+        report also carries its root spans (for :meth:`RunReport.top_spans`)
+        and the memo snapshots are published to the metrics registry.
         """
+        tracer = current_tracer()
+        if _obs_enabled():
+            from repro.runtime.memo import publish_metrics
+            publish_metrics()
         return RunReport(
             stages=tuple(stage.snapshot() for stage in self._stages.values()),
             jobs=self.jobs,
             memos=memo_stats(),
-            counters=counter_stats())
+            counters=counter_stats(),
+            spans=tuple(tracer.roots) if tracer is not None else ())
 
     @staticmethod
     def _invariants(specs: Sequence[tuple[tuple, dict]]) -> dict | None:

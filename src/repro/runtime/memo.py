@@ -216,6 +216,32 @@ def counter_stats() -> tuple[CounterStats, ...]:
         for name in sorted(_counters))
 
 
+def publish_metrics(target: "Any | None" = None) -> None:
+    """Publish memo-table and search-counter snapshots as gauges/counters.
+
+    Called at report time (not in the lookup hot path — table lookups
+    stay instrumentation-free): every table becomes three gauges
+    (``repro_memo_hits``/``_misses``/``_entries`` labelled by table) and
+    every counter group becomes ``repro_search_total`` counters labelled
+    by group and counter name.  ``target`` defaults to the context-local
+    registry.
+    """
+    from repro.obs.metrics import registry as metrics_registry
+
+    registry = target if target is not None else metrics_registry()
+    for stats in memo_stats():
+        registry.gauge("repro_memo_hits", table=stats.name).set(stats.hits)
+        registry.gauge("repro_memo_misses", table=stats.name) \
+            .set(stats.misses)
+        registry.gauge("repro_memo_entries", table=stats.name) \
+            .set(stats.entries)
+    for group in counter_stats():
+        for counter, value in group.values:
+            instrument = registry.gauge(
+                "repro_search_total", group=group.name, counter=counter)
+            instrument.set(value)
+
+
 def _iter_tables() -> Iterator[MemoTable]:
     return iter(_tables.values())
 

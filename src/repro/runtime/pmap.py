@@ -23,6 +23,11 @@ Changing the invariants (or ``jobs``) retires the old pool and starts a
 fresh one — the worker-side globals can never go stale.
 :func:`shutdown_pool` retires it explicitly (the engine's ``configure``
 does this, and an ``atexit`` hook covers interpreter shutdown).
+
+When observability is on in the parent (:mod:`repro.obs`), each task
+ships its locally recorded span tree and metric snapshot back alongside
+its result; the parent attaches them to the active tracer labelled by
+worker identity, so a parallel sweep still yields one merged trace.
 """
 
 from __future__ import annotations
@@ -36,6 +41,14 @@ from pickle import PicklingError
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import require
+from repro.obs.metrics import MetricsRegistry, registry as _metrics_registry
+from repro.obs.metrics import use_registry as _use_registry
+from repro.obs.trace import (
+    current_tracer as _current_tracer,
+    is_enabled as _obs_enabled,
+    span as _span,
+    trace as _trace,
+)
 
 #: Exceptions that mean "the pool is unusable", not "the task failed".
 _POOL_FAILURES = (BrokenProcessPool, PicklingError, AttributeError,
@@ -66,14 +79,30 @@ def _set_worker_invariants(invariants: dict[str, Any]) -> None:
     _worker_invariants = invariants
 
 
-def _apply(payload: tuple) -> Any:
-    """Worker body: merge invariants back into the call, then run it."""
-    fn, args, kwargs = payload
+def _apply(payload: tuple) -> tuple[Any, tuple | None]:
+    """Worker body: merge invariants back into the call, then run it.
+
+    Returns ``(result, shipped)`` where ``shipped`` is ``None`` unless
+    the parent requested observability, in which case it is a picklable
+    ``(spans, metric_samples, worker_label)`` triple: the task runs
+    under a fresh local tracer and an isolated metrics registry, and the
+    parent merges both into its own trace/registry on receipt.
+    """
+    fn, args, kwargs, observe = payload
     if _worker_invariants:
         merged = dict(_worker_invariants)
         merged.update(kwargs)
         kwargs = merged
-    return fn(*args, **kwargs)
+    if not observe:
+        return fn(*args, **kwargs), None
+    task_registry = MetricsRegistry()
+    with _trace() as tracer, _use_registry(task_registry):
+        with tracer.span("pmap.task",
+                         fn=getattr(fn, "__qualname__", str(fn))):
+            result = fn(*args, **kwargs)
+    shipped = (tracer.roots, task_registry.snapshot(),
+               f"worker-{os.getpid()}")
+    return result, shipped
 
 
 def _invariants_token(jobs: int,
@@ -146,8 +175,10 @@ atexit.register(shutdown_pool, wait=False)
 
 def _run_serial(payloads: Sequence[tuple],
                 invariants: dict[str, Any] | None) -> list:
+    # Serial tasks run in the caller's process, so their spans flow
+    # straight into the active tracer — no shipping, observe is ignored.
     results = []
-    for fn, args, kwargs in payloads:
+    for fn, args, kwargs, _observe in payloads:
         if invariants:
             merged = dict(invariants)
             merged.update(kwargs)
@@ -188,13 +219,29 @@ def pmap_calls(fn: Callable[..., Any],
               if name not in invariants or kwargs[name] is not invariants[name]})
             for args, kwargs in calls
         ]
-    payloads = [(fn, args, kwargs) for args, kwargs in calls]
+    tracer = _current_tracer()
+    observe = _obs_enabled() and tracer is not None
+    payloads = [(fn, args, kwargs, observe) for args, kwargs in calls]
     if jobs == 1 or len(payloads) <= 1:
         return _run_serial(payloads, invariants)
     chunksize = max(1, -(-len(payloads) // (jobs * _CHUNKS_PER_WORKER)))
-    try:
-        pool = _acquire_pool(jobs, invariants)
-        return list(pool.map(_apply, payloads, chunksize=chunksize))
-    except _POOL_FAILURES:
-        shutdown_pool()
-        return _run_serial(payloads, invariants)
+    with _span("pmap.batch", calls=len(payloads), jobs=jobs,
+               chunksize=chunksize):
+        try:
+            pool = _acquire_pool(jobs, invariants)
+            outputs = list(pool.map(_apply, payloads, chunksize=chunksize))
+        except _POOL_FAILURES:
+            shutdown_pool()
+            return _run_serial(payloads, invariants)
+        results = []
+        merge_into = _metrics_registry() if observe else None
+        for result, shipped in outputs:
+            results.append(result)
+            if shipped is None:
+                continue
+            worker_spans, samples, worker = shipped
+            if tracer is not None:
+                tracer.attach(worker_spans, worker=worker)
+            if merge_into is not None:
+                merge_into.merge(samples)
+        return results

@@ -8,8 +8,13 @@ from repro.cli import EXPERIMENTS, available_experiments, main
 def test_every_paper_artifact_has_a_cli_entry():
     names = set(available_experiments())
     for required in ("casestudy", "fig5", "table1", "fig7", "fig8", "fig9",
-                     "fig10c", "obs8", "fig10d", "obs3", "obs10"):
+                     "fig10c", "obs8", "fig10d", "obs3", "obs10", "folding"):
         assert required in names
+
+
+def test_cli_mirrors_the_registry():
+    from repro.experiments.registry import experiment_names
+    assert available_experiments() == experiment_names()
 
 
 def test_list_is_default(capsys):
@@ -53,6 +58,52 @@ def test_descriptions_are_nonempty():
     for name, (description, runner) in EXPERIMENTS.items():
         assert description, name
         assert callable(runner), name
+
+
+def test_list_markdown(capsys):
+    assert main(["list", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("| experiment | summary | module |")
+    assert "| `table1` |" in out
+
+
+def test_profile_prints_top_spans(capsys):
+    assert main(["obs10", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "Experiment wall time" in out
+    assert "Top spans by total wall time" in out
+    assert "experiment.obs10" in out
+
+
+def test_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    path = tmp_path / "trace.json"
+    assert main(["table1", "--trace", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert validate_chrome_trace(data) == []
+    names = {event["name"] for event in data["traceEvents"]}
+    assert "experiment.table1" in names
+    assert "engine.map" in names
+
+
+def test_trace_csv_and_metrics_files(tmp_path, capsys):
+    csv_path = tmp_path / "spans.csv"
+    prom_path = tmp_path / "metrics.prom"
+    assert main(["obs10", "--trace-csv", str(csv_path),
+                 "--metrics", str(prom_path)]) == 0
+    assert csv_path.read_text().startswith("name,depth,worker")
+    assert "# TYPE" in prom_path.read_text()
+
+
+def test_tracing_off_without_observe_flags(capsys):
+    from repro.obs.trace import is_enabled
+    assert main(["obs10"]) == 0
+    assert not is_enabled()
+    out = capsys.readouterr().out
+    assert "Top spans" not in out
 
 
 def test_report_contains_all_sections(capsys):

@@ -1,0 +1,281 @@
+"""Observability layer (:mod:`repro.obs`): tracing, metrics, exporters.
+
+* spans nest, carry attributes, and aggregate into ``top_spans``;
+* with tracing disabled (the default) every hook is a no-op returning the
+  falsy :data:`~repro.obs.NULL_SPAN`, so instrumented hot paths cost one
+  branch;
+* worker processes trace locally and ship their span forests back, so a
+  parallel sweep yields one merged trace with per-worker lanes;
+* the Chrome-trace / CSV / Prometheus exporters round-trip through their
+  own validators.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    is_enabled,
+    prometheus_text,
+    registry,
+    span,
+    spans_csv,
+    summarize_spans,
+    trace,
+    use_registry,
+    validate_chrome_trace,
+    walk_spans,
+)
+from repro.runtime.engine import EvaluationEngine
+
+
+def _square(x):
+    return x * x
+
+
+class TestDisabledIsNoop:
+    def test_disabled_by_default(self):
+        assert not is_enabled()
+        assert current_tracer() is None
+
+    def test_span_outside_trace_is_null(self):
+        sp = span("anything", layer="L1")
+        assert sp is NULL_SPAN
+        assert not sp  # falsy: hot sites guard attr recording with `if sp:`
+        with sp:
+            sp.set(ignored=1)  # must not raise
+
+    def test_trace_context_restores_disabled_state(self):
+        with trace() as tracer:
+            assert is_enabled()
+            assert current_tracer() is tracer
+        assert not is_enabled()
+        assert current_tracer() is None
+
+
+class TestSpanNesting:
+    def test_children_nest_under_parent(self):
+        with trace() as tracer:
+            with tracer.span("outer", kind="sweep"):
+                with tracer.span("inner"):
+                    pass
+                with tracer.span("inner"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert outer.attrs["kind"] == "sweep"
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+
+    def test_module_level_span_uses_active_tracer(self):
+        with trace() as tracer:
+            with span("top") as sp:
+                assert sp
+                sp.set(extra="value")
+        assert tracer.roots[0].attrs == {"extra": "value"}
+
+    def test_durations_and_self_time(self):
+        with trace() as tracer:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration)
+
+    def test_walk_is_depth_first(self):
+        with trace() as tracer:
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+        names = [sp.name for sp in walk_spans(tracer.roots)]
+        assert names == ["a", "b", "c"]
+
+    def test_summarize_groups_by_name(self):
+        with trace() as tracer:
+            for _ in range(3):
+                with tracer.span("hot"):
+                    pass
+            with tracer.span("cold"):
+                pass
+        summaries = {s.name: s for s in summarize_spans(tracer.roots)}
+        assert summaries["hot"].count == 3
+        assert summaries["hot"].mean == pytest.approx(
+            summaries["hot"].total / 3)
+        assert summaries["cold"].count == 1
+
+
+class TestWorkerMerge:
+    def test_attach_labels_worker_spans(self):
+        shipped = (Span(name="pmap.task", start=1.0, duration=0.5),)
+        with trace() as tracer:
+            tracer.attach(shipped, worker="worker-123")
+        assert tracer.roots[0].worker == "worker-123"
+
+    def test_parallel_map_ships_worker_spans(self):
+        engine = EvaluationEngine(jobs=2, use_cache=False)
+        with trace() as tracer:
+            results = engine.map(_square, [(n,) for n in range(8)],
+                                 stage="obs.test", dedup=False)
+        assert results == [n * n for n in range(8)]
+        workers = {sp.worker for sp in walk_spans(tracer.roots)
+                   if sp.worker is not None}
+        assert workers, "no worker spans were shipped back"
+        names = {sp.name for sp in walk_spans(tracer.roots)}
+        assert "engine.map" in names
+        assert "pmap.task" in names
+
+    def test_serial_map_traces_in_process(self):
+        engine = EvaluationEngine(jobs=1, use_cache=False)
+        with trace() as tracer:
+            engine.map(_square, [(2,), (3,)], stage="obs.serial")
+        names = [sp.name for sp in walk_spans(tracer.roots)]
+        assert "engine.map" in names
+        assert all(sp.worker is None for sp in walk_spans(tracer.roots))
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", stage="x").inc()
+        reg.counter("calls", stage="x").inc(2)
+        (sample,) = reg.snapshot()
+        assert sample.value == 3
+        with pytest.raises(ValueError):
+            reg.counter("calls", stage="x").inc(-1)
+
+    def test_labels_key_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", stage="a").inc()
+        reg.counter("calls", stage="b").inc(5)
+        values = {sample.labels: sample.value for sample in reg.snapshot()}
+        assert values[(("stage", "a"),)] == 1
+        assert values[(("stage", "b"),)] == 5
+
+    def test_merge_adds_counters_overwrites_gauges(self):
+        ours = MetricsRegistry()
+        ours.counter("n").inc(3)
+        ours.gauge("level").set(1.0)
+        theirs = MetricsRegistry()
+        theirs.counter("n").inc(3)
+        theirs.gauge("level").set(7.0)
+        ours.merge(theirs.snapshot())
+        values = {(s.name, s.kind): s.value for s in ours.snapshot()}
+        assert values[("n", "counter")] == 6
+        assert values[("level", "gauge")] == 7.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("t", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        (sample,) = reg.snapshot()
+        counts = dict(sample.buckets)
+        assert counts[1.0] == 1
+        assert counts[10.0] == 2
+        assert counts[math.inf] == 3
+        assert sample.value == pytest.approx(55.5)
+        assert sample.count == 3
+
+    def test_use_registry_redirects_context_locally(self):
+        scoped = MetricsRegistry()
+        with use_registry(scoped):
+            registry().counter("inside").inc()
+        assert len(scoped) == 1
+        assert all(s.name != "inside" for s in registry().snapshot())
+
+
+class TestExporters:
+    def _sample_spans(self):
+        with trace() as tracer:
+            with tracer.span("outer", stage="s"):
+                with tracer.span("inner"):
+                    pass
+            tracer.attach((Span(name="pmap.task", start=2.0, duration=0.1),),
+                          worker="worker-9")
+        return tracer.roots
+
+    def test_chrome_trace_is_schema_valid(self):
+        data = chrome_trace(self._sample_spans())
+        assert validate_chrome_trace(data) == []
+        assert json.loads(json.dumps(data)) == data
+
+    def test_chrome_trace_has_worker_lane(self):
+        data = chrome_trace(self._sample_spans())
+        lanes = {event["args"]["name"] for event in data["traceEvents"]
+                 if event["ph"] == "M"}
+        assert lanes == {"main", "worker-9"}
+
+    def test_validator_flags_broken_traces(self):
+        assert validate_chrome_trace({"traceEvents": []})
+        assert validate_chrome_trace([1, 2, 3])
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "n"}]})
+
+    def test_csv_rows_cover_every_span(self):
+        spans = self._sample_spans()
+        lines = spans_csv(spans).strip().splitlines()
+        header, *rows = lines
+        assert header.startswith("name,depth,worker")
+        assert len(rows) == sum(1 for _ in walk_spans(spans))
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_calls_total", stage="s").inc(2)
+        reg.histogram("repro_seconds", buckets=(1.0,)).observe(0.5)
+        text = prometheus_text(reg)
+        assert '# TYPE repro_calls_total counter' in text
+        assert 'repro_calls_total{stage="s"} 2.0' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_seconds_count 1' in text
+        assert text.endswith("\n")
+
+
+class TestEngineIntegration:
+    def test_report_carries_spans_and_top_spans(self):
+        engine = EvaluationEngine(jobs=1, use_cache=True)
+        with trace():
+            engine.map(_square, [(n,) for n in range(4)], stage="obs.report")
+            report = engine.report()
+        assert report.spans
+        top = report.top_spans(limit=3)
+        assert top and top[0].total >= top[-1].total
+
+    def test_report_without_trace_has_no_spans(self):
+        engine = EvaluationEngine(jobs=1, use_cache=True)
+        engine.map(_square, [(1,)], stage="obs.quiet")
+        report = engine.report()
+        assert report.spans == ()
+        assert report.top_spans() == ()
+
+    def test_engine_metrics_recorded_when_tracing(self):
+        engine = EvaluationEngine(jobs=1, use_cache=True)
+        scoped = MetricsRegistry()
+        with trace(), use_registry(scoped):
+            engine.map(_square, [(1,), (1,), (2,)], stage="obs.metrics")
+        values = {(s.name, s.labels): s.value for s in scoped.snapshot()}
+        key = (("stage", "obs.metrics"),)
+        assert values[("repro_engine_calls_total", key)] == 3
+        assert values[("repro_engine_dedup_hits_total", key)] == 1
+        assert values[("repro_engine_evaluated_total", key)] == 2
+
+    def test_engine_metrics_silent_when_disabled(self):
+        engine = EvaluationEngine(jobs=1, use_cache=True)
+        scoped = MetricsRegistry()
+        with use_registry(scoped):
+            engine.map(_square, [(1,)], stage="obs.silent")
+        assert len(scoped) == 0

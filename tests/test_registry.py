@@ -1,0 +1,125 @@
+"""Experiment registry (:mod:`repro.experiments.registry`).
+
+* every experiment module registers at least one experiment, so the CLI
+  can never silently lose an artifact;
+* registered drivers and the legacy ``run_*`` shims agree;
+* duplicate names are a hard error at import time;
+* the markdown listing covers the whole registry (README is generated
+  from it).
+"""
+
+from __future__ import annotations
+
+import pkgutil
+
+import pytest
+
+import repro.experiments  # populates the registry
+from repro.experiments.registry import (
+    ExperimentContext,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    registry_markdown,
+    run_experiment,
+)
+
+#: Package modules that host infrastructure rather than experiments.
+NON_EXPERIMENT_MODULES = {"registry", "reporting"}
+
+
+def experiment_modules() -> set[str]:
+    """Names of the experiment-bearing modules under repro.experiments."""
+    return {
+        module.name
+        for module in pkgutil.iter_modules(repro.experiments.__path__)
+        if module.name not in NON_EXPERIMENT_MODULES
+    }
+
+
+class TestCompleteness:
+    def test_every_module_registers_at_least_one_experiment(self):
+        registered = {exp.module.removeprefix("repro.experiments.")
+                      for exp in all_experiments()}
+        missing = experiment_modules() - registered
+        assert not missing, (
+            f"experiment modules without a registered experiment: {missing}")
+
+    def test_names_are_unique(self):
+        names = experiment_names()
+        assert len(names) == len(set(names))
+
+    def test_paper_artifacts_are_registered(self):
+        names = set(experiment_names())
+        for required in ("casestudy", "fig5", "table1", "fig7", "fig8",
+                         "fig9", "fig10c", "obs8", "fig10d", "obs10", "obs3",
+                         "dse", "ext-memtech", "ext-beol-logic",
+                         "ext-precision", "ext-batching", "folding"):
+            assert required in names
+
+    def test_summaries_and_formatters_present(self):
+        for exp in all_experiments():
+            assert exp.summary, exp.name
+            assert callable(exp.run), exp.name
+            assert callable(exp.formatter), exp.name
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @experiment("fig8", "dup", formatter=str)
+            def fig8_again(ctx):
+                return None
+
+
+class TestContext:
+    def test_create_fills_defaults(self):
+        ctx = ExperimentContext.create()
+        assert ctx.pdk is not None
+        assert ctx.engine is not None
+        assert ctx.jobs is None
+        assert ctx.tracer is None  # tracing off by default
+
+    def test_create_respects_overrides(self):
+        from repro.runtime.engine import EvaluationEngine
+        engine = EvaluationEngine(jobs=1, use_cache=False)
+        ctx = ExperimentContext.create(engine=engine, jobs=3)
+        assert ctx.engine is engine
+        assert ctx.jobs == 3
+
+
+class TestParityWithLegacyShims:
+    """The registered drivers and the historical run_* signatures agree."""
+
+    def test_obs10(self):
+        from repro.experiments import run_obs10
+        assert run_experiment("obs10") == run_obs10()
+
+    def test_fig8(self):
+        from repro.experiments import run_fig8
+        assert run_experiment("fig8") == run_fig8()
+
+    def test_fig9(self):
+        from repro.experiments.fig9 import run_fig9
+        ctx = ExperimentContext.create()
+        assert get_experiment("fig9").run(ctx) == run_fig9(ctx.pdk)
+
+    def test_table1(self):
+        from repro.experiments import run_table1
+        ctx = ExperimentContext.create()
+        assert get_experiment("table1").run(ctx) == run_table1(ctx.pdk)
+
+    def test_run_formatted_matches_formatter(self):
+        exp = get_experiment("obs10")
+        assert exp.run_formatted() == exp.formatter(run_experiment("obs10"))
+
+
+class TestMarkdown:
+    def test_listing_covers_every_experiment(self):
+        text = registry_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "| experiment | summary | module |"
+        for exp in all_experiments():
+            assert f"| `{exp.name}` |" in text
+
+    def test_module_column_strips_package_prefix(self):
+        assert "repro.experiments." not in registry_markdown()
