@@ -28,6 +28,7 @@ from repro.errors import require
 from repro.tech import constants
 from repro.tech.pdk import PDK
 from repro.tech.rram import RRAMArray, RRAMBankPlan
+from repro.arch.pe import PEConfig
 from repro.arch.systolic import SystolicArrayConfig, default_systolic_array
 from repro.units import MEGABYTE, MHZ
 
@@ -108,6 +109,27 @@ def case_study_cs() -> ComputingSubsystem:
     )
 
 
+def precision_scaled_cs(precision_bits: int) -> ComputingSubsystem:
+    """The case-study CS with its registers rebuilt around a precision.
+
+    Same 16x16 array geometry, I/O buffers and control logic as
+    :func:`case_study_cs`, but the PE weight/input registers carry
+    ``precision_bits`` and the accumulator widens to ``max(16, 3 * bits)``
+    (the ext-precision study's configuration).
+    """
+    require(precision_bits >= 1, "precision must be at least one bit")
+    pe = PEConfig(precision_bits=precision_bits,
+                  weight_reg_bits=precision_bits,
+                  input_reg_bits=precision_bits,
+                  output_reg_bits=max(16, 3 * precision_bits))
+    return ComputingSubsystem(
+        array=SystolicArrayConfig(rows=16, cols=16, pe=pe),
+        input_buffer_bits=int(0.7 * MEGABYTE),
+        output_buffer_bits=int(0.7 * MEGABYTE),
+        control_gates=140_000,
+    )
+
+
 def peripheral_area(pdk: PDK) -> float:
     """Footprint of the memory peripherals in the Si tier, m^2."""
     return pdk.silicon_library.area_for_gates(PERIPHERAL_GATES)
@@ -153,6 +175,24 @@ class AreaBreakdown:
         if not self.cells_overlap_compute:
             used += self.cells
         return used
+
+
+def reoptimized_2d_cs_count(
+    grown_footprint: float,
+    original_footprint: float,
+    cs_area: float,
+) -> int:
+    """Eq. 9: CSs a commensurately enlarged 2D baseline can host.
+
+    When a Case 1/2 knob grows the M3D footprint past the 2D baseline's,
+    fairness demands the baseline get the same extra silicon; it fills it
+    with additional CSs sharing its single weight channel.
+    """
+    require(cs_area > 0, "CS area must be positive")
+    extra = grown_footprint - original_footprint
+    if extra <= 0:
+        return 1
+    return 1 + math.floor(extra / cs_area)
 
 
 def derive_parallel_cs_count(

@@ -8,6 +8,9 @@ Usage::
     python -m repro fig5 fig9            # several at once
     python -m repro all                  # everything
     python -m repro dse --jobs 4 --trace out.json   # traced parallel run
+    python -m repro eval --spec examples/spec.json   # one declarative point
+    python -m repro sweep --spec examples/sweep.json # a declarative sweep
+    python -m repro fig9 --spec my_spec.json         # retarget an experiment
 
 Experiments resolve through :mod:`repro.experiments.registry`: every run
 builds **one** :class:`~repro.experiments.registry.ExperimentContext`
@@ -92,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--markdown", action="store_true",
         help="with 'list': print the experiment table as GitHub markdown")
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="JSON design spec: required by 'eval'/'sweep', and the base "
+             "design point every named experiment derives from")
     return parser
 
 
@@ -124,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
     if names == ["report"]:
         from repro.report import main as report_main
         return report_main()
+    if names in (["eval"], ["sweep"]):
+        return _run_spec_command(names[0], args, engine, show_stats)
     if names == ["list"]:
         if args.markdown:
             print(registry_markdown())
@@ -132,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"  {name:10s} {description}")
         print("  all        run every experiment")
+        print("  eval       evaluate one design spec (--spec spec.json)")
+        print("  sweep      expand + evaluate a sweep spec (--spec sweep.json)")
         print("  validate   check every headline claim against the paper")
         print("  report     full reproduction report (tables + validation)")
         return 0
@@ -151,9 +162,20 @@ def main(argv: list[str] | None = None) -> int:
     else:
         observation = contextlib.nullcontext(None)
 
+    base_spec = None
+    if args.spec is not None:
+        from repro.errors import ReproError
+        from repro.spec import load_design_spec
+        try:
+            base_spec = load_design_spec(args.spec)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"bad --spec {args.spec}: {error}", file=sys.stderr)
+            return 2
+
     timings: list[tuple[str, float]] = []
     with observation as tracer:
-        ctx = ExperimentContext.create(engine=engine, tracer=tracer)
+        ctx = ExperimentContext.create(engine=engine, tracer=tracer,
+                                       spec=base_spec)
         for index, name in enumerate(names):
             if index:
                 print()
@@ -182,6 +204,43 @@ def main(argv: list[str] | None = None) -> int:
         print(format_run_report(report))
     if observe:
         _export_observations(args, tracer)
+    return 0
+
+
+def _run_spec_command(command: str, args: argparse.Namespace, engine,
+                      show_stats: bool) -> int:
+    """Run the ``eval`` / ``sweep`` pseudo-command against ``--spec``."""
+    from repro.errors import ReproError
+    from repro.spec import (
+        evaluate_specs,
+        evaluate_sweep,
+        format_spec_evaluations,
+        load_design_spec,
+        load_sweep_spec,
+    )
+
+    if args.spec is None:
+        print(f"'{command}' needs --spec PATH (a JSON design or sweep spec)",
+              file=sys.stderr)
+        return 2
+    try:
+        if command == "eval":
+            evaluations = evaluate_specs([load_design_spec(args.spec)],
+                                         engine=engine)
+            title = f"Spec evaluation — {args.spec}"
+        else:
+            sweep = load_sweep_spec(args.spec)
+            evaluations = evaluate_sweep(sweep, engine=engine)
+            title = f"Sweep evaluation — {args.spec} ({len(sweep)} points)"
+    except (OSError, ValueError, ReproError) as error:
+        print(f"bad --spec {args.spec}: {error}", file=sys.stderr)
+        return 2
+    print(format_spec_evaluations(evaluations, title=title))
+    if show_stats:
+        from repro.experiments.reporting import format_run_report
+
+        print()
+        print(format_run_report(engine.report()))
     return 0
 
 

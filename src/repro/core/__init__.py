@@ -43,14 +43,20 @@ from repro.core.insights import (
 from repro.core.allocate import Allocation, AllocationResult, optimize_freed_silicon
 from repro.core.dse import (
     DesignCandidate,
-    DesignPointPlan,
+    candidate_from_point,
+    design_point_spec,
     evaluate_design_point,
     explore,
     pareto_frontier,
     plan_design_point,
 )
 from repro.core.roofline import RooflineModel, RooflinePoint, roofline
-from repro.core.sensitivity import Elasticity, elasticity, sensitivity_profile
+from repro.core.sensitivity import (
+    Elasticity,
+    elasticity,
+    sensitivity_profile,
+    sensitivity_profile_from_spec,
+)
 
 __all__ = [
     "Workload",
@@ -83,7 +89,8 @@ __all__ = [
     "AllocationResult",
     "optimize_freed_silicon",
     "DesignCandidate",
-    "DesignPointPlan",
+    "candidate_from_point",
+    "design_point_spec",
     "evaluate_design_point",
     "explore",
     "pareto_frontier",
@@ -94,4 +101,5 @@ __all__ = [
     "Elasticity",
     "elasticity",
     "sensitivity_profile",
+    "sensitivity_profile_from_spec",
 ]

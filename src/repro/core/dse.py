@@ -7,16 +7,16 @@ explores the *joint* space: a full-factorial grid over
 pipeline as the single-knob studies, plus a Pareto-frontier extractor over
 (footprint, EDP benefit) — the "which chips are worth building" view.
 
-Sweeps are *planned* before they run: :func:`plan_design_point` builds the
-(cheap, deterministic) design pair for each grid point, and
+Sweeps are *resolved* before they run: each grid point lowers to a
+:class:`~repro.spec.design.DesignSpec` (:func:`design_point_spec`) and
 :func:`explore` hands the resulting ``simulate`` calls to the evaluation
 engine in one batch.  The engine content-hashes each call, so grid points
 that induce the same (design, network, PDK) triple — e.g. points whose
 knobs only differ in ways the constructed designs absorb — simulate once
-and share the result (``dedup_hits`` in the run report).  Plan
-construction itself memoizes per (PDK identity, knobs), as does the
-``beta``-scaled PDK, so repeated sweeps over the same grid skip straight
-to the simulator.
+and share the result (``dedup_hits`` in the run report).  Resolution
+itself memoizes on the spec's content fingerprint (see
+:mod:`repro.spec.resolve`), so repeated sweeps over the same grid skip
+straight to the simulator.
 """
 
 from __future__ import annotations
@@ -25,23 +25,15 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import require
-from repro.tech.pdk import PDK, foundry_m3d_pdk
-from repro.arch.accelerator import AcceleratorDesign, baseline_2d_design, m3d_design
-from repro.core.relaxed_fet import reoptimized_2d_cs_count
+from repro.tech.pdk import PDK
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.runtime.cache import MISSING
 from repro.runtime.engine import EvaluationEngine, default_engine
-from repro.runtime.memo import IdentityKey, memo_table
 from repro.runtime.serialize import from_jsonable, to_jsonable
+from repro.spec.design import ArchSpec, DesignSpec, TechSpec
+from repro.spec.resolve import ResolvedPoint, resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
-
-#: Plan memo: (PDK identity, capacity, delta, beta, Y) -> DesignPointPlan.
-_PLAN_MEMO = memo_table("dse.plan")
-
-#: Scaled-PDK memo: (PDK identity, beta) -> PDK.
-_PDK_MEMO = memo_table("dse.scaled_pdk")
+from repro.workloads.models import Network
 
 
 @dataclass(frozen=True)
@@ -92,56 +84,42 @@ class DesignCandidate:
         return candidate
 
 
-@dataclass(frozen=True)
-class DesignPointPlan:
-    """The deterministic, simulation-free part of one grid point.
+def design_point_spec(
+    capacity_bits: int,
+    delta: float = 1.0,
+    beta: float = 1.0,
+    tier_pairs: int = 1,
+) -> DesignSpec:
+    """The :class:`DesignSpec` for one joint grid point.
 
-    Attributes:
-        capacity_bits: On-chip memory capacity.
-        delta: Access-FET width relaxation.
-        beta: ILV pitch factor.
-        tier_pairs: Interleaved compute+memory pairs Y.
-        pdk: The ``beta``-scaled PDK both designs are built on.
-        baseline: The iso-footprint (possibly enlarged) 2D baseline.
-        m3d: The M3D design.
-        n_cs_2d: CSs of the 2D baseline.
-        footprint: Common chip footprint, m^2.
+    DSE compares against the re-optimized 2D baseline (Eq. 9), matching
+    the single-knob Case 1/2 studies.
     """
-
-    capacity_bits: int
-    delta: float
-    beta: float
-    tier_pairs: int
-    pdk: PDK
-    baseline: AcceleratorDesign
-    m3d: AcceleratorDesign
-    n_cs_2d: int
-    footprint: float
-
-    def candidate(self, baseline_report, m3d_report) -> DesignCandidate:
-        """Combine two simulation reports into a :class:`DesignCandidate`."""
-        benefit = compare_designs(baseline_report, m3d_report)
-        return DesignCandidate(
-            capacity_bits=self.capacity_bits,
-            delta=self.delta,
-            beta=self.beta,
-            tier_pairs=self.tier_pairs,
-            n_cs=self.m3d.n_cs,
-            n_cs_2d=self.n_cs_2d,
-            footprint=self.footprint,
-            speedup=benefit.speedup,
-            edp_benefit=benefit.edp_benefit,
-        )
+    return DesignSpec(
+        tech=TechSpec(delta=delta, beta=beta),
+        arch=ArchSpec(capacity_bits=capacity_bits, tier_pairs=tier_pairs,
+                      baseline="reoptimized"),
+    )
 
 
-def _scaled_pdk(pdk: PDK, beta: float) -> PDK:
-    """``pdk.with_ilv_pitch_factor(beta)``, memoized per PDK identity."""
-    key = (IdentityKey(pdk), beta)
-    scaled = _PDK_MEMO.get(key)
-    if scaled is MISSING:
-        scaled = pdk.with_ilv_pitch_factor(beta)
-        _PDK_MEMO.put(key, scaled)
-    return scaled
+def candidate_from_point(
+    point: ResolvedPoint,
+    baseline_report,
+    m3d_report,
+) -> DesignCandidate:
+    """Combine a resolved point and its two simulation reports."""
+    benefit = compare_designs(baseline_report, m3d_report)
+    return DesignCandidate(
+        capacity_bits=point.spec.arch.capacity_bits,
+        delta=point.spec.tech.delta,
+        beta=point.spec.tech.beta,
+        tier_pairs=point.spec.arch.tier_pairs,
+        n_cs=point.n_cs_m3d,
+        n_cs_2d=point.n_cs_2d,
+        footprint=point.footprint,
+        speedup=benefit.speedup,
+        edp_benefit=benefit.edp_benefit,
+    )
 
 
 def plan_design_point(
@@ -150,36 +128,16 @@ def plan_design_point(
     delta: float = 1.0,
     beta: float = 1.0,
     tier_pairs: int = 1,
-) -> DesignPointPlan:
+) -> ResolvedPoint:
     """Build the design pair for one grid point (no simulation).
 
-    Memoized on ``(PDK identity, knobs)``: PDKs are unhashable (they hold
-    a metal-stack dict), so the key pins the PDK object itself via
-    :class:`~repro.runtime.memo.IdentityKey`.
+    Legacy shim: lowers the knobs to a spec and resolves it.  Memoization
+    lives in :func:`repro.spec.resolve.resolve`, keyed on the spec's
+    content fingerprint plus the PDK's content hash.
     """
-    require(tier_pairs >= 1, "need at least one tier pair")
-    key = (IdentityKey(pdk), capacity_bits, delta, beta, tier_pairs)
-    plan = _PLAN_MEMO.get(key)
-    if plan is not MISSING:
-        return plan
-    scaled = _scaled_pdk(pdk, beta)
-    original = baseline_2d_design(scaled, capacity_bits)
-    single = m3d_design(scaled, capacity_bits, access_width_factor=delta)
-    m3d = m3d_design(scaled, capacity_bits, access_width_factor=delta,
-                     n_cs=single.n_cs * tier_pairs)
-    n_2d = reoptimized_2d_cs_count(
-        grown_footprint=single.area.footprint,
-        original_footprint=original.area.footprint,
-        cs_area=original.area.cs_unit,
-    )
-    baseline = baseline_2d_design(
-        scaled, capacity_bits, n_cs=n_2d, footprint=single.area.footprint)
-    plan = DesignPointPlan(
-        capacity_bits=capacity_bits, delta=delta, beta=beta,
-        tier_pairs=tier_pairs, pdk=scaled, baseline=baseline, m3d=m3d,
-        n_cs_2d=n_2d, footprint=single.area.footprint)
-    _PLAN_MEMO.put(key, plan)
-    return plan
+    spec = design_point_spec(capacity_bits, delta=delta, beta=beta,
+                             tier_pairs=tier_pairs)
+    return resolve(spec, pdk)
 
 
 def evaluate_design_point(
@@ -191,11 +149,12 @@ def evaluate_design_point(
     tier_pairs: int = 1,
 ) -> DesignCandidate:
     """Evaluate one joint design point with the simulator pipeline."""
-    plan = plan_design_point(pdk, capacity_bits, delta=delta, beta=beta,
-                             tier_pairs=tier_pairs)
-    return plan.candidate(
-        simulate(plan.baseline, network, plan.pdk),
-        simulate(plan.m3d, network, plan.pdk),
+    point = plan_design_point(pdk, capacity_bits, delta=delta, beta=beta,
+                              tier_pairs=tier_pairs)
+    return candidate_from_point(
+        point,
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
     )
 
 
@@ -212,35 +171,35 @@ def explore(
 ) -> tuple[DesignCandidate, ...]:
     """Full-factorial sweep over the joint design space.
 
-    The sweep is planned up front (:func:`plan_design_point` per grid
-    point), then every ``simulate(design, network, pdk)`` call dispatches
-    through ``engine`` in one batch — content-hash deduplicated, memoized
-    across runs, and with ``jobs`` > 1 evaluated on a process pool.
-    ``jobs`` applies to this sweep only; the engine's own worker count is
-    left untouched.  Results are in grid order regardless.
+    The sweep is resolved up front (:func:`design_point_spec` +
+    :func:`~repro.spec.resolve.resolve` per grid point), then every
+    ``simulate(design, network, pdk)`` call dispatches through ``engine``
+    in one batch — content-hash deduplicated, memoized across runs, and
+    with ``jobs`` > 1 evaluated on a process pool.  ``jobs`` applies to
+    this sweep only; the engine's own worker count is left untouched.
+    Results are in grid order regardless.
     """
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    network = network if network is not None else resnet18()
     engine = engine if engine is not None else default_engine()
-    plans = [
-        plan_design_point(pdk, capacity, delta=delta, beta=beta,
-                          tier_pairs=pairs)
+    points = [
+        resolve(design_point_spec(capacity, delta=delta, beta=beta,
+                                  tier_pairs=pairs), pdk)
         for capacity in capacities_bits
         for delta in deltas
         for beta in betas
         for pairs in tier_pairs
     ]
     sim_calls: list[dict[str, Any]] = []
-    for plan in plans:
-        sim_calls.append({"design": plan.baseline, "network": network,
-                          "pdk": plan.pdk})
-        sim_calls.append({"design": plan.m3d, "network": network,
-                          "pdk": plan.pdk})
+    for point in points:
+        workload = network if network is not None else point.network
+        sim_calls.append({"design": point.baseline, "network": workload,
+                          "pdk": point.pdk})
+        sim_calls.append({"design": point.m3d, "network": workload,
+                          "pdk": point.pdk})
     reports = engine.map(simulate, sim_calls, stage="dse.simulate",
                          jobs=jobs)
     return tuple(
-        plan.candidate(reports[2 * index], reports[2 * index + 1])
-        for index, plan in enumerate(plans)
+        candidate_from_point(point, reports[2 * index], reports[2 * index + 1])
+        for index, point in enumerate(points)
     )
 
 

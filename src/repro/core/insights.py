@@ -16,19 +16,16 @@ from typing import Any
 
 from repro.errors import require
 from repro.tech.pdk import PDK, foundry_m3d_pdk
-from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.arch.accelerator import baseline_2d_design
 from repro.core.framework import DesignPoint, Workload, edp_benefit
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.runtime.cache import MISSING
 from repro.runtime.engine import EvaluationEngine, default_engine
-from repro.runtime.memo import IdentityKey, memo_table
 from repro.runtime.serialize import from_jsonable, to_jsonable
+from repro.spec.design import ArchSpec, DesignSpec
+from repro.spec.resolve import ResolvedPoint, resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
-
-#: Capacity-plan memo: (PDK identity, capacity) -> (baseline, m3d) designs.
-_CAPACITY_MEMO = memo_table("insights.capacity_plan")
+from repro.workloads.models import Network
 
 
 @dataclass(frozen=True)
@@ -164,19 +161,23 @@ class CapacityPoint:
         return point
 
 
-def plan_capacity_point(pdk: PDK, capacity_bits: int):
-    """(baseline, m3d) design pair for one Fig. 9 capacity (no simulation).
+def resolve_capacity_point(pdk: PDK | None, capacity_bits: int) -> ResolvedPoint:
+    """The design pair for one Fig. 9 capacity (no simulation).
 
-    Memoized on (PDK identity, capacity), same scheme as
-    :func:`repro.core.dse.plan_design_point`.
+    A thin wrapper over :func:`repro.spec.resolve.resolve`, which memoizes
+    on the spec's content fingerprint.
     """
-    key = (IdentityKey(pdk), capacity_bits)
-    pair = _CAPACITY_MEMO.get(key)
-    if pair is MISSING:
-        pair = (baseline_2d_design(pdk, capacity_bits),
-                m3d_design(pdk, capacity_bits))
-        _CAPACITY_MEMO.put(key, pair)
-    return pair
+    spec = DesignSpec(arch=ArchSpec(capacity_bits=capacity_bits))
+    return resolve(spec, pdk)
+
+
+def plan_capacity_point(pdk: PDK, capacity_bits: int):
+    """(baseline, m3d) design pair for one Fig. 9 capacity.
+
+    Legacy shim over :func:`resolve_capacity_point`.
+    """
+    point = resolve_capacity_point(pdk, capacity_bits)
+    return point.baseline, point.m3d
 
 
 def capacity_point(
@@ -185,14 +186,14 @@ def capacity_point(
     capacity_bits: int,
 ) -> CapacityPoint:
     """Evaluate one Fig. 9 capacity point with the simulator pipeline."""
-    baseline, m3d = plan_capacity_point(pdk, capacity_bits)
+    point = resolve_capacity_point(pdk, capacity_bits)
     benefit = compare_designs(
-        simulate(baseline, network, pdk),
-        simulate(m3d, network, pdk),
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
     )
     return CapacityPoint(
         capacity_bits=capacity_bits,
-        n_cs=m3d.n_cs,
+        n_cs=point.n_cs_m3d,
         speedup=benefit.speedup,
         edp_benefit=benefit.edp_benefit,
     )
@@ -211,27 +212,30 @@ def sweep_rram_capacity(
     Larger baseline memories free more silicon under the arrays in M3D,
     admitting more parallel CSs (Obs. 6); the workload must fit at the
     smallest capacity (ResNet-18's ~12 M parameters at 12 MB).  The sweep
-    is planned up front and the resulting ``simulate`` calls dispatch
-    through ``engine`` (default: the process-wide engine) in one
-    deduplicated batch; ``jobs`` applies to this sweep only.
+    is resolved up front through the spec layer and the resulting
+    ``simulate`` calls dispatch through ``engine`` (default: the
+    process-wide engine) in one deduplicated batch; ``jobs`` applies to
+    this sweep only.
     """
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    network = network if network is not None else resnet18()
     engine = engine if engine is not None else default_engine()
-    plans = [plan_capacity_point(pdk, capacity)
-             for capacity in capacities_bits]
+    points_resolved = [resolve_capacity_point(pdk, capacity)
+                       for capacity in capacities_bits]
     sim_calls = []
-    for baseline, m3d in plans:
-        sim_calls.append({"design": baseline, "network": network, "pdk": pdk})
-        sim_calls.append({"design": m3d, "network": network, "pdk": pdk})
+    for point in points_resolved:
+        workload = network if network is not None else point.network
+        sim_calls.append({"design": point.baseline, "network": workload,
+                          "pdk": point.pdk})
+        sim_calls.append({"design": point.m3d, "network": workload,
+                          "pdk": point.pdk})
     reports = engine.map(simulate, sim_calls, stage="insights.simulate",
                          jobs=jobs)
     points = []
-    for index, (capacity, (_, m3d)) in enumerate(zip(capacities_bits, plans)):
+    for index, (capacity, point) in enumerate(
+            zip(capacities_bits, points_resolved)):
         benefit = compare_designs(reports[2 * index], reports[2 * index + 1])
         points.append(CapacityPoint(
             capacity_bits=capacity,
-            n_cs=m3d.n_cs,
+            n_cs=point.n_cs_m3d,
             speedup=benefit.speedup,
             edp_benefit=benefit.edp_benefit,
         ))

@@ -12,13 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import require
-from repro.tech.pdk import PDK, foundry_m3d_pdk
-from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.tech.pdk import PDK
 from repro.perf.compare import BenefitReport, compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import ArchSpec, DesignSpec
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
 from repro.core.thermal import ThermalStack, temperature_rise
 
 
@@ -65,21 +66,20 @@ def multitier_study(
 ) -> MultiTierResult:
     """Evaluate the benefit of an M3D chip with ``pairs`` tier pairs."""
     require(pairs >= 1, "need at least one tier pair")
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    network = network if network is not None else resnet18()
     stack = stack if stack is not None else ThermalStack()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    single = m3d_design(pdk, capacity_bits)
-    design = m3d_design(pdk, capacity_bits, n_cs=pairs * single.n_cs)
-    baseline_report = simulate(baseline, network, pdk)
-    m3d_report = simulate(design, network, pdk)
+    spec = DesignSpec(
+        arch=ArchSpec(capacity_bits=capacity_bits, tier_pairs=pairs))
+    point = resolve(spec, pdk)
+    network = network if network is not None else point.network
+    baseline_report = simulate(point.baseline, network, point.pdk)
+    m3d_report = simulate(point.m3d, network, point.pdk)
     benefit = compare_designs(baseline_report, m3d_report)
     # Average chip power split uniformly across the pairs for Eq. 17.
     per_pair_power = m3d_report.average_power / pairs
     rise = temperature_rise([per_pair_power] * pairs, stack)
     return MultiTierResult(
         pairs=pairs,
-        n_cs=design.n_cs,
+        n_cs=point.n_cs_m3d,
         benefit=benefit,
         temperature_rise=rise,
         thermal_ok=rise <= stack.max_rise,

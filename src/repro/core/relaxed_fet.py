@@ -14,21 +14,25 @@ delta ~1.6 and small benefits survive to delta ~2.5.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import require
-from repro.tech.pdk import PDK, foundry_m3d_pdk
-from repro.arch.accelerator import (
-    AcceleratorDesign,
-    baseline_2d_design,
-    m3d_design,
-)
+from repro.tech.pdk import PDK
+from repro.arch.accelerator import reoptimized_2d_cs_count
 from repro.perf.compare import BenefitReport, compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import ArchSpec, DesignSpec, TechSpec
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
+
+__all__ = [
+    "RelaxedFETResult",
+    "relaxed_fet_study",
+    "reoptimized_2d_cs_count",  # re-export; Eq. 9 lives in the arch layer
+    "sweep_fet_width",
+]
 
 
 @dataclass(frozen=True)
@@ -65,19 +69,6 @@ class RelaxedFETResult:
         return self.benefit.edp_benefit
 
 
-def reoptimized_2d_cs_count(
-    grown_footprint: float,
-    original_footprint: float,
-    cs_area: float,
-) -> int:
-    """Eq. 9: CSs a commensurately enlarged 2D baseline can host."""
-    require(cs_area > 0, "CS area must be positive")
-    extra = grown_footprint - original_footprint
-    if extra <= 0:
-        return 1
-    return 1 + math.floor(extra / cs_area)
-
-
 def relaxed_fet_study(
     delta: float,
     pdk: PDK | None = None,
@@ -86,26 +77,21 @@ def relaxed_fet_study(
 ) -> RelaxedFETResult:
     """Evaluate the iso-capacity benefit at one width relaxation ``delta``."""
     require(delta >= 1.0, "delta must be >= 1")
-    pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    network = network if network is not None else resnet18()
-    original = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits, access_width_factor=delta)
-    n_2d = reoptimized_2d_cs_count(
-        grown_footprint=m3d.area.footprint,
-        original_footprint=original.area.footprint,
-        cs_area=original.area.cs_unit,
+    spec = DesignSpec(
+        tech=TechSpec(delta=delta),
+        arch=ArchSpec(capacity_bits=capacity_bits, baseline="reoptimized"),
     )
-    baseline = baseline_2d_design(
-        pdk, capacity_bits, n_cs=n_2d, footprint=m3d.area.footprint)
+    point = resolve(spec, pdk)
+    network = network if network is not None else point.network
     benefit = compare_designs(
-        simulate(baseline, network, pdk),
-        simulate(m3d, network, pdk),
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
     )
     return RelaxedFETResult(
         delta=delta,
-        footprint=m3d.area.footprint,
-        n_cs_2d=n_2d,
-        n_cs_m3d=m3d.n_cs,
+        footprint=point.footprint,
+        n_cs_2d=point.n_cs_2d,
+        n_cs_m3d=point.n_cs_m3d,
         benefit=benefit,
     )
 

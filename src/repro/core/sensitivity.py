@@ -14,11 +14,14 @@ hinge on that constant — the robustness analysis a reviewer would ask for.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import require
 from repro.core.framework import DesignPoint, Workload, edp_benefit
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import DesignSpec
+from repro.spec.resolve import resolve
+from repro.tech.pdk import PDK
 
 #: Design-point fields whose elasticity is reported.
 PARAMETERS: tuple[str, ...] = (
@@ -47,6 +50,10 @@ class Elasticity:
 
 
 def _perturbed(point: DesignPoint, parameter: str, factor: float) -> DesignPoint:
+    known = tuple(field.name for field in fields(type(point)))
+    require(parameter in known,
+            f"unknown design-point parameter {parameter!r}; "
+            f"choose from {', '.join(known)}")
     current = getattr(point, parameter)
     if current == 0:
         return point
@@ -104,3 +111,34 @@ def sensitivity_profile(
     results = engine.map(elasticity, calls,
                          stage="sensitivity.sensitivity_profile")
     return tuple(sorted(results, key=lambda e: abs(e.value), reverse=True))
+
+
+def sensitivity_profile_from_spec(
+    spec: DesignSpec | None = None,
+    pdk: PDK | None = None,
+    applied_to: str = "m3d",
+    engine: EvaluationEngine | None = None,
+) -> tuple[Elasticity, ...]:
+    """:func:`sensitivity_profile` at the operating point a spec denotes.
+
+    The spec resolves to the 2D/M3D design pair; both lower to framework
+    design points and the spec's network becomes the canonical Eq. 1-8
+    workload (total MACs times the batch size as compute, total weight
+    bits as broadcast traffic).
+    """
+    from repro.core.params import design_point  # local import avoids a cycle
+
+    spec = spec if spec is not None else DesignSpec()
+    point = resolve(spec, pdk)
+    network = point.network
+    workload = Workload(
+        compute_ops=float(network.total_macs) * spec.workload.batch,
+        data_bits=float(network.weight_bits(spec.arch.precision_bits)),
+    )
+    return sensitivity_profile(
+        workload,
+        design_point(point.baseline, point.pdk),
+        design_point(point.m3d, point.pdk),
+        applied_to=applied_to,
+        engine=engine,
+    )

@@ -18,11 +18,13 @@ from dataclasses import dataclass
 
 from repro.errors import require
 from repro.tech.pdk import PDK, foundry_m3d_pdk
-from repro.perf.compare import BenefitReport
+from repro.perf.compare import BenefitReport, compare_designs
+from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import ArchSpec, DesignSpec, TechSpec
+from repro.spec.resolve import resolve, scaled_pdk
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
-from repro.core.relaxed_fet import relaxed_fet_study
 
 
 @dataclass(frozen=True)
@@ -57,7 +59,7 @@ class ViaPitchResult:
 def effective_cell_growth(pdk: PDK, beta: float) -> float:
     """delta_eff: M3D cell area at pitch beta over the 2D cell area."""
     require(beta > 0, "beta must be positive")
-    scaled = pdk.with_ilv_pitch_factor(beta)
+    scaled = scaled_pdk(pdk, beta)
     cell_m3d = scaled.m3d_rram_cell().area(scaled.ilv)
     cell_2d = pdk.rram_cell.area(None)
     return cell_m3d / cell_2d
@@ -71,18 +73,27 @@ def via_pitch_study(
 ) -> ViaPitchResult:
     """Evaluate the iso-capacity benefit at one ILV pitch factor ``beta``."""
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
-    scaled = pdk.with_ilv_pitch_factor(beta)
     delta_eff = effective_cell_growth(pdk, beta)
     # The grown cell is a pure area effect, identical to Case 1 at
-    # delta_eff; run it through the relaxed-FET machinery on the scaled PDK
-    # (delta = 1 there: the area growth already lives in the scaled ILV).
-    case1 = relaxed_fet_study(1.0, scaled, network, capacity_bits)
+    # delta_eff; the resolver scales the ILV pitch and re-optimizes the 2D
+    # baseline into the grown footprint (delta = 1: the area growth
+    # already lives in the scaled ILV).
+    spec = DesignSpec(
+        tech=TechSpec(beta=beta),
+        arch=ArchSpec(capacity_bits=capacity_bits, baseline="reoptimized"),
+    )
+    point = resolve(spec, pdk)
+    network = network if network is not None else point.network
+    benefit = compare_designs(
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
+    )
     return ViaPitchResult(
         beta=beta,
         effective_delta=delta_eff,
-        n_cs_2d=case1.n_cs_2d,
-        n_cs_m3d=case1.n_cs_m3d,
-        benefit=case1.benefit,
+        n_cs_2d=point.n_cs_2d,
+        n_cs_m3d=point.n_cs_m3d,
+        benefit=benefit,
     )
 
 

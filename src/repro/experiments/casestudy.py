@@ -11,11 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, percent, times
 from repro.physical.flow import FlowResult, run_flow
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE, to_mm2, to_mw
 
 
@@ -105,16 +105,19 @@ def format_case_study(result: CaseStudyResult) -> str:
 @experiment("casestudy", "Fig. 2 + Obs. 2: physical design case study",
             formatter=format_case_study)
 def casestudy_experiment(ctx: ExperimentContext,
-                         capacity_bits: int = 64 * MEGABYTE) -> CaseStudyResult:
+                         capacity_bits: int | None = None) -> CaseStudyResult:
     """Run the flow on the 2D baseline and the iso-footprint M3D design.
 
     Both flow runs go through the evaluation engine, so a warm cache
     (memory or ``--cache-dir``) serves repeat runs without re-running the
     physical flow, and ``jobs`` >= 2 runs the two designs concurrently.
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
     """
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    point = resolve(ctx.design_spec(changes), ctx.pdk)
     baseline, m3d = ctx.engine.map(
         run_flow,
-        [(baseline_2d_design(ctx.pdk, capacity_bits), ctx.pdk),
-         (m3d_design(ctx.pdk, capacity_bits), ctx.pdk)],
+        [(point.baseline, point.pdk), (point.m3d, point.pdk)],
         stage="casestudy.run_flow", jobs=ctx.jobs)
     return CaseStudyResult(baseline=baseline, m3d=m3d)

@@ -18,15 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, percent, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.design import ArchSpec, DesignSpec
+from repro.spec.resolve import build_workload, resolve
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
-from repro.workloads.transformer import tiny_encoder
 
 
 @dataclass(frozen=True)
@@ -57,11 +57,11 @@ def batching_row(
     network: Network,
 ) -> BatchingRow:
     """Evaluate the case-study pair at one token batch size."""
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    m3d = m3d_design(pdk, capacity_bits)
-    peak = baseline.cs.array.peak_macs_per_cycle
-    base_report = simulate(baseline, network, pdk, batch=batch)
-    m3d_report = simulate(m3d, network, pdk, batch=batch)
+    spec = DesignSpec(arch=ArchSpec(capacity_bits=capacity_bits))
+    point = resolve(spec, pdk)
+    peak = point.baseline.cs.array.peak_macs_per_cycle
+    base_report = simulate(point.baseline, network, point.pdk, batch=batch)
+    m3d_report = simulate(point.m3d, network, point.pdk, batch=batch)
     benefit = compare_designs(base_report, m3d_report)
     utilization = network.total_macs * batch / (base_report.cycles * peak)
     return BatchingRow(
@@ -95,10 +95,21 @@ def batching_experiment(
     ctx: ExperimentContext,
     batches: tuple[int, ...] = (1, 4, 16, 64, 256),
     network: Network | None = None,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
 ) -> tuple[BatchingRow, ...]:
-    """Sweep the token batch for an encoder workload on the case-study pair."""
-    network = network if network is not None else tiny_encoder()
+    """Sweep the token batch for an encoder workload on the case-study pair.
+
+    The workload defaults to the tiny transformer encoder (batching is a
+    transformer story); a context ``--spec`` with an explicit workload
+    overrides it, as do the keyword arguments.
+    """
+    spec = ctx.design_spec()
+    if capacity_bits is None:
+        capacity_bits = spec.arch.capacity_bits
+    if network is None:
+        workload = spec.workload if ctx.spec is not None \
+            else spec.updated({"workload.network": "tiny_encoder"}).workload
+        network = build_workload(workload)
     calls = [(ctx.pdk, batch, capacity_bits, network) for batch in batches]
     return tuple(ctx.engine.map(batching_row, calls,
                                 stage="ext_batching.run_batching",

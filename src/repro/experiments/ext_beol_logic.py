@@ -20,15 +20,16 @@ import math
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
+from repro.arch.accelerator import baseline_2d_design
 from repro.core.thermal import ThermalStack, temperature_rise
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
 
 
 def cnfet_tier_free_area(pdk: PDK, capacity_bits: int) -> float:
@@ -104,19 +105,27 @@ def run_beol_logic(
             formatter=lambda result: format_beol_logic(result))
 def beol_logic_experiment(
     ctx: ExperimentContext,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
     network: Network | None = None,
     stack: ThermalStack | None = None,
 ) -> BEOLLogicResult:
-    """Evaluate the M3D design extended with CNFET-tier CSs."""
-    pdk = ctx.pdk
-    network = network if network is not None else resnet18()
+    """Evaluate the M3D design extended with CNFET-tier CSs.
+
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    """
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    spec = ctx.design_spec(changes)
+    capacity_bits = spec.arch.capacity_bits
+    point = resolve(spec, ctx.pdk)
+    pdk = point.pdk
+    network = network if network is not None else point.network
     stack = stack if stack is not None else ThermalStack()
-    baseline = baseline_2d_design(pdk, capacity_bits)
-    plain_m3d = m3d_design(pdk, capacity_bits)
+    baseline = point.baseline
+    plain_m3d = point.m3d
     extra = extra_cnfet_cs_count(pdk, capacity_bits)
-    extended = m3d_design(pdk, capacity_bits,
-                          n_cs=plain_m3d.n_cs + extra)
+    extended = resolve(
+        spec.updated({"arch.n_cs": plain_m3d.n_cs + extra}), ctx.pdk).m3d
 
     baseline_report, plain_report, extended_report = ctx.engine.map(
         simulate,

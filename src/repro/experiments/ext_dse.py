@@ -15,6 +15,7 @@ from repro.core.dse import DesignCandidate, explore, pareto_frontier
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import build_workload
 from repro.tech.pdk import PDK
 from repro.units import MEGABYTE, to_mm2
 
@@ -51,5 +52,7 @@ def format_dse(candidates: tuple[DesignCandidate, ...]) -> str:
             "with Pareto frontier",
             formatter=format_dse)
 def dse_experiment(ctx: ExperimentContext) -> tuple[DesignCandidate, ...]:
-    """Run the joint design-space grid (36 points) on ResNet-18."""
-    return explore(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+    """Run the joint design-space grid (36 points) on the spec's workload."""
+    network = build_workload(ctx.design_spec().workload)
+    return explore(pdk=ctx.pdk, network=network, engine=ctx.engine,
+                   jobs=ctx.jobs)

@@ -24,14 +24,15 @@ from dataclasses import dataclass
 
 from repro.tech.memories import MemoryTechnology, beol_technologies
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.design import ArchSpec, DesignSpec, TechSpec
+from repro.spec.resolve import build_workload, resolve
 from repro.units import MEGABYTE, to_mm2
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
 
 
 @dataclass(frozen=True)
@@ -64,18 +65,18 @@ def memtech_row(
     network: Network,
 ) -> MemTechRow:
     """Evaluate the case study under one BEOL memory preset."""
-    tech_pdk = pdk.with_memory_cell(tech.cell(pdk.node))
-    baseline = baseline_2d_design(tech_pdk, capacity_bits)
-    m3d = m3d_design(tech_pdk, capacity_bits)
+    spec = DesignSpec(tech=TechSpec(memory=tech.name),
+                      arch=ArchSpec(capacity_bits=capacity_bits))
+    point = resolve(spec, pdk)
     benefit = compare_designs(
-        simulate(baseline, network, tech_pdk),
-        simulate(m3d, network, tech_pdk),
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
     )
     return MemTechRow(
         technology=tech,
-        gamma_cells=baseline.area.gamma_cells,
-        n_cs=m3d.n_cs,
-        footprint=baseline.area.footprint,
+        gamma_cells=point.baseline.area.gamma_cells,
+        n_cs=point.n_cs_m3d,
+        footprint=point.baseline.area.footprint,
         speedup=benefit.speedup,
         energy_benefit=benefit.energy_benefit,
         edp_benefit=benefit.edp_benefit,
@@ -99,11 +100,18 @@ def run_memtech(
             formatter=lambda rows: format_memtech(rows))
 def memtech_experiment(
     ctx: ExperimentContext,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
     network: Network | None = None,
 ) -> tuple[MemTechRow, ...]:
-    """Evaluate the case study under every BEOL memory preset."""
-    network = network if network is not None else resnet18()
+    """Evaluate the case study under every BEOL memory preset.
+
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    """
+    spec = ctx.design_spec()
+    if capacity_bits is None:
+        capacity_bits = spec.arch.capacity_bits
+    network = network if network is not None \
+        else build_workload(spec.workload)
     calls = [(ctx.pdk, tech, capacity_bits, network)
              for tech in beol_technologies()]
     return tuple(ctx.engine.map(memtech_row, calls,

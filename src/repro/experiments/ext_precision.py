@@ -10,34 +10,18 @@ the ResNet-18 benefit at each precision.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import (
-    ComputingSubsystem,
-    baseline_2d_design,
-    m3d_design,
-)
-from repro.arch.pe import PEConfig
-from repro.arch.systolic import SystolicArrayConfig
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.design import ArchSpec, DesignSpec
+from repro.spec.resolve import build_workload, resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, available_networks, build_network, resnet18
-
-
-def _cs_for_precision(bits: int) -> ComputingSubsystem:
-    pe = PEConfig(precision_bits=bits, weight_reg_bits=bits,
-                  input_reg_bits=bits, output_reg_bits=max(16, 3 * bits))
-    return ComputingSubsystem(
-        array=SystolicArrayConfig(rows=16, cols=16, pe=pe),
-        input_buffer_bits=int(0.7 * MEGABYTE),
-        output_buffer_bits=int(0.7 * MEGABYTE),
-        control_gates=140_000,
-    )
+from repro.workloads.models import Network, available_networks, build_network
 
 
 @dataclass(frozen=True)
@@ -66,21 +50,20 @@ def precision_row(
     network: Network,
 ) -> PrecisionRow:
     """Evaluate the case-study pair at one operand precision."""
-    cs = _cs_for_precision(bits)
-    baseline = replace(baseline_2d_design(pdk, capacity_bits, cs=cs),
-                       precision_bits=bits)
-    m3d = replace(m3d_design(pdk, capacity_bits, cs=cs),
-                  precision_bits=bits)
+    spec = DesignSpec(arch=ArchSpec(capacity_bits=capacity_bits,
+                                    cs="precision-scaled",
+                                    precision_bits=bits))
+    point = resolve(spec, pdk)
     fitting = tuple(
         name for name in available_networks()
         if build_network(name).weight_bits(bits) <= capacity_bits)
     benefit = compare_designs(
-        simulate(baseline, network, pdk),
-        simulate(m3d, network, pdk),
+        simulate(point.baseline, network, point.pdk),
+        simulate(point.m3d, network, point.pdk),
     )
     return PrecisionRow(
         precision_bits=bits,
-        n_cs=m3d.n_cs,
+        n_cs=point.n_cs_m3d,
         models_fitting=fitting,
         speedup=benefit.speedup,
         energy_benefit=benefit.energy_benefit,
@@ -107,11 +90,18 @@ def run_precision(
 def precision_experiment(
     ctx: ExperimentContext,
     precisions: tuple[int, ...] = (4, 8, 16),
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
     network: Network | None = None,
 ) -> tuple[PrecisionRow, ...]:
-    """Sweep operand precision at fixed 64 MB capacity."""
-    network = network if network is not None else resnet18()
+    """Sweep operand precision at the context spec's capacity.
+
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    """
+    spec = ctx.design_spec()
+    if capacity_bits is None:
+        capacity_bits = spec.arch.capacity_bits
+    network = network if network is not None \
+        else build_workload(spec.workload)
     calls = [(ctx.pdk, bits, capacity_bits, network) for bits in precisions]
     return tuple(ctx.engine.map(precision_row, calls,
                                 stage="ext_precision.run_precision",

@@ -15,15 +15,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.multitier import MultiTierResult, multitier_study, sweep_tiers
+from repro.core.multitier import MultiTierResult, sweep_tiers
 from repro.core.relaxed_fet import RelaxedFETResult, sweep_fet_width
 from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
 from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import build_workload
 from repro.tech.pdk import PDK
-from repro.workloads.models import Network, resnet18
 
 
 def run_fig10c(pdk: PDK | None = None,
@@ -54,7 +54,11 @@ def format_fig10c(results: tuple[RelaxedFETResult, ...]) -> str:
             formatter=format_fig10c)
 def fig10c_experiment(ctx: ExperimentContext) -> tuple[RelaxedFETResult, ...]:
     """Case 1 sweep over the access-FET width relaxation delta."""
-    return sweep_fet_width(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+    spec = ctx.design_spec()
+    return sweep_fet_width(pdk=ctx.pdk,
+                           network=build_workload(spec.workload),
+                           capacity_bits=spec.arch.capacity_bits,
+                           engine=ctx.engine, jobs=ctx.jobs)
 
 
 def run_obs8(pdk: PDK | None = None,
@@ -84,7 +88,11 @@ def format_obs8(results: tuple[ViaPitchResult, ...]) -> str:
 @experiment("obs8", "Obs. 8: ILV via pitch sweep", formatter=format_obs8)
 def obs8_experiment(ctx: ExperimentContext) -> tuple[ViaPitchResult, ...]:
     """Case 2 sweep over the ILV pitch beta."""
-    return sweep_via_pitch(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+    spec = ctx.design_spec()
+    return sweep_via_pitch(pdk=ctx.pdk,
+                           network=build_workload(spec.workload),
+                           capacity_bits=spec.arch.capacity_bits,
+                           engine=ctx.engine, jobs=ctx.jobs)
 
 
 @dataclass(frozen=True)
@@ -133,15 +141,20 @@ def format_fig10d(result: Fig10dResult) -> str:
             formatter=format_fig10d)
 def fig10d_experiment(ctx: ExperimentContext,
                       max_pairs: int = 6) -> Fig10dResult:
-    """Case 3 sweep for ResNet-18 and for its most parallel layer."""
-    network = resnet18()
-    single = Network(name="resnet18_L4.1_CONV2",
-                     layers=(network.layer("L4.1 CONV2"),))
+    """Case 3 sweep for the spec's network and its most parallel layer."""
+    spec = ctx.design_spec()
+    network = build_workload(spec.workload)
+    single = build_workload(
+        spec.updated({"workload.layer": "L4.1 CONV2"}).workload)
+    capacity = spec.arch.capacity_bits
     return Fig10dResult(
         network_sweep=sweep_tiers(max_pairs, pdk=ctx.pdk, network=network,
+                                  capacity_bits=capacity,
                                   engine=ctx.engine, jobs=ctx.jobs),
         parallel_layer_sweep=sweep_tiers(max_pairs, pdk=ctx.pdk,
-                                         network=single, engine=ctx.engine,
+                                         network=single,
+                                         capacity_bits=capacity,
+                                         engine=ctx.engine,
                                          jobs=ctx.jobs),
     )
 

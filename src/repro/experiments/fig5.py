@@ -12,12 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
 from repro.workloads.models import build_network
 
@@ -78,20 +78,22 @@ def format_fig5(rows: tuple[Fig5Row, ...]) -> str:
 def fig5_experiment(
     ctx: ExperimentContext,
     networks: tuple[str, ...] = FIG5_NETWORKS,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
 ) -> tuple[Fig5Row, ...]:
     """Simulate every Fig. 5 model on the 2D/M3D design pair.
 
     All 2 * len(networks) simulations run as one engine batch, so repeats
     hit the cache and ``jobs`` >= 2 spreads models across workers.
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
     """
-    baseline = baseline_2d_design(ctx.pdk, capacity_bits)
-    m3d = m3d_design(ctx.pdk, capacity_bits)
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    point = resolve(ctx.design_spec(changes), ctx.pdk)
     built = [build_network(name) for name in networks]
     specs = []
     for network in built:
-        specs.append((baseline, network, ctx.pdk))
-        specs.append((m3d, network, ctx.pdk))
+        specs.append((point.baseline, network, point.pdk))
+        specs.append((point.m3d, network, point.pdk))
     reports = ctx.engine.map(simulate, specs, stage="fig5.simulate",
                              jobs=ctx.jobs)
     rows: list[Fig5Row] = []

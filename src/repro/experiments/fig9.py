@@ -12,6 +12,7 @@ from repro.core.insights import CapacityPoint, sweep_rram_capacity
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import build_workload
 from repro.tech.pdk import PDK
 
 
@@ -34,8 +35,10 @@ def format_fig9(points: tuple[CapacityPoint, ...]) -> str:
 @experiment("fig9", "Fig. 9 / Obs. 6: RRAM capacity sweep",
             formatter=format_fig9)
 def fig9_experiment(ctx: ExperimentContext) -> tuple[CapacityPoint, ...]:
-    """Run the capacity sweep (12-128 MB) on ResNet-18."""
-    return sweep_rram_capacity(pdk=ctx.pdk, engine=ctx.engine, jobs=ctx.jobs)
+    """Run the capacity sweep (12-128 MB) on the spec's workload."""
+    network = build_workload(ctx.design_spec().workload)
+    return sweep_rram_capacity(pdk=ctx.pdk, network=network,
+                               engine=ctx.engine, jobs=ctx.jobs)
 
 
 def run_fig9(pdk: PDK | None = None,

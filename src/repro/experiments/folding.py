@@ -22,15 +22,15 @@ import math
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.physical.flow import run_flow
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE, to_mm2
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
 
 #: Fraction of chip dynamic energy in interconnect at this node class.
 WIRE_ENERGY_SHARE = 0.30
@@ -88,15 +88,21 @@ def run_folding(
             formatter=lambda result: format_folding(result))
 def folding_experiment(
     ctx: ExperimentContext,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
     network: Network | None = None,
 ) -> FoldingResult:
-    """Evaluate folding-only M3D against the architectural case study."""
-    pdk = ctx.pdk
-    network = network if network is not None else resnet18()
+    """Evaluate folding-only M3D against the architectural case study.
+
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    """
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    point = resolve(ctx.design_spec(changes), ctx.pdk)
+    pdk = point.pdk
+    network = network if network is not None else point.network
 
     (flow_2d,) = ctx.engine.map(
-        run_flow, [(baseline_2d_design(pdk, capacity_bits), pdk)],
+        run_flow, [(point.baseline, pdk)],
         stage="folding.run_flow", jobs=ctx.jobs)
     baseline = flow_2d.design
 
@@ -120,7 +126,7 @@ def folding_experiment(
     base_report, m3d_report = ctx.engine.map(
         simulate,
         [(baseline, network, pdk),
-         (m3d_design(pdk, capacity_bits), network, pdk)],
+         (point.m3d, network, pdk)],
         stage="folding.simulate", jobs=ctx.jobs)
     architectural = compare_designs(base_report, m3d_report)
     return FoldingResult(

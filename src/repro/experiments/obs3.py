@@ -13,18 +13,15 @@ import math
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import (
-    baseline_2d_design,
-    m3d_design,
-    peripheral_area,
-)
+from repro.arch.accelerator import peripheral_area
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
-from repro.workloads.models import Network, resnet18
+from repro.workloads.models import Network
 
 
 @dataclass(frozen=True)
@@ -80,16 +77,21 @@ def obs3_experiment(
     ctx: ExperimentContext,
     density_ratios: tuple[float, ...] = (1.0, 1.5, 2.0),
     network: Network | None = None,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
 ) -> tuple[Obs3Row, ...]:
     """Sweep the baseline memory density ratio (1.0 = RRAM baseline).
 
     The shared-baseline simulation and every per-ratio M3D simulation run
     as one engine batch (the repeated baseline deduplicates).
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
     """
-    pdk = ctx.pdk
-    network = network if network is not None else resnet18()
-    baseline = baseline_2d_design(pdk, capacity_bits)
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    spec = ctx.design_spec(changes)
+    point = resolve(spec, ctx.pdk)
+    pdk = point.pdk
+    network = network if network is not None else point.network
+    baseline = point.baseline
     cs_area = baseline.area.cs_unit
     perif = peripheral_area(pdk)
     counts: list[int] = []
@@ -98,7 +100,8 @@ def obs3_experiment(
         freed = baseline.area.cells * ratio - perif
         n_cs = 1 + max(0, math.floor(freed / cs_area))
         counts.append(n_cs)
-        specs.append((m3d_design(pdk, capacity_bits, n_cs=n_cs), network, pdk))
+        m3d = resolve(spec.updated({"arch.n_cs": n_cs}), ctx.pdk).m3d
+        specs.append((m3d, network, pdk))
     reports = ctx.engine.map(simulate, specs, stage="obs3.simulate",
                              jobs=ctx.jobs)
     base_report = reports[0]

@@ -24,10 +24,11 @@ hence CLI listing order) is the package's import order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.obs.trace import Tracer, current_tracer, span as _span
 from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import DesignSpec
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 
 __all__ = [
@@ -57,18 +58,25 @@ class ExperimentContext:
         tracer: The active tracer, if observability is on (experiments
             rarely need it directly — instrumented layers resolve it
             context-locally — but it is part of the uniform interface).
+        spec: Base :class:`~repro.spec.design.DesignSpec` the run derives
+            design points from (``None`` = the default spec).  Set by the
+            CLI's ``--spec`` flag; experiments read it through
+            :meth:`design_spec` so one spec file retargets every
+            experiment of a run.
     """
 
     pdk: PDK
     engine: EvaluationEngine
     jobs: int | None = None
     tracer: Tracer | None = None
+    spec: DesignSpec | None = None
 
     @classmethod
     def create(cls, pdk: PDK | None = None,
                engine: EvaluationEngine | None = None,
                jobs: int | None = None,
-               tracer: Tracer | None = None) -> "ExperimentContext":
+               tracer: Tracer | None = None,
+               spec: DesignSpec | None = None) -> "ExperimentContext":
         """A context with defaults filled in.
 
         ``pdk`` defaults to :func:`repro.tech.pdk.foundry_m3d_pdk`,
@@ -81,7 +89,21 @@ class ExperimentContext:
             engine=engine if engine is not None else default_engine(),
             jobs=jobs,
             tracer=tracer if tracer is not None else current_tracer(),
+            spec=spec,
         )
+
+    def design_spec(self, changes: Mapping[str, Any] | None = None) -> DesignSpec:
+        """The run's base spec, optionally with dotted-path overrides.
+
+        Experiments call this instead of hard-coding their design-point
+        knobs: ``ctx.design_spec({"tech.delta": 1.6})`` layers the
+        experiment's own knob over whatever base the user supplied via
+        ``--spec`` (or the defaults).
+        """
+        base = self.spec if self.spec is not None else DesignSpec()
+        if not changes:
+            return base
+        return base.updated(changes)
 
 
 @dataclass(frozen=True)

@@ -10,15 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.arch.accelerator import baseline_2d_design, m3d_design
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine
+from repro.spec.resolve import resolve
 from repro.units import MEGABYTE
 from repro.workloads.layers import LayerKind
-from repro.workloads.models import resnet18
 
 #: Paper Table I values (speedup, energy, EDP) for cross-reference.
 PAPER_TABLE1: dict[str, tuple[float, float, float]] = {
@@ -81,15 +80,20 @@ def run_table1(
             formatter=lambda rows: format_table1(rows))
 def table1_experiment(
     ctx: ExperimentContext,
-    capacity_bits: int = 64 * MEGABYTE,
+    capacity_bits: int | None = None,
 ) -> tuple[Table1Row, ...]:
-    """Produce every Table I row, including the merged stem and the total."""
-    baseline = baseline_2d_design(ctx.pdk, capacity_bits)
-    m3d = m3d_design(ctx.pdk, capacity_bits)
-    network = resnet18()
+    """Produce every Table I row, including the merged stem and the total.
+
+    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    """
+    changes = {} if capacity_bits is None \
+        else {"arch.capacity_bits": capacity_bits}
+    point = resolve(ctx.design_spec(changes), ctx.pdk)
+    network = point.network
     base_report, m3d_report = ctx.engine.map(
         simulate,
-        [(baseline, network, ctx.pdk), (m3d, network, ctx.pdk)],
+        [(point.baseline, network, point.pdk),
+         (point.m3d, network, point.pdk)],
         stage="table1.simulate", jobs=ctx.jobs)
     benefit = compare_designs(base_report, m3d_report)
 

@@ -1,0 +1,51 @@
+"""Declarative design-point construction (the Scenario/Spec layer).
+
+* :mod:`repro.spec.design` — :class:`DesignSpec`: frozen, validated,
+  plain-JSON-round-trippable description of one design point (tech
+  overrides, arch knobs, workload selection).
+* :mod:`repro.spec.sweep` — :class:`SweepSpec`: grid / zip / explicit-
+  point axes over a base spec.
+* :mod:`repro.spec.resolve` — the single resolver pipeline
+  ``resolve(spec) -> ResolvedPoint(pdk, baseline, m3d, network)`` that
+  every sweep and experiment constructs designs through.
+* :mod:`repro.spec.evaluate` — spec-driven simulation with
+  restart-surviving, content-addressed cache keys.
+"""
+
+from repro.spec.design import (
+    ArchSpec,
+    DesignSpec,
+    TechSpec,
+    WorkloadSpec,
+    field_paths,
+    load_design_spec,
+)
+from repro.spec.sweep import SweepSpec, load_sweep_spec
+from repro.spec.resolve import ResolvedPoint, build_workload, resolve, scaled_pdk
+from repro.spec.evaluate import (
+    SpecEvaluation,
+    evaluate_spec,
+    evaluate_specs,
+    evaluate_sweep,
+    format_spec_evaluations,
+)
+
+__all__ = [
+    "ArchSpec",
+    "DesignSpec",
+    "ResolvedPoint",
+    "SpecEvaluation",
+    "SweepSpec",
+    "TechSpec",
+    "WorkloadSpec",
+    "build_workload",
+    "evaluate_spec",
+    "evaluate_specs",
+    "evaluate_sweep",
+    "field_paths",
+    "format_spec_evaluations",
+    "load_design_spec",
+    "load_sweep_spec",
+    "resolve",
+    "scaled_pdk",
+]

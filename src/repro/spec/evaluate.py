@@ -1,0 +1,156 @@
+"""Spec-driven evaluation: ``DesignSpec -> SpecEvaluation``.
+
+:func:`evaluate_spec` resolves a spec and runs the simulator on the
+resulting 2D/M3D pair; :func:`evaluate_specs` batches many specs through
+the evaluation engine, which content-hashes each ``evaluate_spec(spec)``
+call.  Because a spec is pure data, that cache key is a canonical-JSON
+hash of a few dozen bytes — it survives process restarts through the disk
+cache, and shipping a call to a ``--jobs N`` worker serializes the spec,
+not a tree of live design objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import require
+from repro.perf.compare import compare_designs
+from repro.perf.simulator import simulate
+from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.serialize import from_jsonable, to_jsonable
+from repro.spec.design import DesignSpec
+from repro.spec.resolve import resolve
+from repro.spec.sweep import SweepSpec
+from repro.tech.pdk import PDK
+from repro.units import MEGABYTE
+
+__all__ = [
+    "SpecEvaluation",
+    "evaluate_spec",
+    "evaluate_specs",
+    "evaluate_sweep",
+    "format_spec_evaluations",
+]
+
+
+@dataclass(frozen=True)
+class SpecEvaluation:
+    """The benefit summary of one evaluated design spec.
+
+    Attributes:
+        spec: The evaluated spec (so a result file is self-describing).
+        n_cs_2d: CS count of the 2D baseline.
+        n_cs_m3d: CS count of the M3D design.
+        footprint: Common chip footprint, m^2.
+        speedup: T_2D / T_3D on the spec's workload.
+        energy_benefit: E_2D / E_3D.
+        edp_benefit: Product of the two.
+    """
+
+    spec: DesignSpec
+    n_cs_2d: int
+    n_cs_m3d: int
+    footprint: float
+    speedup: float
+    energy_benefit: float
+    edp_benefit: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by the disk result cache)."""
+        return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpecEvaluation":
+        """Inverse of :meth:`to_dict`."""
+        evaluation = from_jsonable(data)
+        require(isinstance(evaluation, cls),
+                f"expected a serialized {cls.__name__}")
+        return evaluation
+
+
+def evaluate_spec(spec: DesignSpec, pdk: PDK | None = None) -> SpecEvaluation:
+    """Resolve and simulate one design spec."""
+    point = resolve(spec, pdk)
+    batch = spec.workload.batch
+    benefit = compare_designs(
+        simulate(point.baseline, point.network, point.pdk, batch=batch),
+        simulate(point.m3d, point.network, point.pdk, batch=batch),
+    )
+    return SpecEvaluation(
+        spec=spec,
+        n_cs_2d=point.n_cs_2d,
+        n_cs_m3d=point.n_cs_m3d,
+        footprint=point.footprint,
+        speedup=benefit.speedup,
+        energy_benefit=benefit.energy_benefit,
+        edp_benefit=benefit.edp_benefit,
+    )
+
+
+def evaluate_specs(
+    specs: Iterable[DesignSpec],
+    pdk: PDK | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[SpecEvaluation, ...]:
+    """Evaluate many specs as one engine batch.
+
+    With the default PDK each call's cache key is a pure function of the
+    spec's content, so results persisted with ``--cache-dir`` are served
+    across process restarts; duplicate specs deduplicate within the
+    batch.  ``jobs`` overrides the engine's worker count for this batch
+    only.
+    """
+    engine = engine if engine is not None else default_engine()
+    if pdk is None:
+        calls: list[tuple] = [(spec,) for spec in specs]
+    else:
+        calls = [(spec, pdk) for spec in specs]
+    return tuple(engine.map(evaluate_spec, calls, stage="spec.evaluate",
+                            jobs=jobs))
+
+
+def evaluate_sweep(
+    sweep: SweepSpec,
+    pdk: PDK | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+) -> tuple[SpecEvaluation, ...]:
+    """Expand a sweep and evaluate every point (in expansion order)."""
+    return evaluate_specs(sweep.expand(), pdk=pdk, engine=engine, jobs=jobs)
+
+
+def format_spec_evaluations(
+    evaluations: Sequence[SpecEvaluation],
+    title: str = "Spec evaluation",
+) -> str:
+    """Render evaluations as the CLI's table (one row per spec)."""
+    from repro.experiments.reporting import format_table, times
+
+    rows = []
+    for evaluation in evaluations:
+        spec = evaluation.spec
+        workload = spec.workload.network
+        if spec.workload.layer is not None:
+            workload += f" [{spec.workload.layer}]"
+        if spec.workload.batch != 1:
+            workload += f" x{spec.workload.batch}"
+        rows.append([
+            workload,
+            f"{spec.arch.capacity_bits / MEGABYTE:.0f} MB",
+            f"{spec.tech.delta:g}",
+            f"{spec.tech.beta:g}",
+            spec.arch.tier_pairs,
+            evaluation.n_cs_2d,
+            evaluation.n_cs_m3d,
+            times(evaluation.speedup),
+            times(evaluation.energy_benefit),
+            times(evaluation.edp_benefit),
+        ])
+    return format_table(
+        title,
+        ["workload", "capacity", "delta", "beta", "Y", "2D CSs", "M3D CSs",
+         "speedup", "energy", "EDP benefit"],
+        rows,
+    )

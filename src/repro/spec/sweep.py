@@ -1,0 +1,206 @@
+"""Declarative sweeps over :class:`~repro.spec.design.DesignSpec` axes.
+
+A :class:`SweepSpec` turns one base spec into many: ``grid`` axes expand
+full-factorially (the joint-DSE shape), ``zip`` axes advance in lockstep
+(paired knobs, e.g. a delta matched to each capacity), and ``points``
+appends an explicit list of extra specs.  Axes name spec fields by dotted
+path (``"tech.delta"``, ``"arch.capacity_mb"``) — an unknown path fails at
+construction, not halfway through a sweep.
+
+Like the design spec itself, a sweep is frozen, validated, and round-trips
+through plain JSON::
+
+    {
+      "base": {"workload": {"network": "resnet18"}},
+      "grid": {"arch.capacity_mb": [32, 64, 128], "tech.delta": [1.0, 2.0]},
+      "zip":  {},
+      "points": []
+    }
+
+Expansion order is deterministic: zip combinations outermost, then the
+grid axes in declaration order (itertools.product semantics), then the
+explicit points.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError, require
+from repro.spec.design import DesignSpec, field_paths
+
+__all__ = ["SweepSpec", "load_sweep_spec"]
+
+Axes = tuple[tuple[str, tuple[Any, ...]], ...]
+
+
+def _normalized_axes(kind: str, axes: Any) -> Axes:
+    """Validate and freeze one axis block (mapping or pair sequence)."""
+    if isinstance(axes, Mapping):
+        pairs = list(axes.items())
+    else:
+        pairs = [tuple(pair) for pair in axes]
+    valid = set(field_paths()) | {"arch.capacity_mb"}
+    normalized: list[tuple[str, tuple[Any, ...]]] = []
+    seen: set[str] = set()
+    for path, values in pairs:
+        if path not in valid:
+            raise ConfigurationError(
+                f"unknown {kind} axis {path!r}; valid paths: "
+                f"{', '.join(sorted(valid))}")
+        if path in seen:
+            raise ConfigurationError(f"duplicate {kind} axis {path!r}")
+        seen.add(path)
+        values = tuple(values)
+        require(len(values) > 0, f"{kind} axis {path!r} must not be empty")
+        normalized.append((path, values))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base design spec plus grid / zip / explicit-point axes.
+
+    Attributes:
+        base: The spec every axis perturbs.
+        grid: Full-factorial axes, ``((path, values), ...)``; also accepts
+            a ``{path: values}`` mapping at construction.
+        zipped: Lockstep axes (all the same length); JSON key ``"zip"``.
+        points: Extra fully-formed specs appended after the expansion.
+    """
+
+    base: DesignSpec = field(default_factory=DesignSpec)
+    grid: Axes = ()
+    zipped: Axes = ()
+    points: tuple[DesignSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", _normalized_axes("grid", self.grid))
+        object.__setattr__(self, "zipped",
+                           _normalized_axes("zip", self.zipped))
+        lengths = {len(values) for _, values in self.zipped}
+        require(len(lengths) <= 1,
+                "zip axes must all have the same length, got lengths "
+                f"{sorted(lengths)}")
+        object.__setattr__(self, "points", tuple(self.points))
+        for point in self.points:
+            require(isinstance(point, DesignSpec),
+                    "sweep points must be DesignSpec instances")
+
+    # --- expansion --------------------------------------------------------
+
+    def expand(self) -> tuple[DesignSpec, ...]:
+        """Every concrete :class:`DesignSpec` of the sweep, in order."""
+        specs: list[DesignSpec] = []
+        zip_count = len(self.zipped[0][1]) if self.zipped else 1
+        grid_paths = [path for path, _ in self.grid]
+        for index in range(zip_count):
+            lockstep = {path: values[index] for path, values in self.zipped}
+            for combo in itertools.product(
+                    *(values for _, values in self.grid)):
+                changes = dict(lockstep)
+                changes.update(zip(grid_paths, combo))
+                specs.append(self.base.updated(changes))
+        specs.extend(self.points)
+        return tuple(specs)
+
+    def __len__(self) -> int:
+        count = len(self.zipped[0][1]) if self.zipped else 1
+        for _, values in self.grid:
+            count *= len(values)
+        return count + len(self.points)
+
+    # --- serialization ----------------------------------------------------
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Canonical plain-JSON form; inverse of :meth:`from_jsonable`."""
+        return {
+            "base": self.base.to_jsonable(),
+            "grid": {path: list(values) for path, values in self.grid},
+            "zip": {path: list(values) for path, values in self.zipped},
+            "points": [point.to_jsonable() for point in self.points],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a sweep from a plain JSON object.
+
+        ``points`` entries are *partial* spec objects merged over ``base``
+        (a full spec object therefore overrides everything, which is what
+        :meth:`to_jsonable` emits — so the round trip is exact).
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"sweep spec must be a JSON object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"base", "grid", "zip", "points"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) in sweep spec: {', '.join(unknown)}; "
+                "allowed: base, grid, zip, points")
+        base = DesignSpec.from_jsonable(data.get("base", {}))
+        points = []
+        for overlay in data.get("points", ()):
+            if not isinstance(overlay, Mapping):
+                raise ConfigurationError(
+                    "sweep points must be JSON objects")
+            merged = _merge(base.to_jsonable(), overlay)
+            points.append(DesignSpec.from_jsonable(merged))
+        return cls(base=base, grid=data.get("grid", {}),
+                   zipped=data.get("zip", {}), points=tuple(points))
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The sweep as a JSON document."""
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a sweep from a JSON document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"invalid sweep JSON: {error}") from error
+        return cls.from_jsonable(data)
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical JSON form."""
+        from repro.runtime.keys import stable_key
+
+        return stable_key("repro.spec.SweepSpec", self.to_jsonable())
+
+
+def _merge(base: dict[str, Any], overlay: Mapping[str, Any]) -> dict[str, Any]:
+    """One-level-deep section merge of a partial spec over a full one."""
+    merged = {section: dict(values) for section, values in base.items()}
+    for section, values in overlay.items():
+        if isinstance(values, Mapping) and section in merged:
+            merged[section].update(values)
+            if "capacity_mb" in merged[section]:
+                merged[section].pop("capacity_bits", None)
+        else:
+            merged[section] = values
+    return merged
+
+
+def load_sweep_spec(path: str) -> SweepSpec:
+    """Read a :class:`SweepSpec` from a JSON file.
+
+    A file holding a plain :class:`DesignSpec` (``tech``/``arch``/
+    ``workload`` sections, no axes) loads as a one-point sweep, so ``repro
+    sweep --spec`` accepts both shapes.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"cannot read sweep {path!r}: {error}") \
+            from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid sweep JSON: {error}") from error
+    if isinstance(data, Mapping) and not (
+            {"base", "grid", "zip", "points"} & set(data)):
+        return SweepSpec(base=DesignSpec.from_jsonable(data))
+    return SweepSpec.from_jsonable(data)
