@@ -99,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec", default=None, metavar="PATH",
         help="JSON design spec: required by 'eval'/'sweep', and the base "
              "design point every named experiment derives from")
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="with 'sweep': evaluate chunk by chunk through the streaming "
+             "executor (bounded memory; implied by --checkpoint-dir and "
+             "--prune)")
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="points per streamed chunk (default 64)")
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist completed chunks under DIR; re-running the same "
+             "sweep resumes after the last flushed chunk")
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="flush checkpoint records every N chunks (default 1 = "
+             "strongest durability)")
+    parser.add_argument(
+        "--prune", action="store_true",
+        help="skip grid points certifiably dominated on (footprint, EDP "
+             "benefit) — exact: the surviving frontier equals the "
+             "exhaustive one")
     return parser
 
 
@@ -223,11 +244,32 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
         print(f"'{command}' needs --spec PATH (a JSON design or sweep spec)",
               file=sys.stderr)
         return 2
+    streaming = bool(args.stream or args.checkpoint_dir or args.prune)
+    summary = None
     try:
         if command == "eval":
             evaluations = evaluate_specs([load_design_spec(args.spec)],
                                          engine=engine)
             title = f"Spec evaluation — {args.spec}"
+        elif streaming:
+            from repro.sweep import DEFAULT_CHUNK_SIZE, run_streaming_sweep
+
+            sweep = load_sweep_spec(args.spec)
+            result = run_streaming_sweep(
+                sweep, engine=engine,
+                chunk_size=args.chunk_size if args.chunk_size is not None
+                else DEFAULT_CHUNK_SIZE,
+                prune=args.prune, checkpoint=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every)
+            evaluations = result.evaluations
+            title = (f"Streaming sweep — {args.spec} "
+                     f"({result.points} points)")
+            summary = (f"streamed {result.points} points in "
+                       f"{result.chunks} chunk(s): "
+                       f"{result.evaluated} evaluated, "
+                       f"{result.pruned} pruned, "
+                       f"{result.resumed_chunks} chunk(s) resumed; "
+                       f"frontier size {len(result.frontier)}")
         else:
             sweep = load_sweep_spec(args.spec)
             evaluations = evaluate_sweep(sweep, engine=engine)
@@ -236,6 +278,8 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
         print(f"bad --spec {args.spec}: {error}", file=sys.stderr)
         return 2
     print(format_spec_evaluations(evaluations, title=title))
+    if summary is not None:
+        print(summary)
     if show_stats:
         from repro.experiments.reporting import format_run_report
 

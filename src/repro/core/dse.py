@@ -30,8 +30,9 @@ from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
 from repro.runtime.engine import EvaluationEngine, default_engine
 from repro.runtime.serialize import from_jsonable, to_jsonable
-from repro.spec.design import ArchSpec, DesignSpec, TechSpec
+from repro.spec.design import ArchSpec, DesignSpec, TechSpec, WorkloadSpec
 from repro.spec.resolve import ResolvedPoint, resolve
+from repro.spec.sweep import SweepSpec
 from repro.units import MEGABYTE
 from repro.workloads.models import Network
 
@@ -201,6 +202,88 @@ def explore(
         candidate_from_point(point, reports[2 * index], reports[2 * index + 1])
         for index, point in enumerate(points)
     )
+
+
+def joint_grid_sweep(
+    capacities_bits: Iterable[int] = (32 * MEGABYTE, 64 * MEGABYTE,
+                                      128 * MEGABYTE),
+    deltas: Iterable[float] = (1.0, 1.6, 2.0),
+    betas: Iterable[float] = (1.0, 1.3),
+    tier_pairs: Iterable[int] = (1, 2),
+    workload: WorkloadSpec | None = None,
+) -> SweepSpec:
+    """The joint grid as a declarative :class:`SweepSpec`.
+
+    Expansion order matches :func:`explore`'s loop nesting (capacity
+    outermost, tier pairs innermost), and each expanded point equals
+    :func:`design_point_spec` for the same knobs, so the streaming path
+    evaluates the very same specs the eager path does.
+    """
+    base = DesignSpec(arch=ArchSpec(baseline="reoptimized"),
+                      workload=workload if workload is not None
+                      else WorkloadSpec())
+    return SweepSpec(base=base, grid={
+        "arch.capacity_bits": tuple(capacities_bits),
+        "tech.delta": tuple(deltas),
+        "tech.beta": tuple(betas),
+        "arch.tier_pairs": tuple(tier_pairs),
+    })
+
+
+def candidate_from_evaluation(evaluation) -> DesignCandidate:
+    """Lower a :class:`~repro.spec.evaluate.SpecEvaluation` to the joint
+    grid's candidate shape (the two views carry the same numbers)."""
+    spec = evaluation.spec
+    return DesignCandidate(
+        capacity_bits=spec.arch.capacity_bits,
+        delta=spec.tech.delta,
+        beta=spec.tech.beta,
+        tier_pairs=spec.arch.tier_pairs,
+        n_cs=evaluation.n_cs_m3d,
+        n_cs_2d=evaluation.n_cs_2d,
+        footprint=evaluation.footprint,
+        speedup=evaluation.speedup,
+        edp_benefit=evaluation.edp_benefit,
+    )
+
+
+def explore_streaming(
+    pdk: PDK | None = None,
+    workload: WorkloadSpec | None = None,
+    capacities_bits: Iterable[int] = (32 * MEGABYTE, 64 * MEGABYTE,
+                                      128 * MEGABYTE),
+    deltas: Iterable[float] = (1.0, 1.6, 2.0),
+    betas: Iterable[float] = (1.0, 1.3),
+    tier_pairs: Iterable[int] = (1, 2),
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    prune: bool = False,
+    checkpoint: "str | None" = None,
+    checkpoint_every: int = 1,
+) -> tuple[DesignCandidate, ...]:
+    """The joint sweep through the streaming executor.
+
+    Produces candidates with the same values as :func:`explore` (both
+    paths resolve the same specs and share the layer memo), but walks the
+    grid chunk by chunk with optional checkpointing and certified Pareto
+    pruning — see :mod:`repro.sweep.stream`.  With ``prune=True`` the
+    returned tuple omits certifiably dominated points, leaving the Pareto
+    frontier (and every point evaluated before a dominator appeared).
+    """
+    from repro.sweep.stream import DEFAULT_CHUNK_SIZE, run_streaming_sweep
+
+    sweep = joint_grid_sweep(capacities_bits, deltas, betas, tier_pairs,
+                             workload=workload)
+    result = run_streaming_sweep(
+        sweep, pdk=pdk, engine=engine, jobs=jobs,
+        chunk_size=chunk_size if chunk_size is not None
+        else DEFAULT_CHUNK_SIZE,
+        prune=prune, checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every)
+    assert result.evaluations is not None
+    return tuple(candidate_from_evaluation(evaluation)
+                 for evaluation in result.evaluations)
 
 
 def pareto_frontier(

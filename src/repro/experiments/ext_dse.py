@@ -1,21 +1,20 @@
 """Extension: joint design-space exploration with Pareto extraction.
 
-Runs the full-factorial (capacity, delta, beta, Y) grid of
-:func:`repro.core.dse.explore` — the sweep the paper's Sections III-D/E/F
-take one axis at a time — and reports the Pareto frontier over
-(footprint, EDP benefit).  This is also the repo's showcase sweep for the
-evaluation runtime: the grid's 72 simulator calls deduplicate to ~54
-unique ones, every repeated layer shape memoizes, and re-runs hit the
-result cache outright (see ``repro dse --profile``).
+Runs the full-factorial (capacity, delta, beta, Y) grid — the sweep the
+paper's Sections III-D/E/F take one axis at a time — and reports the
+Pareto frontier over (footprint, EDP benefit).  The grid executes on the
+streaming path (:func:`repro.core.dse.explore_streaming`): chunked
+dispatch through the engine's ``sweep.evaluate`` stage, content-hash
+caching per spec, layer-shape memoization across points, and re-runs
+served from the result cache outright (see ``repro dse --profile``).
 """
 
 from __future__ import annotations
 
-from repro.core.dse import DesignCandidate, explore, pareto_frontier
+from repro.core.dse import DesignCandidate, explore_streaming, pareto_frontier
 from repro.experiments.registry import ExperimentContext, experiment
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
-from repro.spec.resolve import build_workload
 from repro.tech.pdk import PDK
 from repro.units import MEGABYTE, to_mm2
 
@@ -52,7 +51,12 @@ def format_dse(candidates: tuple[DesignCandidate, ...]) -> str:
             "with Pareto frontier",
             formatter=format_dse)
 def dse_experiment(ctx: ExperimentContext) -> tuple[DesignCandidate, ...]:
-    """Run the joint design-space grid (36 points) on the spec's workload."""
-    network = build_workload(ctx.design_spec().workload)
-    return explore(pdk=ctx.pdk, network=network, engine=ctx.engine,
-                   jobs=ctx.jobs)
+    """Run the joint design-space grid (36 points) on the spec's workload.
+
+    Routed through the streaming executor (:mod:`repro.sweep.stream`) —
+    identical values to the eager :func:`repro.core.dse.explore` on this
+    grid, and the path that scales to grids the eager tuple cannot hold.
+    """
+    return explore_streaming(pdk=ctx.pdk,
+                             workload=ctx.design_spec().workload,
+                             engine=ctx.engine, jobs=ctx.jobs)

@@ -26,6 +26,27 @@ from repro.runtime.serialize import dumps, loads
 MISSING = object()
 
 
+def atomic_write_text(path: Path, text: str) -> bool:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a partial file: the content lands under a
+    temporary name in the same directory and is renamed into place in one
+    step.  Returns ``False`` (without raising) when the filesystem
+    refuses — read-only or full disks degrade to "not persisted", the
+    same policy the disk cache and the sweep checkpoint store share.
+    """
+    try:
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{path.stem[:16]}.", suffix=".tmp", delete=False)
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except OSError:
+        return False
+    return True
+
+
 @dataclass
 class CacheStats:
     """Running hit/miss counters for one cache instance.
@@ -131,13 +152,5 @@ class ResultCache:
                 sp.set(bytes=len(text))
         if _obs_enabled():
             _metrics_registry().counter("repro_cache_disk_writes_total").inc()
-        path = self._disk_path(key)
-        try:
-            handle = tempfile.NamedTemporaryFile(
-                "w", encoding="utf-8", dir=self.directory,
-                prefix=f".{key[:16]}.", suffix=".tmp", delete=False)
-            with handle:
-                handle.write(text)
-            os.replace(handle.name, path)
-        except OSError:
-            return  # read-only or full disk: keep going on memory only
+        # Failed writes (read-only or full disk) keep going on memory only.
+        atomic_write_text(self._disk_path(key), text)

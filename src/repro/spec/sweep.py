@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import itertools
 import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.errors import ConfigurationError, require
 from repro.spec.design import DesignSpec, field_paths
@@ -38,7 +39,14 @@ Axes = tuple[tuple[str, tuple[Any, ...]], ...]
 
 
 def _normalized_axes(kind: str, axes: Any) -> Axes:
-    """Validate and freeze one axis block (mapping or pair sequence)."""
+    """Validate and freeze one axis block (mapping or pair sequence).
+
+    Grid axes deduplicate repeated values (first occurrence wins) with a
+    warning: a duplicate grid value would silently expand the same spec
+    twice, inflating every count derived from ``len(sweep)``.  Zip axes
+    keep duplicates — their values pair positionally with the other zip
+    axes, so a repeated value can still denote a distinct combination.
+    """
     if isinstance(axes, Mapping):
         pairs = list(axes.items())
     else:
@@ -55,6 +63,15 @@ def _normalized_axes(kind: str, axes: Any) -> Axes:
             raise ConfigurationError(f"duplicate {kind} axis {path!r}")
         seen.add(path)
         values = tuple(values)
+        if kind == "grid":
+            unique = tuple(dict.fromkeys(values))
+            if len(unique) != len(values):
+                warnings.warn(
+                    f"grid axis {path!r} repeats "
+                    f"{len(values) - len(unique)} value(s); duplicates "
+                    "are dropped (first occurrence wins)",
+                    stacklevel=2)
+                values = unique
         require(len(values) > 0, f"{kind} axis {path!r} must not be empty")
         normalized.append((path, values))
     return tuple(normalized)
@@ -92,9 +109,15 @@ class SweepSpec:
 
     # --- expansion --------------------------------------------------------
 
-    def expand(self) -> tuple[DesignSpec, ...]:
-        """Every concrete :class:`DesignSpec` of the sweep, in order."""
-        specs: list[DesignSpec] = []
+    def iter_specs(self) -> Iterator[DesignSpec]:
+        """Lazily yield every concrete :class:`DesignSpec`, in order.
+
+        This is the streaming counterpart of :meth:`expand`: a
+        million-point grid costs one spec of memory at a time, so the
+        streaming executor (:mod:`repro.sweep.stream`) can walk grids far
+        too large to materialize.  The order is identical to
+        :meth:`expand`.
+        """
         zip_count = len(self.zipped[0][1]) if self.zipped else 1
         grid_paths = [path for path, _ in self.grid]
         for index in range(zip_count):
@@ -103,9 +126,26 @@ class SweepSpec:
                     *(values for _, values in self.grid)):
                 changes = dict(lockstep)
                 changes.update(zip(grid_paths, combo))
-                specs.append(self.base.updated(changes))
-        specs.extend(self.points)
-        return tuple(specs)
+                yield self.base.updated(changes)
+        yield from self.points
+
+    def chunks(self, size: int) -> Iterator[tuple[DesignSpec, ...]]:
+        """Lazily yield the sweep's specs in chunks of ``size``.
+
+        The last chunk may be shorter; no chunk is empty.  Backed by
+        :meth:`iter_specs`, so only one chunk is ever materialized.
+        """
+        require(size >= 1, "chunk size must be >= 1")
+        specs = self.iter_specs()
+        while True:
+            chunk = tuple(itertools.islice(specs, size))
+            if not chunk:
+                return
+            yield chunk
+
+    def expand(self) -> tuple[DesignSpec, ...]:
+        """Every concrete :class:`DesignSpec` of the sweep, in order."""
+        return tuple(self.iter_specs())
 
     def __len__(self) -> int:
         count = len(self.zipped[0][1]) if self.zipped else 1

@@ -1,0 +1,47 @@
+"""Streaming sweep execution: bounded memory, checkpoints, exact pruning.
+
+The package splits into four layers:
+
+* :mod:`repro.sweep.pareto` — incremental exact Pareto frontier over
+  (minimize footprint, maximize EDP benefit) with O(log n) certified
+  domination queries;
+* :mod:`repro.sweep.bounds` — admissible per-spec bounds (exact
+  footprint, certified EDP-benefit upper bound), the design-space
+  analogue of the mapper's B&B bound;
+* :mod:`repro.sweep.checkpoint` — atomic per-chunk result records that
+  make a killed sweep resumable;
+* :mod:`repro.sweep.stream` — the chunked executor tying them together.
+"""
+
+from repro.sweep.bounds import PointBounds, spec_bounds
+from repro.sweep.checkpoint import (
+    ChunkRecord,
+    SweepCheckpoint,
+    checkpoint_key,
+    chunk_hash,
+)
+from repro.sweep.pareto import ParetoFrontier, dominates, exhaustive_frontier
+from repro.sweep.stream import (
+    DEFAULT_CHUNK_SIZE,
+    StreamingSweepResult,
+    SweepChunk,
+    run_streaming_sweep,
+    stream_sweep,
+)
+
+__all__ = [
+    "ChunkRecord",
+    "DEFAULT_CHUNK_SIZE",
+    "ParetoFrontier",
+    "PointBounds",
+    "StreamingSweepResult",
+    "SweepChunk",
+    "SweepCheckpoint",
+    "checkpoint_key",
+    "chunk_hash",
+    "dominates",
+    "exhaustive_frontier",
+    "run_streaming_sweep",
+    "spec_bounds",
+    "stream_sweep",
+]

@@ -1,0 +1,269 @@
+"""The streaming sweep executor: bounded memory, resume, exact pruning.
+
+``evaluate_sweep`` expands a :class:`~repro.spec.sweep.SweepSpec` into one
+tuple and evaluates every point — fine at the paper's 36-point joint grid,
+hopeless at the million-point grids the spec layer can express.
+:func:`stream_sweep` walks the same grid as a *stream*:
+
+1. specs materialize one chunk at a time (:meth:`SweepSpec.chunks`, backed
+   by the lazy generator — peak spec memory is one chunk, not the grid);
+2. each chunk dispatches through the evaluation engine (content-hash
+   cache, dedup, persistent worker pool) as the ``sweep.evaluate`` stage;
+3. with ``prune=True`` a cheaper ``sweep.bounds`` stage runs first
+   (:func:`~repro.sweep.bounds.spec_bounds`) and every point whose bounds
+   a frontier member *certifiably* dominates is skipped — provably
+   without changing the final frontier (see DESIGN.md Sec. 10);
+4. completed chunks persist as atomic checkpoint records
+   (:mod:`repro.sweep.checkpoint`); re-running the same sweep replays
+   them instead of re-evaluating, so a SIGKILLed sweep resumes exactly
+   where its last flushed chunk left off;
+5. per-chunk progress lands in the obs metrics registry
+   (``repro_sweep_chunks_total``, ``repro_sweep_points_total{status}``,
+   ``repro_sweep_frontier_size``, ``repro_sweep_chunk_seconds``) and a
+   ``sweep.chunk`` trace span — all zero-cost unless observability is on.
+
+Exactness invariants (enforced by ``tests/test_streaming_sweep.py``):
+without pruning the evaluations equal eager ``evaluate_sweep`` results in
+order and value; with pruning the surviving frontier equals the
+exhaustive frontier; resumed runs return values ``==`` uninterrupted
+runs.  The engine cache keys of the evaluate stage match the eager path's
+(same function, same call shapes), so streaming and eager runs share
+disk-cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import require
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.trace import is_enabled as _obs_enabled, span as _span
+from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.spec.design import DesignSpec
+from repro.spec.evaluate import SpecEvaluation, evaluate_spec
+from repro.spec.sweep import SweepSpec
+from repro.sweep.bounds import spec_bounds
+from repro.sweep.checkpoint import ChunkRecord, SweepCheckpoint, chunk_hash
+from repro.sweep.pareto import ParetoFrontier
+from repro.tech.pdk import PDK
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "StreamingSweepResult",
+    "SweepChunk",
+    "run_streaming_sweep",
+    "stream_sweep",
+]
+
+#: Default points per dispatched chunk: large enough to keep a worker
+#: pool busy, small enough that one in-flight chunk bounds peak memory.
+DEFAULT_CHUNK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SweepChunk:
+    """One completed chunk of a streaming sweep.
+
+    Attributes:
+        index: Position in the sweep's chunk sequence.
+        size: Points the chunk covered (evaluated + pruned).
+        evaluations: Results in spec order (pruned points absent).
+        pruned: Points skipped by certified frontier domination.
+        resumed: True when the chunk was replayed from a checkpoint.
+        frontier_size: Frontier size *after* folding this chunk in.
+        seconds: Wall-clock time spent producing the chunk.
+    """
+
+    index: int
+    size: int
+    evaluations: tuple[SpecEvaluation, ...]
+    pruned: int
+    resumed: bool
+    frontier_size: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class StreamingSweepResult:
+    """Aggregate of one :func:`run_streaming_sweep` drive.
+
+    Attributes:
+        chunks: Chunks processed (computed + resumed).
+        points: Total grid points covered.
+        pruned: Points never evaluated thanks to certified domination.
+        resumed_chunks: Chunks replayed from checkpoint records.
+        frontier: The incremental Pareto frontier over
+            ``(footprint, edp_benefit)``; payloads are the frontier's
+            :class:`~repro.spec.evaluate.SpecEvaluation` objects.
+        evaluations: Every evaluation in sweep order, or ``None`` when
+            the drive ran with ``collect=False`` (bounded-memory mode).
+    """
+
+    chunks: int
+    points: int
+    pruned: int
+    resumed_chunks: int
+    frontier: ParetoFrontier
+    evaluations: tuple[SpecEvaluation, ...] | None = field(default=None)
+
+    @property
+    def evaluated(self) -> int:
+        """Points that produced an evaluation (replays included)."""
+        return self.points - self.pruned
+
+    def frontier_evaluations(self) -> tuple[SpecEvaluation, ...]:
+        """The Pareto-optimal evaluations, by ascending footprint."""
+        return self.frontier.items()
+
+
+def _calls(specs: "tuple[DesignSpec, ...] | list[DesignSpec]",
+           pdk: PDK | None) -> list[tuple]:
+    """Engine call specs mirroring ``evaluate_specs``'s shapes, so the
+    streaming path hits the same cache entries as the eager path."""
+    if pdk is None:
+        return [(spec,) for spec in specs]
+    return [(spec, pdk) for spec in specs]
+
+
+def stream_sweep(
+    sweep: SweepSpec,
+    pdk: PDK | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    prune: bool = False,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+    checkpoint_every: int = 1,
+    frontier: ParetoFrontier | None = None,
+) -> Iterator[SweepChunk]:
+    """Lazily evaluate ``sweep`` chunk by chunk, yielding each chunk.
+
+    ``checkpoint`` is a :class:`~repro.sweep.checkpoint.SweepCheckpoint`
+    or a directory path (the store inside it is keyed by the sweep's
+    content, the PDK, ``chunk_size``, and ``prune``, so unrelated runs
+    never cross-contaminate).  ``checkpoint_every`` sets the flush
+    cadence in chunks — 1 (the default) persists every chunk as soon as
+    it completes, so a killed run re-evaluates nothing that finished.
+    ``frontier`` lets a caller share/inspect the incremental frontier;
+    by default a fresh one is built.  Pruning decisions are certified
+    against the frontier as of the *previous* chunks, which is exactly
+    what replay reproduces — resumed runs prune identically.
+    """
+    require(checkpoint_every >= 1, "checkpoint_every must be >= 1")
+    engine = engine if engine is not None else default_engine()
+    frontier = frontier if frontier is not None else ParetoFrontier()
+    store: SweepCheckpoint | None
+    if checkpoint is None or isinstance(checkpoint, SweepCheckpoint):
+        store = checkpoint
+    else:
+        store = SweepCheckpoint.for_sweep(
+            checkpoint, sweep, pdk=pdk, chunk_size=chunk_size, prune=prune)
+    pending: list[ChunkRecord] = []
+
+    def flush() -> None:
+        while pending:
+            store.store(pending.pop(0))
+
+    try:
+        for index, chunk in enumerate(sweep.chunks(chunk_size)):
+            start = time.perf_counter()
+            specs_hash = chunk_hash(chunk)
+            record = None if store is None else store.get(index, specs_hash)
+            with _span("sweep.chunk", index=index, size=len(chunk)) as sp:
+                if record is not None:
+                    evaluations = record.evaluations
+                    pruned = record.pruned
+                else:
+                    survivors = chunk
+                    pruned = 0
+                    if prune and len(frontier):
+                        bounds = engine.map(
+                            spec_bounds, _calls(chunk, pdk),
+                            stage="sweep.bounds", jobs=jobs)
+                        kept = []
+                        for spec, bound in zip(chunk, bounds):
+                            if frontier.certified_dominator(
+                                    bound.footprint,
+                                    bound.edp_benefit_ub) is None:
+                                kept.append(spec)
+                            else:
+                                pruned += 1
+                        survivors = tuple(kept)
+                    evaluations = tuple(engine.map(
+                        evaluate_spec, _calls(survivors, pdk),
+                        stage="sweep.evaluate", jobs=jobs,
+                    )) if survivors else ()
+                    if store is not None:
+                        pending.append(ChunkRecord(
+                            index=index, specs_hash=specs_hash,
+                            pruned=pruned, evaluations=evaluations))
+                        if len(pending) >= checkpoint_every:
+                            flush()
+                for evaluation in evaluations:
+                    frontier.add(evaluation.footprint,
+                                 evaluation.edp_benefit, evaluation)
+                if sp:
+                    sp.set(pruned=pruned, evaluated=len(evaluations),
+                           resumed=record is not None,
+                           frontier=len(frontier))
+            elapsed = time.perf_counter() - start
+            if _obs_enabled():
+                registry = _metrics_registry()
+                status = "resumed" if record is not None else "computed"
+                registry.counter("repro_sweep_chunks_total",
+                                 status=status).inc()
+                registry.counter("repro_sweep_points_total",
+                                 status=status).inc(len(evaluations))
+                registry.counter("repro_sweep_points_total",
+                                 status="pruned").inc(pruned)
+                registry.gauge("repro_sweep_frontier_size") \
+                    .set(len(frontier))
+                registry.histogram("repro_sweep_chunk_seconds") \
+                    .observe(elapsed)
+            yield SweepChunk(
+                index=index, size=len(chunk), evaluations=evaluations,
+                pruned=pruned, resumed=record is not None,
+                frontier_size=len(frontier), seconds=elapsed)
+    finally:
+        if store is not None:
+            flush()
+
+
+def run_streaming_sweep(
+    sweep: SweepSpec,
+    pdk: PDK | None = None,
+    engine: EvaluationEngine | None = None,
+    jobs: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    prune: bool = False,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+    checkpoint_every: int = 1,
+    collect: bool = True,
+) -> StreamingSweepResult:
+    """Drive :func:`stream_sweep` to completion and aggregate the run.
+
+    ``collect=False`` drops per-point results as chunks complete —
+    memory then holds one chunk plus the frontier, which is what lets a
+    100k-point sweep run in bounded RSS
+    (``benchmarks/bench_streaming_sweep.py`` measures exactly this).
+    """
+    frontier = ParetoFrontier()
+    evaluations: list[SpecEvaluation] | None = [] if collect else None
+    chunks = points = pruned = resumed = 0
+    for chunk in stream_sweep(
+            sweep, pdk=pdk, engine=engine, jobs=jobs,
+            chunk_size=chunk_size, prune=prune, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, frontier=frontier):
+        chunks += 1
+        points += chunk.size
+        pruned += chunk.pruned
+        resumed += chunk.resumed
+        if evaluations is not None:
+            evaluations.extend(chunk.evaluations)
+    return StreamingSweepResult(
+        chunks=chunks, points=points, pruned=pruned,
+        resumed_chunks=resumed, frontier=frontier,
+        evaluations=None if evaluations is None else tuple(evaluations))

@@ -1,0 +1,160 @@
+"""Property-based tests for the incremental Pareto frontier.
+
+The streaming executor's pruning rests on three claims about
+:class:`repro.sweep.pareto.ParetoFrontier` (DESIGN.md Sec. 10):
+
+1. the maintained set is exactly the non-dominated subset — no frontier
+   point is dominated, and no non-dominated point is missing;
+2. every point the frontier rejects (or certifies prunable from
+   admissible bounds) is dominated by a member of the *final* frontier —
+   the witness chain survives later evictions;
+3. the result is insertion-order independent.
+
+Strategies draw coordinates from a small grid so exact ties, duplicate
+points, and equal-x/equal-y near-misses are generated often — those are
+the edges where a staircase implementation breaks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sweep.pareto import ParetoFrontier, dominates, exhaustive_frontier
+
+# Small coordinate pools make collisions (ties, shared x, shared y) common.
+coords = st.one_of(
+    st.integers(min_value=0, max_value=8).map(float),
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False,
+              allow_infinity=False),
+)
+points = st.lists(st.tuples(coords, coords), min_size=1, max_size=40)
+
+
+def build(point_list):
+    frontier = ParetoFrontier()
+    rejected = []
+    for index, (x, y) in enumerate(point_list):
+        if not frontier.add(x, y, index):
+            rejected.append((x, y))
+    return frontier, rejected
+
+
+@given(points)
+@settings(max_examples=200)
+def test_no_frontier_point_dominated(point_list):
+    frontier, _ = build(point_list)
+    steps = frontier.steps()
+    for x, y in steps:
+        assert not any(dominates(ox, oy, x, y) for ox, oy in point_list)
+    # Staircase shape: strictly ascending in both coordinates.
+    assert all(a[0] < b[0] and a[1] < b[1]
+               for a, b in zip(steps, steps[1:]))
+
+
+@given(points)
+@settings(max_examples=200)
+def test_matches_exhaustive_frontier(point_list):
+    frontier, _ = build(point_list)
+    expected = exhaustive_frontier(
+        (x, y, None) for x, y in point_list)
+    assert set(frontier.steps()) == {(x, y) for x, y, _ in expected}
+    assert len(frontier) == len(expected)
+
+
+@given(points)
+@settings(max_examples=200)
+def test_every_rejected_point_has_a_final_frontier_witness(point_list):
+    """Rejection is permanent: a witness evicted later was evicted by a
+    dominator, so some *final* frontier member still dominates."""
+    frontier, rejected = build(point_list)
+    steps = frontier.steps()
+    for x, y in rejected:
+        assert any(dominates(wx, wy, x, y) for wx, wy in steps)
+
+
+@given(points)
+@settings(max_examples=200)
+def test_insertion_order_is_irrelevant(point_list):
+    forward, _ = build(point_list)
+    backward, _ = build(list(reversed(point_list)))
+    shuffled, _ = build(sorted(point_list, key=lambda p: (p[1], -p[0])))
+    assert forward.steps() == backward.steps() == shuffled.steps()
+
+
+@given(points, st.tuples(coords, coords))
+@settings(max_examples=200)
+def test_dominator_answers_match_brute_force(point_list, probe):
+    frontier, _ = build(point_list)
+    x, y = probe
+    witness = frontier.dominator(x, y)
+    expected = any(dominates(wx, wy, x, y) for wx, wy in frontier.steps())
+    assert (witness is not None) == expected
+
+
+@given(points, st.tuples(coords, coords),
+       st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+@settings(max_examples=200)
+def test_certified_dominator_is_sound_under_admissible_bounds(
+        point_list, true_point, x_slack, y_slack):
+    """Whatever admissible bounds describe the true point, a non-None
+    witness really dominates the point itself."""
+    frontier, _ = build(point_list)
+    x, y = true_point
+    x_lb, y_ub = x - x_slack, y + y_slack  # x_lb <= x, y_ub >= y
+    witness = frontier.certified_dominator(x_lb, y_ub)
+    if witness is not None:
+        assert frontier.dominator(x, y) is not None
+        assert any(dominates(wx, wy, x, y) for wx, wy in frontier.steps())
+
+
+@given(points)
+@settings(max_examples=100)
+def test_exact_ties_all_kept(point_list):
+    frontier = ParetoFrontier()
+    for index, (x, y) in enumerate(point_list):
+        frontier.add(x, y, index)
+        frontier.add(x, y, -index)  # exact duplicate must not be dropped
+    for x, y in frontier.steps():
+        holders = [item for px, py, item in frontier
+                   if (px, py) == (x, y)]
+        assert len(holders) >= 2
+
+
+def test_tie_payloads_share_one_step():
+    frontier = ParetoFrontier()
+    assert frontier.add(1.0, 1.0, "a")
+    assert frontier.add(1.0, 1.0, "b")
+    assert frontier.steps() == ((1.0, 1.0),)
+    assert frontier.items() == ("a", "b")
+    assert len(frontier) == 2
+
+
+def test_certified_dominator_spares_exact_ties():
+    """A point whose bounds exactly equal a frontier step is NOT certified
+    dominated — it belongs on the frontier with the incumbent."""
+    frontier = ParetoFrontier()
+    frontier.add(1.0, 5.0, "w")
+    assert frontier.certified_dominator(1.0, 5.0) is None
+    assert frontier.certified_dominator(1.0, 4.0) == "w"
+    assert frontier.certified_dominator(2.0, 5.0) == "w"
+    assert frontier.certified_dominator(0.5, 5.0) is None
+
+
+def test_non_finite_objectives_rejected():
+    frontier = ParetoFrontier()
+    with pytest.raises(ConfigurationError, match="finite"):
+        frontier.add(float("nan"), 1.0)
+    with pytest.raises(ConfigurationError, match="finite"):
+        frontier.add(1.0, float("inf"))
+
+
+def test_update_counts_accepted_points():
+    frontier = ParetoFrontier()
+    accepted = frontier.update([(1.0, 1.0, "a"), (2.0, 0.5, "dominated"),
+                                (0.5, 2.0, "b")])
+    assert accepted == 2
+    assert frontier.steps() == ((0.5, 2.0),)

@@ -1,6 +1,7 @@
 """The declarative spec layer: serialization, sweeps, resolution, CLI."""
 
 import json
+import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -193,6 +194,35 @@ def test_unknown_axis_rejected():
 def test_duplicate_axis_rejected():
     with pytest.raises(ConfigurationError, match="duplicate"):
         SweepSpec(grid=[("tech.delta", (1.0,)), ("tech.delta", (2.0,))])
+
+
+def test_duplicate_grid_values_deduplicated_with_warning():
+    with pytest.warns(UserWarning, match="grid axis 'tech.delta' repeats "
+                                         "1 value"):
+        sweep = SweepSpec(grid={"tech.delta": [1.0, 2.0, 1.0],
+                                "tech.beta": [1.0, 1.3]})
+    assert dict(sweep.grid)["tech.delta"] == (1.0, 2.0)
+    assert len(sweep) == 4
+    deltas = [s.tech.delta for s in sweep.expand()]
+    assert deltas == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_unique_grid_values_warn_nothing():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        sweep = SweepSpec(grid={"tech.delta": [1.0, 2.0]})
+    assert dict(sweep.grid)["tech.delta"] == (1.0, 2.0)
+
+
+def test_duplicate_zip_values_kept():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        sweep = SweepSpec(zipped={"arch.capacity_mb": [32, 32],
+                                  "tech.delta": [1.0, 2.0]})
+    assert len(sweep) == 2
+    knobs = [(s.arch.capacity_bits // MEGABYTE, s.tech.delta)
+             for s in sweep.expand()]
+    assert knobs == [(32, 1.0), (32, 2.0)]
 
 
 def test_sweep_round_trips():
