@@ -120,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip grid points certifiably dominated on (footprint, EDP "
              "benefit) — exact: the surviving frontier equals the "
              "exhaustive one")
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="with 'eval'/'sweep': evaluate points through the vectorized "
+             "batch kernel (numpy when available, pure-python fallback "
+             "otherwise; implied by --batch-size)")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="points packed per batch-kernel invocation (default: the "
+             "whole sweep, or one chunk when streaming)")
     return parser
 
 
@@ -245,22 +254,25 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
               file=sys.stderr)
         return 2
     streaming = bool(args.stream or args.checkpoint_dir or args.prune)
+    batch = bool(args.batch or args.batch_size is not None)
     summary = None
     try:
         if command == "eval":
             evaluations = evaluate_specs([load_design_spec(args.spec)],
-                                         engine=engine)
+                                         engine=engine, batch=batch)
             title = f"Spec evaluation — {args.spec}"
         elif streaming:
             from repro.sweep import DEFAULT_CHUNK_SIZE, run_streaming_sweep
 
             sweep = load_sweep_spec(args.spec)
+            chunk_size = args.chunk_size
+            if chunk_size is None:
+                chunk_size = args.batch_size if args.batch_size is not None \
+                    else DEFAULT_CHUNK_SIZE
             result = run_streaming_sweep(
-                sweep, engine=engine,
-                chunk_size=args.chunk_size if args.chunk_size is not None
-                else DEFAULT_CHUNK_SIZE,
+                sweep, engine=engine, chunk_size=chunk_size,
                 prune=args.prune, checkpoint=args.checkpoint_dir,
-                checkpoint_every=args.checkpoint_every)
+                checkpoint_every=args.checkpoint_every, batch=batch)
             evaluations = result.evaluations
             title = (f"Streaming sweep — {args.spec} "
                      f"({result.points} points)")
@@ -272,7 +284,8 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
                        f"frontier size {len(result.frontier)}")
         else:
             sweep = load_sweep_spec(args.spec)
-            evaluations = evaluate_sweep(sweep, engine=engine)
+            evaluations = evaluate_sweep(sweep, engine=engine, batch=batch,
+                                         batch_size=args.batch_size)
             title = f"Sweep evaluation — {args.spec} ({len(sweep)} points)"
     except (OSError, ValueError, ReproError) as error:
         print(f"bad --spec {args.spec}: {error}", file=sys.stderr)

@@ -196,6 +196,38 @@ class EvaluationEngine:
         sweeps thread their ``jobs`` argument through here rather than
         mutating the (shared) engine.
         """
+        return self._map(fn, calls, stage=stage, jobs=jobs, dedup=dedup)
+
+    def map_batched(self, fn: Callable[..., Any], calls: Iterable[Any],
+                    batch_fn: Callable[[list], list],
+                    stage: str | None = None, dedup: bool = True,
+                    key_fn: Callable[..., str] | None = None) -> list:
+        """Like :meth:`map`, but cache-missing calls evaluate through one
+        ``batch_fn(pending_calls)`` invocation instead of per-call
+        dispatch.
+
+        ``batch_fn`` receives the normalized ``(args, kwargs)`` tuples of
+        the calls that missed the cache (in order) and must return one
+        result per call — e.g. the vectorized spec kernel
+        (:class:`repro.batch.kernel.BatchKernel.evaluate_calls`).  It
+        runs in-process: the batch itself is the parallelism, so there
+        is no ``jobs`` fan-out.
+
+        Cache keys, dedup behavior, stage counters and result ordering
+        are identical to :meth:`map` with the same ``fn`` — a batched
+        run warms exactly the cache entries a scalar run would, and
+        vice versa.  ``key_fn(fn, args, kwargs)`` optionally replaces
+        :func:`~repro.runtime.keys.call_key` with a faster
+        *key-identical* implementation; it must raise ``TypeError``
+        exactly when ``call_key`` would.
+        """
+        return self._map(fn, calls, stage=stage, jobs=None, dedup=dedup,
+                         executor=batch_fn, key_fn=key_fn)
+
+    def _map(self, fn: Callable[..., Any], calls: Iterable[Any],
+             stage: str | None, jobs: int | None, dedup: bool,
+             executor: "Callable[[list], list] | None" = None,
+             key_fn: "Callable[..., str] | None" = None) -> list:
         specs = [self._normalize(item) for item in calls]
         tally = self._stage(stage if stage is not None else fn.__qualname__)
         start = time.perf_counter()
@@ -207,7 +239,8 @@ class EvaluationEngine:
         map_span = _span("engine.map", stage=tally.name, calls=len(specs))
         map_span.__enter__()
         try:
-            results = self._map_body(fn, specs, tally, jobs, dedup)
+            results = self._map_body(fn, specs, tally, jobs, dedup,
+                                     executor=executor, key_fn=key_fn)
         except BaseException:
             map_span.__exit__(None, None, None)
             raise
@@ -226,15 +259,18 @@ class EvaluationEngine:
 
     def _map_body(self, fn: Callable[..., Any],
                   specs: "list[tuple[tuple, dict]]", tally: "_MutableStage",
-                  jobs: int | None, dedup: bool) -> list:
-        """The cache/dedup/evaluate core of :meth:`map`."""
+                  jobs: int | None, dedup: bool,
+                  executor: "Callable[[list], list] | None" = None,
+                  key_fn: "Callable[..., str] | None" = None) -> list:
+        """The cache/dedup/evaluate core of :meth:`map`/:meth:`map_batched`."""
+        make_key = key_fn if key_fn is not None else call_key
         keys: list[str | None] = []
         for args, kwargs in specs:
             if self.cache is None and not dedup:
                 keys.append(None)
                 continue
             try:
-                keys.append(call_key(fn, args, kwargs))
+                keys.append(make_key(fn, args, kwargs))
             except TypeError:
                 keys.append(None)
 
@@ -264,10 +300,15 @@ class EvaluationEngine:
             pending.append(index)
 
         if pending:
-            evaluated = pmap_calls(
-                fn, [specs[i] for i in pending],
-                jobs=self.jobs if jobs is None else jobs,
-                invariants=self._invariants([specs[i] for i in pending]))
+            if executor is not None:
+                evaluated = executor([specs[i] for i in pending])
+                require(len(evaluated) == len(pending),
+                        "batch executor must return one result per call")
+            else:
+                evaluated = pmap_calls(
+                    fn, [specs[i] for i in pending],
+                    jobs=self.jobs if jobs is None else jobs,
+                    invariants=self._invariants([specs[i] for i in pending]))
             tally.evaluated += len(pending)
             for index, value in zip(pending, evaluated):
                 results[index] = value

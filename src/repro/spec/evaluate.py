@@ -93,6 +93,8 @@ def evaluate_specs(
     pdk: PDK | None = None,
     engine: EvaluationEngine | None = None,
     jobs: int | None = None,
+    batch: bool = False,
+    batch_size: int | None = None,
 ) -> tuple[SpecEvaluation, ...]:
     """Evaluate many specs as one engine batch.
 
@@ -101,14 +103,36 @@ def evaluate_specs(
     across process restarts; duplicate specs deduplicate within the
     batch.  ``jobs`` overrides the engine's worker count for this batch
     only.
+
+    ``batch=True`` (or a ``batch_size``) evaluates cache-missing specs
+    through the vectorized kernel (:class:`repro.batch.kernel.BatchKernel`)
+    instead of per-spec scalar calls — same cache keys, same counters,
+    same results within 1e-9 (bit-identical when numpy is unavailable).
+    ``batch_size`` caps the points packed per kernel invocation (default:
+    the whole sequence as one batch); specs the kernel cannot express
+    fall back to scalar evaluation point by point.
     """
     engine = engine if engine is not None else default_engine()
     if pdk is None:
         calls: list[tuple] = [(spec,) for spec in specs]
     else:
         calls = [(spec, pdk) for spec in specs]
-    return tuple(engine.map(evaluate_spec, calls, stage="spec.evaluate",
-                            jobs=jobs))
+    if not batch and batch_size is None:
+        return tuple(engine.map(evaluate_spec, calls, stage="spec.evaluate",
+                                jobs=jobs))
+    from repro.batch.kernel import BatchKernel
+    from repro.batch.pack import spec_call_key
+
+    kernel = BatchKernel(pdk)
+    size = batch_size if batch_size is not None and batch_size >= 1 \
+        else max(1, len(calls))
+    results: list[SpecEvaluation] = []
+    for chunk in [calls[i:i + size] for i in range(0, len(calls), size)] \
+            or [[]]:
+        results.extend(engine.map_batched(
+            evaluate_spec, chunk, batch_fn=kernel.evaluate_calls,
+            stage="spec.evaluate", key_fn=spec_call_key))
+    return tuple(results)
 
 
 def evaluate_sweep(
@@ -116,9 +140,12 @@ def evaluate_sweep(
     pdk: PDK | None = None,
     engine: EvaluationEngine | None = None,
     jobs: int | None = None,
+    batch: bool = False,
+    batch_size: int | None = None,
 ) -> tuple[SpecEvaluation, ...]:
     """Expand a sweep and evaluate every point (in expansion order)."""
-    return evaluate_specs(sweep.expand(), pdk=pdk, engine=engine, jobs=jobs)
+    return evaluate_specs(sweep.expand(), pdk=pdk, engine=engine, jobs=jobs,
+                          batch=batch, batch_size=batch_size)
 
 
 def format_spec_evaluations(

@@ -36,19 +36,23 @@ from repro.errors import ConfigurationError
 from repro.runtime.cache import MISSING
 from repro.runtime.keys import stable_key
 from repro.runtime.memo import memo_table
-from repro.spec.design import DesignSpec, WorkloadSpec
+from repro.spec.design import DesignSpec, TechSpec, WorkloadSpec
 from repro.tech.memories import memory_technology
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 from repro.workloads.models import Network, available_networks, build_network
 from repro.workloads.transformer import base_encoder, tiny_encoder
 
-__all__ = ["ResolvedPoint", "build_workload", "resolve", "scaled_pdk"]
+__all__ = ["ResolvedPoint", "build_workload", "resolve", "scaled_pdk",
+           "tech_pdk"]
 
 #: Resolution memo: (spec fingerprint, PDK content hash) -> ResolvedPoint.
 _RESOLVE_MEMO = memo_table("spec.resolve")
 
 #: Scaled-PDK memo: (PDK content hash, beta) -> PDK.
 _SCALED_PDK_MEMO = memo_table("spec.scaled_pdk")
+
+#: Tech-section memo: (memory, beta, base PDK content) -> adjusted PDK.
+_TECH_PDK_MEMO = memo_table("spec.tech_pdk")
 
 #: Transformer-encoder presets addressable by workload.network (the CNN
 #: zoo resolves through repro.workloads.models.build_network).
@@ -75,6 +79,31 @@ def scaled_pdk(pdk: PDK, beta: float) -> PDK:
         scaled = pdk.with_ilv_pitch_factor(beta)
         _SCALED_PDK_MEMO.put(key, scaled)
     return scaled
+
+
+def tech_pdk(tech: TechSpec, base: PDK) -> PDK:
+    """The tech-adjusted PDK a :class:`TechSpec` denotes against ``base``.
+
+    Applies the memory-technology preset, then the ILV pitch factor —
+    exactly the tech stage of :func:`resolve`.  Memoized per *distinct
+    tech section* (keyed on the section's values plus the base PDK's
+    content hash), so grids that only vary arch/workload axes build the
+    adjusted PDK once instead of once per spec — and every point of such
+    a grid shares one PDK *object*, which keeps identity-based sharing
+    (fingerprint caching, worker invariant shipping) intact.
+    """
+    if tech.memory is None and tech.beta == 1.0:
+        return base
+    key = (tech.memory, tech.beta, stable_key(base))
+    pdk = _TECH_PDK_MEMO.get(key)
+    if pdk is MISSING:
+        pdk = base
+        if tech.memory is not None:
+            pdk = pdk.with_memory_cell(
+                memory_technology(tech.memory).cell(pdk.node))
+        pdk = scaled_pdk(pdk, tech.beta)
+        _TECH_PDK_MEMO.put(key, pdk)
+    return pdk
 
 
 def build_workload(workload: WorkloadSpec) -> Network:
@@ -156,10 +185,7 @@ def resolve(spec: DesignSpec, pdk: PDK | None = None) -> ResolvedPoint:
 
 def _resolve(spec: DesignSpec, base: PDK) -> ResolvedPoint:
     tech, arch = spec.tech, spec.arch
-    pdk = base
-    if tech.memory is not None:
-        pdk = pdk.with_memory_cell(memory_technology(tech.memory).cell(pdk.node))
-    pdk = scaled_pdk(pdk, tech.beta)
+    pdk = tech_pdk(tech, base)
 
     cs = None if arch.cs == "case-study" \
         else precision_scaled_cs(arch.precision_bits)

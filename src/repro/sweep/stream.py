@@ -138,6 +138,7 @@ def stream_sweep(
     checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
     checkpoint_every: int = 1,
     frontier: ParetoFrontier | None = None,
+    batch: bool = False,
 ) -> Iterator[SweepChunk]:
     """Lazily evaluate ``sweep`` chunk by chunk, yielding each chunk.
 
@@ -151,10 +152,24 @@ def stream_sweep(
     by default a fresh one is built.  Pruning decisions are certified
     against the frontier as of the *previous* chunks, which is exactly
     what replay reproduces — resumed runs prune identically.
+
+    ``batch=True`` evaluates each chunk's survivors as one vectorized
+    kernel call (:class:`repro.batch.kernel.BatchKernel`, shared across
+    chunks so delta-evaluation spans the whole sweep) instead of
+    per-point scalar dispatch; points the kernel cannot express fall
+    back to scalar evaluation inside the batch.  Cache keys, checkpoint
+    records and results match the scalar path (within 1e-9 on numpy).
     """
     require(checkpoint_every >= 1, "checkpoint_every must be >= 1")
     engine = engine if engine is not None else default_engine()
     frontier = frontier if frontier is not None else ParetoFrontier()
+    kernel = key_fn = None
+    if batch:
+        from repro.batch.kernel import BatchKernel
+        from repro.batch.pack import spec_call_key
+
+        kernel = BatchKernel(pdk)
+        key_fn = spec_call_key
     store: SweepCheckpoint | None
     if checkpoint is None or isinstance(checkpoint, SweepCheckpoint):
         store = checkpoint
@@ -192,10 +207,17 @@ def stream_sweep(
                             else:
                                 pruned += 1
                         survivors = tuple(kept)
-                    evaluations = tuple(engine.map(
-                        evaluate_spec, _calls(survivors, pdk),
-                        stage="sweep.evaluate", jobs=jobs,
-                    )) if survivors else ()
+                    if not survivors:
+                        evaluations = ()
+                    elif kernel is not None:
+                        evaluations = tuple(engine.map_batched(
+                            evaluate_spec, _calls(survivors, pdk),
+                            batch_fn=kernel.evaluate_calls,
+                            stage="sweep.evaluate", key_fn=key_fn))
+                    else:
+                        evaluations = tuple(engine.map(
+                            evaluate_spec, _calls(survivors, pdk),
+                            stage="sweep.evaluate", jobs=jobs))
                     if store is not None:
                         pending.append(ChunkRecord(
                             index=index, specs_hash=specs_hash,
@@ -242,6 +264,7 @@ def run_streaming_sweep(
     checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
     checkpoint_every: int = 1,
     collect: bool = True,
+    batch: bool = False,
 ) -> StreamingSweepResult:
     """Drive :func:`stream_sweep` to completion and aggregate the run.
 
@@ -249,6 +272,7 @@ def run_streaming_sweep(
     memory then holds one chunk plus the frontier, which is what lets a
     100k-point sweep run in bounded RSS
     (``benchmarks/bench_streaming_sweep.py`` measures exactly this).
+    ``batch=True`` evaluates each chunk through the vectorized kernel.
     """
     frontier = ParetoFrontier()
     evaluations: list[SpecEvaluation] | None = [] if collect else None
@@ -256,7 +280,8 @@ def run_streaming_sweep(
     for chunk in stream_sweep(
             sweep, pdk=pdk, engine=engine, jobs=jobs,
             chunk_size=chunk_size, prune=prune, checkpoint=checkpoint,
-            checkpoint_every=checkpoint_every, frontier=frontier):
+            checkpoint_every=checkpoint_every, frontier=frontier,
+            batch=batch):
         chunks += 1
         points += chunk.size
         pruned += chunk.pruned
