@@ -1,0 +1,256 @@
+"""Serving-layer load benchmark (PR 8) — ``BENCH_PR8.json``.
+
+An asyncio load generator for the ``/v1`` evaluation server.  Three
+bursts, every request a fresh connection (thousands of independent
+clients sharing one warm server-side cache is the point):
+
+* **cold** — N distinct design specs submitted concurrently against an
+  empty cache; every point is a real engine evaluation.
+* **warm** — R requests round-robined over those same specs, all in
+  flight at once.  The server answers from the shared result cache; the
+  client-side in-flight high-water mark (and the server's own
+  ``peak_inflight`` counter) demonstrate >= 1000 concurrent evaluations
+  in full mode.
+* **coalesce** — B identical requests for one previously unseen spec,
+  fired together.  Duplicates must coalesce onto the single in-flight
+  evaluation (``coalesced: true`` on the wire), so the engine computes
+  the point exactly once no matter how many clients ask.
+
+Each burst records throughput and p50/p99/mean latency.  By default the
+benchmark hosts an in-process :class:`repro.serve.ReproServer` on an
+ephemeral port; ``--connect HOST:PORT`` targets an already-running
+``repro serve`` instead (the CI smoke job does this), reading the same
+counters from ``GET /v1/cache``.
+
+``--quick`` shrinks every burst ~10x for CI; ``--check`` exits non-zero
+when an acceptance invariant fails: health not ok, ``/metrics`` not
+scrapeable, coalesce rate zero, more than one engine evaluation during
+the coalesce burst, or the in-flight peak below the floor (1000 full,
+half the warm burst quick).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ReproServer, ServeClient, ServerConfig  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: Burst sizes: (distinct specs, warm requests, coalesce duplicates).
+FULL_SIZES = (256, 2000, 512)
+QUICK_SIZES = (24, 200, 64)
+
+
+def build_specs(count: int) -> "list[dict]":
+    """``count`` distinct design specs (a fine sweep over tech.delta)."""
+    return [
+        {"arch": {}, "tech": {"delta": round(1.0 + 0.005 * i, 6)},
+         "workload": {"network": "resnet18"}}
+        for i in range(count)
+    ]
+
+
+def percentile(samples: "list[float]", fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which must be non-empty)."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+async def run_burst(client: ServeClient, specs: "list[dict]") -> dict:
+    """Submit every spec concurrently; per-request latency + responses.
+
+    Tracks the client-side in-flight high-water mark: the number of
+    requests submitted but not yet answered.
+    """
+    inflight = 0
+    peak = 0
+    latencies: "list[float]" = []
+    responses: "list[dict]" = []
+
+    async def one(spec: dict) -> None:
+        nonlocal inflight, peak
+        inflight += 1
+        peak = max(peak, inflight)
+        started = time.perf_counter()
+        try:
+            responses.append(await client.evaluate(spec))
+            latencies.append(time.perf_counter() - started)
+        finally:
+            inflight -= 1
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one(spec) for spec in specs))
+    wall = time.perf_counter() - started
+    return {
+        "requests": len(specs),
+        "wall_s": round(wall, 6),
+        "throughput_rps": round(len(specs) / wall, 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 3),
+            "mean": round(statistics.fmean(latencies) * 1e3, 3),
+            "max": round(max(latencies) * 1e3, 3),
+        },
+        "peak_inflight_client": peak,
+        "_responses": responses,
+    }
+
+
+async def measure(client: ServeClient, sizes: "tuple[int, int, int]") -> dict:
+    distinct, warm_requests, duplicates = sizes
+    specs = build_specs(distinct)
+
+    health = await client.health()
+
+    # Cold burst: every distinct spec at once, empty cache.
+    cold = await run_burst(client, specs)
+    cold_cached = sum(bool(r["cached"]) for r in cold.pop("_responses"))
+
+    # Warm burst: round-robin the same specs, all in flight together.
+    warm_specs = [specs[i % len(specs)] for i in range(warm_requests)]
+    warm = await run_burst(client, warm_specs)
+    warm_cached = sum(bool(r["cached"]) for r in warm.pop("_responses"))
+    warm["cached_responses"] = warm_cached
+
+    # Coalesce burst: one unseen spec, many identical concurrent asks.
+    before = (await client.cache())["serve"]
+    fresh = {"arch": {}, "tech": {"delta": 9.875},
+             "workload": {"network": "resnet18"}}
+    burst = await run_burst(client, [fresh] * duplicates)
+    responses = burst.pop("_responses")
+    coalesced = sum(bool(r["coalesced"]) for r in responses)
+    owners = sum(not r["coalesced"] and not r["cached"] for r in responses)
+    fingerprints = {r["result"]["fingerprint"] for r in responses}
+    burst.update({
+        "coalesced_responses": coalesced,
+        "coalesce_rate": round(coalesced / duplicates, 4),
+        "owner_evaluations": owners,
+        "distinct_fingerprints": len(fingerprints),
+    })
+
+    status = await client.cache()
+    metrics_text = await client.metrics_text()
+    serve = status["serve"]
+    return {
+        "benchmark": "asyncio /v1 evaluation server under concurrent "
+                     "burst load (shared warm cache, coalescing)",
+        "server": {"api": status["api"], "version": health["version"],
+                   "health": health["status"]},
+        "sizes": {"distinct_specs": distinct,
+                  "warm_requests": warm_requests,
+                  "coalesce_duplicates": duplicates},
+        "cold": {**cold, "cached_responses": cold_cached},
+        "warm": warm,
+        "coalesce": burst,
+        "serve_counters": {
+            "requests": serve["requests"],
+            "coalesced": serve["coalesced"],
+            "coalesced_delta": serve["coalesced"] - before["coalesced"],
+            "peak_inflight_server": serve["peak_inflight"],
+            "peak_pending_server": serve["peak_pending"],
+            "rejected_overload": serve["rejected_overload"],
+            "rejected_quota": serve["rejected_quota"],
+        },
+        "cache_entries": status["entries"],
+        "metrics_scrape_ok": "repro_serve_requests_total" in metrics_text,
+    }
+
+
+async def hosted(sizes: "tuple[int, int, int]") -> dict:
+    """Run the benchmark against an in-process server on an ephemeral port.
+
+    ``max_pending`` is raised above the warm burst so the benchmark
+    measures latency under load rather than 429 backpressure (which
+    ``tests/test_serve.py`` covers on its own).
+    """
+    server = ReproServer(ServerConfig(port=0, max_pending=8192))
+    host, port = await server.start()
+    try:
+        result = await measure(ServeClient(host, port), sizes)
+        result["mode"] = "in-process"
+        return result
+    finally:
+        await server.stop()
+
+
+async def connected(target: str, sizes: "tuple[int, int, int]") -> dict:
+    host, _, port = target.rpartition(":")
+    result = await measure(ServeClient(host or "127.0.0.1", int(port)), sizes)
+    result["mode"] = f"connect {target}"
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller bursts for CI smoke runs")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="target a running `repro serve` instead of "
+                             "hosting one in-process")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when an acceptance invariant "
+                             "fails")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    if args.connect:
+        result = asyncio.run(connected(args.connect, sizes))
+    else:
+        result = asyncio.run(hosted(sizes))
+    result["quick"] = args.quick
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    peak = max(result["warm"]["peak_inflight_client"],
+               result["serve_counters"]["peak_inflight_server"])
+    print(f"wrote {args.output}")
+    for phase in ("cold", "warm", "coalesce"):
+        stats = result[phase]
+        lat = stats["latency_ms"]
+        print(f"{phase:9s}: {stats['requests']:5d} req  "
+              f"{stats['throughput_rps']:8.1f} req/s  "
+              f"p50 {lat['p50']:8.2f} ms  p99 {lat['p99']:8.2f} ms")
+    print(f"peak in-flight: {peak} "
+          f"(client {result['warm']['peak_inflight_client']}, "
+          f"server {result['serve_counters']['peak_inflight_server']})")
+    print(f"coalesce rate: {result['coalesce']['coalesce_rate']:.2%} "
+          f"({result['coalesce']['owner_evaluations']} owner evaluation(s) "
+          f"for {result['coalesce']['requests']} identical requests)")
+
+    inflight_floor = 1000 if not args.quick else sizes[1] // 2
+    failures = []
+    if result["server"]["health"] != "ok":
+        failures.append("health endpoint did not report ok")
+    if not result["metrics_scrape_ok"]:
+        failures.append("/metrics scrape missing repro_serve_requests_total")
+    if peak < inflight_floor:
+        failures.append(f"peak in-flight {peak} is below the "
+                        f"{inflight_floor} floor")
+    if result["coalesce"]["coalesce_rate"] <= 0:
+        failures.append("no requests coalesced in the duplicate burst")
+    if result["coalesce"]["owner_evaluations"] > 1:
+        failures.append(
+            f"{result['coalesce']['owner_evaluations']} engine evaluations "
+            f"for one identical burst (expected exactly 1)")
+    if result["coalesce"]["distinct_fingerprints"] != 1:
+        failures.append("identical requests returned different fingerprints")
+    if args.check and failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

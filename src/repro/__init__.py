@@ -28,6 +28,14 @@ Subpackages
 * :mod:`repro.physical` — block-level RTL-to-GDS flow (Fig. 4b).
 * :mod:`repro.experiments` — one driver per paper table/figure.
 * :mod:`repro.runtime` — parallel, memoized evaluation engine for sweeps.
+* :mod:`repro.spec` — declarative JSON design/sweep specs.
+* :mod:`repro.sweep` — streaming sweep executor with Pareto pruning.
+* :mod:`repro.serve` — the ``repro serve`` HTTP evaluation server (/v1).
+
+The names in ``__all__`` are the **declared public API**: they follow the
+semantic-versioning contract (`tests/test_public_api.py` snapshots the
+surface so accidental breaks fail CI).  Everything else is internal and
+may change between minor versions.
 """
 
 from repro.errors import (
@@ -36,6 +44,7 @@ from repro.errors import (
     MappingError,
     ModelError,
     ReproError,
+    error_envelope,
 )
 from repro.tech import foundry_m3d_pdk
 from repro.arch import baseline_2d_design, case_study_cs, m3d_design
@@ -67,6 +76,17 @@ from repro.runtime import (
     pmap,
     stable_key,
 )
+from repro.spec import (
+    DesignSpec,
+    SweepSpec,
+    evaluate_spec,
+    evaluate_specs,
+    evaluate_sweep,
+    load_design_spec,
+    load_sweep_spec,
+)
+from repro.sweep import run_streaming_sweep, stream_sweep
+from repro.serve import ReproServer, ServeClient, ServeError, ServerConfig
 
 __version__ = "1.0.0"
 
@@ -103,5 +123,20 @@ __all__ = [
     "default_engine",
     "pmap",
     "stable_key",
+    "error_envelope",
+    "DesignSpec",
+    "SweepSpec",
+    "evaluate_spec",
+    "evaluate_specs",
+    "evaluate_sweep",
+    "load_design_spec",
+    "load_sweep_spec",
+    "run_streaming_sweep",
+    "stream_sweep",
+    "ReproServer",
+    "ServerConfig",
+    "ServeClient",
+    "ServeError",
+    "serve",
     "__version__",
 ]

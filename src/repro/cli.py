@@ -11,6 +11,7 @@ Usage::
     python -m repro eval --spec examples/spec.json   # one declarative point
     python -m repro sweep --spec examples/sweep.json # a declarative sweep
     python -m repro fig9 --spec my_spec.json         # retarget an experiment
+    python -m repro serve --port 8348 --cache-dir /tmp/repro-cache  # HTTP API
 
 Experiments resolve through :mod:`repro.experiments.registry`: every run
 builds **one** :class:`~repro.experiments.registry.ExperimentContext`
@@ -129,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, metavar="N",
         help="points packed per batch-kernel invocation (default: the "
              "whole sweep, or one chunk when streaming)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable failures: print the structured error "
+             "envelope {error: {type, message, path}} on stderr instead "
+             "of prose (exit code 2 either way)")
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="with 'serve': bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="with 'serve': bind port (default 8348, 0 = ephemeral)")
+    parser.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="with 'serve': admitted-but-unfinished request budget; "
+             "beyond it requests get 429 + Retry-After (default 1024)")
+    parser.add_argument(
+        "--quota-rate", type=float, default=0.0, metavar="R",
+        help="with 'serve': per-client request rate limit in requests/s "
+             "(token bucket keyed by X-Client-Id; 0 = unlimited)")
+    parser.add_argument(
+        "--quota-burst", type=int, default=64, metavar="N",
+        help="with 'serve': per-client token-bucket burst size "
+             "(default 64)")
     return parser
 
 
@@ -137,17 +161,36 @@ def available_experiments() -> tuple[str, ...]:
     return tuple(EXPERIMENTS)
 
 
+def _fail(args: argparse.Namespace, error: "BaseException | str",
+          prefix: str = "") -> int:
+    """Report a CLI failure and return exit code 2.
+
+    Under ``--json`` the failure is the same structured envelope the
+    server emits (``{"error": {"type", "message", "path"}}``, one line on
+    stderr); otherwise it is the human-readable message.
+    """
+    if getattr(args, "json", False):
+        import json as _json
+
+        from repro.errors import envelope, error_envelope
+
+        document = error_envelope(error) if isinstance(error, BaseException) \
+            else envelope("cli_error", str(error))
+        print(_json.dumps(document), file=sys.stderr)
+    else:
+        print(f"{prefix}{error}", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.no_cache and args.cache_dir:
-        print("--no-cache and --cache-dir are mutually exclusive",
-              file=sys.stderr)
-        return 2
+        return _fail(args, "--no-cache and --cache-dir are mutually "
+                           "exclusive")
     if args.jobs < 0:
-        print("--jobs must be >= 0 (1 = serial, 0 = one per CPU)",
-              file=sys.stderr)
-        return 2
+        return _fail(args, "--jobs must be >= 0 (1 = serial, 0 = one "
+                           "per CPU)")
     from repro.runtime.engine import configure
 
     engine = configure(jobs=args.jobs, cache_dir=args.cache_dir,
@@ -161,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
     if names == ["report"]:
         from repro.report import main as report_main
         return report_main()
+    if names == ["serve"]:
+        return _run_serve(args, engine)
     if names in (["eval"], ["sweep"]):
         return _run_spec_command(names[0], args, engine, show_stats)
     if names == ["list"]:
@@ -175,14 +220,14 @@ def main(argv: list[str] | None = None) -> int:
         print("  sweep      expand + evaluate a sweep spec (--spec sweep.json)")
         print("  validate   check every headline claim against the paper")
         print("  report     full reproduction report (tables + validation)")
+        print("  serve      HTTP evaluation server (/v1 API; see --port)")
         return 0
     if names == ["all"]:
         names = list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}; "
-              f"try 'python -m repro list'", file=sys.stderr)
-        return 2
+        return _fail(args, f"unknown experiment(s): {', '.join(unknown)}; "
+                           f"try 'python -m repro list'")
 
     observe = bool(args.profile or args.trace or args.trace_csv
                    or args.metrics)
@@ -199,8 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         try:
             base_spec = load_design_spec(args.spec)
         except (OSError, ValueError, ReproError) as error:
-            print(f"bad --spec {args.spec}: {error}", file=sys.stderr)
-            return 2
+            return _fail(args, error, prefix=f"bad --spec {args.spec}: ")
 
     timings: list[tuple[str, float]] = []
     with observation as tracer:
@@ -237,6 +281,38 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace, engine) -> int:
+    """Run the ``serve`` pseudo-command: the /v1 evaluation server.
+
+    The engine was already configured from ``--jobs`` / ``--cache-dir``
+    / ``--no-cache``, so a warm cache directory is what every client
+    shares.
+    """
+    from repro.serve import ServerConfig, serve
+    from repro.serve.app import DEFAULT_PORT
+    from repro.sweep import DEFAULT_CHUNK_SIZE
+
+    if args.port is not None and not (0 <= args.port <= 65535):
+        return _fail(args, "--port must be in [0, 65535] (0 = ephemeral)")
+    if args.max_pending < 1:
+        return _fail(args, "--max-pending must be >= 1")
+    if args.quota_rate < 0:
+        return _fail(args, "--quota-rate must be >= 0 (0 = unlimited)")
+    if args.quota_burst < 1:
+        return _fail(args, "--quota-burst must be >= 1")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        max_pending=args.max_pending,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        chunk_size=args.chunk_size if args.chunk_size is not None
+        else DEFAULT_CHUNK_SIZE,
+    )
+    serve(config, engine=engine)
+    return 0
+
+
 def _run_spec_command(command: str, args: argparse.Namespace, engine,
                       show_stats: bool) -> int:
     """Run the ``eval`` / ``sweep`` pseudo-command against ``--spec``."""
@@ -250,9 +326,8 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
     )
 
     if args.spec is None:
-        print(f"'{command}' needs --spec PATH (a JSON design or sweep spec)",
-              file=sys.stderr)
-        return 2
+        return _fail(args, f"'{command}' needs --spec PATH (a JSON design "
+                           f"or sweep spec)")
     streaming = bool(args.stream or args.checkpoint_dir or args.prune)
     batch = bool(args.batch or args.batch_size is not None)
     summary = None
@@ -288,8 +363,7 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
                                          batch_size=args.batch_size)
             title = f"Sweep evaluation — {args.spec} ({len(sweep)} points)"
     except (OSError, ValueError, ReproError) as error:
-        print(f"bad --spec {args.spec}: {error}", file=sys.stderr)
-        return 2
+        return _fail(args, error, prefix=f"bad --spec {args.spec}: ")
     print(format_spec_evaluations(evaluations, title=title))
     if summary is not None:
         print(summary)

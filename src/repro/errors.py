@@ -3,13 +3,40 @@
 Keeping a small, explicit hierarchy lets callers distinguish *user* mistakes
 (bad configuration values) from *model* violations (a derived quantity left
 the physically meaningful range) without string-matching messages.
+
+The hierarchy is also the single source of the library's **structured
+error envelope**: every surface that reports failures to a machine — the
+CLI's ``--json`` mode, the HTTP server's 4xx responses — lowers the
+exception through :func:`error_envelope` into one canonical shape::
+
+    {"error": {"type": "configuration_error",
+               "message": "tier_pairs must be >= 1",
+               "path": "arch.tier_pairs"}}
+
+``type`` is the snake_case exception class (:func:`error_type`),
+``message`` the human-readable text, and ``path`` the dotted spec path the
+error is about (``None`` when unknown).  The envelope is part of the
+frozen ``/v1`` wire schema (DESIGN.md Sec. 12): new fields may be added,
+existing ones never change meaning.
 """
 
 from __future__ import annotations
 
+import re
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes:
+        path: Optional dotted field path (``"tech.delta"``) locating the
+            error inside a spec document; surfaces in the error envelope.
+    """
+
+    def __init__(self, *args: object, path: str | None = None) -> None:
+        super().__init__(*args)
+        self.path = path
 
 
 class ConfigurationError(ReproError):
@@ -28,12 +55,58 @@ class MappingError(ReproError):
     """The mapper could not find a legal mapping for a layer."""
 
 
-def require(condition: bool, message: str) -> None:
+def require(condition: bool, message: str, path: str | None = None) -> None:
     """Raise :class:`ConfigurationError` with ``message`` unless ``condition``.
 
     A tiny guard helper used by constructors throughout the library so that
     invalid configurations fail fast with a clear message instead of
-    propagating NaNs through the analytical models.
+    propagating NaNs through the analytical models.  ``path`` optionally
+    names the offending spec field for the structured envelope.
     """
     if not condition:
-        raise ConfigurationError(message)
+        raise ConfigurationError(message, path=path)
+
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def error_type(error: BaseException) -> str:
+    """The envelope ``type`` tag for ``error``: its snake_case class name.
+
+    ``ConfigurationError`` -> ``configuration_error``; the ``Error``
+    suffix is kept so tags read as error identifiers.  JSON decoding
+    failures are special-cased to ``invalid_json`` because both the CLI
+    and the server wrap them in :class:`ConfigurationError` whose message
+    starts with ``"invalid ..."`` — callers that still hold the raw
+    ``json.JSONDecodeError`` get the same tag.
+    """
+    import json
+
+    if isinstance(error, json.JSONDecodeError):
+        return "invalid_json"
+    return _CAMEL_BOUNDARY.sub("_", type(error).__name__).lower()
+
+
+def envelope(type_: str, message: str,
+             path: str | None = None) -> dict[str, Any]:
+    """The structured error envelope, built from raw parts.
+
+    Surfaces that fail without an exception in hand (an unknown HTTP
+    route, a rejected request) use this directly so every failure body
+    has the identical shape.
+    """
+    return {"error": {"type": type_, "message": message, "path": path}}
+
+
+def error_envelope(error: BaseException,
+                   path: str | None = None) -> dict[str, Any]:
+    """Lower any exception to the library's structured error envelope.
+
+    The one JSON shape every machine-facing failure uses — the CLI's
+    ``--json`` mode and the server's HTTP 4xx bodies both emit exactly
+    this.  ``path`` overrides the exception's own ``path`` attribute when
+    the caller knows more context than the raise site did.
+    """
+    if path is None:
+        path = getattr(error, "path", None)
+    return envelope(error_type(error), str(error), path)

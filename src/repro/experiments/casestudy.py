@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, percent, times
 from repro.physical.flow import FlowResult, run_flow
 from repro.runtime.engine import EvaluationEngine
@@ -67,6 +71,7 @@ def run_case_study(
     jobs: int | None = None,
 ) -> CaseStudyResult:
     """Deprecated shim: builds a context for :func:`casestudy_experiment`."""
+    warn_deprecated_shim("run_case_study", "casestudy")
     return casestudy_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         capacity_bits=capacity_bits)

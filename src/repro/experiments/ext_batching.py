@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, percent, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -84,6 +88,7 @@ def run_batching(
     jobs: int | None = None,
 ) -> tuple[BatchingRow, ...]:
     """Deprecated shim: builds a context for :func:`batching_experiment`."""
+    warn_deprecated_shim("run_batching", "ext-batching")
     return batching_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         batches=batches, network=network, capacity_bits=capacity_bits)

@@ -22,7 +22,11 @@ from dataclasses import dataclass
 from repro.tech.pdk import PDK
 from repro.arch.accelerator import baseline_2d_design
 from repro.core.thermal import ThermalStack, temperature_rise
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -96,6 +100,7 @@ def run_beol_logic(
     jobs: int | None = None,
 ) -> BEOLLogicResult:
     """Deprecated shim: builds a context for :func:`beol_logic_experiment`."""
+    warn_deprecated_shim("run_beol_logic", "ext-beol-logic")
     return beol_logic_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         capacity_bits=capacity_bits, network=network, stack=stack)

@@ -12,7 +12,11 @@ served from the result cache outright (see ``repro dse --profile``).
 from __future__ import annotations
 
 from repro.core.dse import DesignCandidate, explore_streaming, pareto_frontier
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
 from repro.tech.pdk import PDK
@@ -23,6 +27,7 @@ def run_dse(pdk: PDK | None = None,
             engine: EvaluationEngine | None = None,
             jobs: int | None = None) -> tuple[DesignCandidate, ...]:
     """Deprecated shim: builds a context for :func:`dse_experiment`."""
+    warn_deprecated_shim("run_dse", "dse")
     return dse_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 

@@ -24,7 +24,11 @@ from dataclasses import dataclass
 
 from repro.tech.memories import MemoryTechnology, beol_technologies
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -91,6 +95,7 @@ def run_memtech(
     jobs: int | None = None,
 ) -> tuple[MemTechRow, ...]:
     """Deprecated shim: builds a context for :func:`memtech_experiment`."""
+    warn_deprecated_shim("run_memtech", "ext-memtech")
     return memtech_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         capacity_bits=capacity_bits, network=network)

@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -80,6 +84,7 @@ def run_precision(
     jobs: int | None = None,
 ) -> tuple[PrecisionRow, ...]:
     """Deprecated shim: builds a context for :func:`precision_experiment`."""
+    warn_deprecated_shim("run_precision", "ext-precision")
     return precision_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         precisions=precisions, capacity_bits=capacity_bits, network=network)

@@ -19,7 +19,11 @@ from repro.core.multitier import MultiTierResult, sweep_tiers
 from repro.core.relaxed_fet import RelaxedFETResult, sweep_fet_width
 from repro.core.thermal import ThermalStack, max_tier_pairs, temperature_rise
 from repro.core.via_pitch import ViaPitchResult, sweep_via_pitch
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.runtime.engine import EvaluationEngine
 from repro.spec.resolve import build_workload
@@ -31,6 +35,7 @@ def run_fig10c(pdk: PDK | None = None,
                jobs: int | None = None,
                ) -> tuple[RelaxedFETResult, ...]:
     """Deprecated shim: builds a context for :func:`fig10c_experiment`."""
+    warn_deprecated_shim("run_fig10c", "fig10c")
     return fig10c_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 
@@ -66,6 +71,7 @@ def run_obs8(pdk: PDK | None = None,
              jobs: int | None = None,
              ) -> tuple[ViaPitchResult, ...]:
     """Deprecated shim: builds a context for :func:`obs8_experiment`."""
+    warn_deprecated_shim("run_obs8", "obs8")
     return obs8_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs))
 
@@ -112,6 +118,7 @@ def run_fig10d(pdk: PDK | None = None, max_pairs: int = 6,
                engine: EvaluationEngine | None = None,
                jobs: int | None = None) -> Fig10dResult:
     """Deprecated shim: builds a context for :func:`fig10d_experiment`."""
+    warn_deprecated_shim("run_fig10d", "fig10d")
     return fig10d_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         max_pairs=max_pairs)
@@ -178,6 +185,15 @@ def run_obs10(
     powers: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
     stack: ThermalStack | None = None,
 ) -> tuple[Obs10Row, ...]:
+    """Deprecated shim for :func:`obs10_experiment`."""
+    warn_deprecated_shim("run_obs10", "obs10")
+    return _obs10_rows(powers, stack)
+
+
+def _obs10_rows(
+    powers: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
+    stack: ThermalStack | None = None,
+) -> tuple[Obs10Row, ...]:
     """Obs. 10: tier ceiling vs per-tier power at HPC-class dissipation."""
     stack = stack if stack is not None else ThermalStack()
     rows: list[Obs10Row] = []
@@ -207,4 +223,4 @@ def format_obs10(rows: tuple[Obs10Row, ...]) -> str:
 @experiment("obs10", "Obs. 10: thermal tier ceiling", formatter=format_obs10)
 def obs10_experiment(ctx: ExperimentContext) -> tuple[Obs10Row, ...]:
     """Obs. 10 is analytical (Eq. 17 only) — the context is unused."""
-    return run_obs10()
+    return _obs10_rows()

@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -52,6 +56,7 @@ def run_fig5(
     jobs: int | None = None,
 ) -> tuple[Fig5Row, ...]:
     """Deprecated shim: builds a context for :func:`fig5_experiment`."""
+    warn_deprecated_shim("run_fig5", "fig5")
     return fig5_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         networks=networks, capacity_bits=capacity_bits)

@@ -31,7 +31,11 @@ from repro.arch.accelerator import (
     peripheral_area,
 )
 from repro.arch.table2 import ArchitectureSpec, table_ii_architectures
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, percent, times
 from repro.runtime.engine import EvaluationEngine
 from repro.mapper.cost import CostModel
@@ -165,6 +169,7 @@ def run_fig7(
     jobs: int | None = None,
 ) -> tuple[Fig7Row, ...]:
     """Deprecated shim: builds a context for :func:`fig7_experiment`."""
+    warn_deprecated_shim("run_fig7", "fig7")
     return fig7_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         network=network, frequency_hz=frequency_hz)

@@ -22,7 +22,11 @@ import math
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -79,6 +83,7 @@ def run_folding(
     jobs: int | None = None,
 ) -> FoldingResult:
     """Deprecated shim: builds a context for :func:`folding_experiment`."""
+    warn_deprecated_shim("run_folding", "folding")
     return folding_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         capacity_bits=capacity_bits, network=network)

@@ -14,7 +14,11 @@ from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
 from repro.arch.accelerator import peripheral_area
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -51,6 +55,7 @@ def run_obs3(
     jobs: int | None = None,
 ) -> tuple[Obs3Row, ...]:
     """Deprecated shim: builds a context for :func:`obs3_experiment`."""
+    warn_deprecated_shim("run_obs3", "obs3")
     return obs3_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         density_ratios=density_ratios, network=network,

@@ -14,7 +14,9 @@ worker count, and (optionally) the active tracer, plus whatever
 experiment-specific knobs the module defines as keyword defaults.  The
 CLI dispatches through :func:`run_experiment`; the historical
 ``run_<name>(pdk, ...)`` functions survive as thin shims that build a
-context and delegate (see each experiment module).
+context and delegate (see each experiment module) — they are
+**deprecated** (each emits :func:`warn_deprecated_shim`'s
+``DeprecationWarning``) and will be removed in v2.0 (DESIGN.md Sec. 12).
 
 Importing :mod:`repro.experiments` populates the registry — the package
 ``__init__`` imports every experiment module, so registration order (and
@@ -23,11 +25,33 @@ hence CLI listing order) is the package's import order.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.obs.trace import Tracer, current_tracer, span as _span
 from repro.runtime.engine import EvaluationEngine, default_engine
+
+
+def warn_deprecated_shim(shim: str, name: str) -> None:
+    """Emit the removal warning for a legacy ``run_*`` convenience shim.
+
+    The shims predate the registry and build a throwaway context per
+    call, so nothing — result cache, memo tables, tracer — is shared
+    across experiments.  They are slated for removal in v2.0 (DESIGN.md
+    Sec. 12); ``run_experiment(name, ctx)`` or the registered
+    ``*_experiment(ctx, ...)`` driver with one shared
+    :class:`ExperimentContext` is the supported path.
+
+    ``stacklevel=3`` attributes the warning to the shim's caller
+    (helper -> shim -> caller), so the deprecation points at the code
+    that needs migrating.
+    """
+    warnings.warn(
+        f"{shim}() is deprecated and will be removed in v2.0; use "
+        f"run_experiment({name!r}, ctx) or the registry driver for "
+        f"{name!r} with a shared ExperimentContext",
+        DeprecationWarning, stacklevel=3)
 from repro.spec.design import DesignSpec
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 

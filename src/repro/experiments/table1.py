@@ -10,7 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tech.pdk import PDK
-from repro.experiments.registry import ExperimentContext, experiment
+from repro.experiments.registry import (
+    ExperimentContext,
+    experiment,
+    warn_deprecated_shim,
+)
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
@@ -71,6 +75,7 @@ def run_table1(
     jobs: int | None = None,
 ) -> tuple[Table1Row, ...]:
     """Deprecated shim: builds a context for :func:`table1_experiment`."""
+    warn_deprecated_shim("run_table1", "table1")
     return table1_experiment(
         ExperimentContext.create(pdk=pdk, engine=engine, jobs=jobs),
         capacity_bits=capacity_bits)
@@ -134,8 +139,9 @@ def table1_experiment(
 
 
 def run_table1_total(pdk: PDK | None = None) -> Table1Row:
-    """Just the Table I total row (paper: 5.64x / 0.99x / 5.66x)."""
-    return run_table1(pdk)[-1]
+    """Deprecated shim: just the Table I total row (5.64x / 0.99x / 5.66x)."""
+    warn_deprecated_shim("run_table1_total", "table1")
+    return table1_experiment(ExperimentContext.create(pdk=pdk))[-1]
 
 
 def format_table1(rows: tuple[Table1Row, ...]) -> str:

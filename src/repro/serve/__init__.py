@@ -1,0 +1,20 @@
+"""Evaluation-as-a-service: the ``repro serve`` HTTP front end.
+
+One warm :class:`~repro.runtime.engine.EvaluationEngine` behind a
+versioned (``/v1/``) asyncio HTTP/JSON API — stdlib only.  See
+DESIGN.md Sec. 12 for the wire schema, coalescing, and backpressure
+policy, and the README "Serving" section for a curl walkthrough.
+"""
+
+from repro.serve.app import ReproServer, ServerConfig, serve
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import API_VERSION
+
+__all__ = [
+    "API_VERSION",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
+    "serve",
+]

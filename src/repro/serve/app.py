@@ -1,0 +1,639 @@
+"""Evaluation-as-a-service: the asyncio application behind ``repro serve``.
+
+One process, one warm :class:`~repro.runtime.engine.EvaluationEngine`,
+many clients.  The server's job is to make N concurrent clients cost as
+close to one evaluation as their requests allow:
+
+* **coalescing** — identical specs in flight at the same time share one
+  evaluation.  The first arrival becomes the *owner* and spawns the
+  engine call; every later arrival of the same spec fingerprint
+  (:meth:`~repro.spec.design.DesignSpec.fingerprint`) awaits the owner's
+  task.  This is the serving-time analogue of the engine's batch dedup:
+  the cache collapses duplicates *across* time, coalescing collapses
+  them *within* the in-flight window, before any result exists to cache.
+* **batching** — ``/v1/sweep`` rides the streaming executor
+  (:func:`~repro.sweep.stream.stream_sweep`) with ``batch=True`` by
+  default, so a sweep's chunks evaluate through the vectorized kernel.
+* **backpressure** — admitted work is bounded by ``max_pending``; beyond
+  it the server answers 429 with ``Retry-After`` instead of queueing
+  without limit.  Coalesced followers never consume a slot — duplicates
+  are free by construction.
+* **quotas** — optional per-client token buckets (keyed by the
+  ``x-client-id`` header, falling back to the peer address) bound any
+  single client's admission rate, again via 429 + ``Retry-After``.
+
+Evaluations are synchronous CPU work, so they run on a small thread pool
+behind an engine lock: the event loop stays free to accept, coalesce and
+reject, while engine internals (cache, counters, memo tables) only ever
+run single-threaded.  Sweeps hold the lock per *chunk*, so a long sweep
+interleaves fairly with point evaluations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.errors import ReproError, envelope, error_envelope
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry, registry as _metrics_registry
+from repro.runtime.engine import EvaluationEngine, default_engine
+from repro.runtime.keys import call_key
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    Response,
+    StreamingBody,
+    read_request,
+    write_response,
+)
+from repro.serve.protocol import (
+    API_VERSION,
+    evaluation_wire,
+    http_status_for,
+    parse_eval_body,
+    parse_sweep_body,
+)
+from repro.spec.design import DesignSpec
+from repro.spec.evaluate import SpecEvaluation, evaluate_spec
+from repro.sweep.stream import DEFAULT_CHUNK_SIZE, stream_sweep
+
+__all__ = ["ReproServer", "ServerConfig", "serve"]
+
+#: Default TCP port: "DB48" — the paper is DATE 2023, the repo is repro.
+DEFAULT_PORT = 8348
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable knobs of one :class:`ReproServer`.
+
+    Attributes:
+        host: Bind address.
+        port: Bind port (0 = ephemeral, for tests and benchmarks).
+        max_pending: Admitted-but-unfinished evaluation/sweep budget;
+            beyond it new work is rejected with 429 ``overloaded``.
+            Coalesced duplicates do not count against it.
+        quota_rate: Per-client token-bucket refill rate in requests per
+            second; 0 disables quotas.
+        quota_burst: Per-client bucket capacity (burst size).
+        eval_workers: Threads evaluating engine work.  The engine lock
+            serializes engine access regardless; extra workers only keep
+            a sweep stream and point evaluations interleaving.
+        chunk_size: Default points per sweep chunk (and NDJSON flush).
+        batch: Evaluate sweep chunks through the vectorized batch
+            kernel by default (per-request ``options.batch`` overrides).
+        max_body_bytes: Request-body cap (413 beyond it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    max_pending: int = 1024
+    quota_rate: float = 0.0
+    quota_burst: int = 64
+    eval_workers: int = 2
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    batch: bool = True
+    max_body_bytes: int = 8 * 1024 * 1024
+
+
+class _TokenBucket:
+    """Classic token bucket; refills continuously at ``rate`` per second."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def acquire(self, now: float) -> float:
+        """0.0 when a token was taken, else seconds until one refills."""
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class _ServeStats:
+    """Server-side counters surfaced by ``/v1/cache`` and the benchmark.
+
+    Attributes:
+        requests: Requests answered, by any status.
+        coalesced: Eval requests that shared an in-flight evaluation.
+        rejected_overload: Requests refused by the pending budget.
+        rejected_quota: Requests refused by a client's token bucket.
+        streams_cancelled: Sweep streams cancelled by client disconnect.
+        peak_pending: High-water mark of admitted concurrent work.
+        peak_inflight: High-water mark of concurrently open requests
+            (admitted + coalesced + reads in progress).
+    """
+
+    requests: int = 0
+    coalesced: int = 0
+    rejected_overload: int = 0
+    rejected_quota: int = 0
+    streams_cancelled: int = 0
+    peak_pending: int = 0
+    peak_inflight: int = 0
+
+    def to_jsonable(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _EvalOutcome:
+    """What one owned evaluation produced (shared by all coalescees)."""
+
+    evaluation: SpecEvaluation
+    cached: bool = False
+
+
+_DONE = object()
+
+
+class ReproServer:
+    """The ``/v1`` evaluation server over one shared engine.
+
+    Construct, then either ``await start()`` inside a running loop (tests,
+    benchmarks) or call the blocking :func:`serve` helper.  The engine
+    defaults to the process-wide one, so a CLI-configured cache directory
+    (``repro serve --cache-dir``) is what every client shares.
+    """
+
+    def __init__(self, config: ServerConfig | None = None,
+                 engine: EvaluationEngine | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.engine = engine if engine is not None else default_engine()
+        self.stats = _ServeStats()
+        self.metrics: MetricsRegistry = _metrics_registry()
+        self.started = time.time()
+        self._engine_lock = threading.Lock()
+        self._inflight_evals: dict[str, asyncio.Task] = {}
+        self._pending = 0
+        self._open_requests = 0
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._routes: dict[tuple[str, str], Callable[
+            [Request], Awaitable[Response]]] = {
+            ("GET", f"/{API_VERSION}/health"): self._handle_health,
+            ("GET", f"/{API_VERSION}/cache"): self._handle_cache,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", f"/{API_VERSION}/metrics"): self._handle_metrics,
+            ("POST", f"/{API_VERSION}/eval"): self._handle_eval,
+        }
+
+    # --- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, self.config.eval_workers),
+            thread_name_prefix="repro-serve-eval")
+        # A deep accept backlog: the load generator opens thousands of
+        # connections in one burst, and dropped SYNs on loopback would
+        # show up as 1 s retransmission spikes in the latency tail.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            backlog=4096)
+        sockets = self._server.sockets or ()
+        host, port = sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``start`` must have been awaited)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting and release the worker threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # --- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
+            else "local"
+        try:
+            while True:
+                request = await read_request(reader, client,
+                                             self.config.max_body_bytes)
+                if request is None:
+                    break
+                self._open_requests += 1
+                self.stats.peak_inflight = max(self.stats.peak_inflight,
+                                               self._open_requests)
+                started = time.perf_counter()
+                status = 500
+                try:
+                    response = await self._dispatch(request, writer)
+                    if response is None:      # body was streamed
+                        status = 200
+                        break
+                    status = response.status
+                    await write_response(writer, response,
+                                         request.keep_alive)
+                finally:
+                    self._open_requests -= 1
+                    self._observe(request, status,
+                                  time.perf_counter() - started)
+                if not request.keep_alive:
+                    break
+        except ProtocolError as error:
+            await self._best_effort_error(writer, error.status, str(error))
+        except (ConnectionError, asyncio.CancelledError, TimeoutError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _best_effort_error(self, writer: asyncio.StreamWriter,
+                                 status: int, message: str) -> None:
+        try:
+            body = (json.dumps(envelope("protocol_error", message)) + "\n") \
+                .encode("utf-8")
+            await write_response(writer, Response(status=status, body=body),
+                                 keep_alive=False)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _dispatch(self, request: Request,
+                        writer: asyncio.StreamWriter) -> Response | None:
+        """Route one request; ``None`` means the handler streamed the body."""
+        self.stats.requests += 1
+        is_sweep = request.method == "POST" \
+            and request.path == f"/{API_VERSION}/sweep"
+        route = self._routes.get((request.method, request.path))
+        if route is None and not is_sweep:
+            return self._route_miss(request)
+        if request.method == "POST":
+            denied = self._check_quota(request)
+            if denied is not None:
+                return denied
+        try:
+            if is_sweep:
+                # The only route that owns the writer: it streams NDJSON.
+                return await self._handle_sweep(request, writer)
+            return await route(request)
+        except ReproError as error:
+            return self._error_response(error)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as error:                      # noqa: BLE001
+            body = (json.dumps(envelope(
+                "internal_error", f"{type(error).__name__}: {error}"))
+                + "\n").encode("utf-8")
+            return Response(status=500, body=body)
+
+    def _route_miss(self, request: Request) -> Response:
+        is_sweep = request.path == f"/{API_VERSION}/sweep"
+        known_paths = {path for _, path in self._routes} \
+            | {f"/{API_VERSION}/sweep"}
+        if request.path in known_paths:
+            allowed = sorted({method for method, path in self._routes
+                              if path == request.path}
+                             | ({"POST"} if is_sweep else set()))
+            body = (json.dumps(envelope(
+                "method_not_allowed",
+                f"{request.method} not allowed on {request.path}; "
+                f"allowed: {', '.join(allowed)}")) + "\n").encode("utf-8")
+            return Response(status=405, body=body,
+                            headers={"Allow": ", ".join(allowed)})
+        body = (json.dumps(envelope(
+            "not_found",
+            f"unknown route {request.path}; this server speaks the "
+            f"/{API_VERSION}/ API")) + "\n").encode("utf-8")
+        return Response(status=404, body=body)
+
+    def _error_response(self, error: BaseException) -> Response:
+        status = http_status_for(error)
+        body = (json.dumps(error_envelope(error)) + "\n").encode("utf-8")
+        return Response(status=status, body=body)
+
+    def _observe(self, request: Request, status: int, seconds: float) -> None:
+        self.metrics.counter("repro_serve_requests_total",
+                             method=request.method, path=request.path,
+                             status=status).inc()
+        self.metrics.histogram("repro_serve_request_seconds",
+                               path=request.path).observe(seconds)
+        self.metrics.gauge("repro_serve_inflight").set(self._open_requests)
+
+    # --- admission control ------------------------------------------------
+
+    def _check_quota(self, request: Request) -> Response | None:
+        if self.config.quota_rate <= 0:
+            return None
+        client = request.headers.get("x-client-id") \
+            or request.client.rsplit(":", 1)[0]
+        now = time.monotonic()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= 4096:       # bound per-client state
+                self._buckets.clear()
+            bucket = self._buckets[client] = _TokenBucket(
+                self.config.quota_rate, self.config.quota_burst, now)
+        wait = bucket.acquire(now)
+        if wait <= 0:
+            return None
+        self.stats.rejected_quota += 1
+        self.metrics.counter("repro_serve_rejected_total",
+                             reason="quota").inc()
+        body = (json.dumps(envelope(
+            "rate_limited",
+            f"client {client} exceeded {self.config.quota_rate:g} "
+            f"requests/s (burst {self.config.quota_burst})")) + "\n") \
+            .encode("utf-8")
+        return Response(status=429, body=body,
+                        headers={"Retry-After": f"{max(wait, 0.001):.3f}"})
+
+    def _admit(self) -> Response | None:
+        """Take one pending slot, or produce the 429 overload response."""
+        if self._pending >= self.config.max_pending:
+            self.stats.rejected_overload += 1
+            self.metrics.counter("repro_serve_rejected_total",
+                                 reason="overload").inc()
+            body = (json.dumps(envelope(
+                "overloaded",
+                f"{self._pending} evaluations already pending "
+                f"(max_pending={self.config.max_pending})")) + "\n") \
+                .encode("utf-8")
+            return Response(status=429, body=body,
+                            headers={"Retry-After": "1"})
+        self._pending += 1
+        self.stats.peak_pending = max(self.stats.peak_pending, self._pending)
+        self.metrics.gauge("repro_serve_pending").set(self._pending)
+        return None
+
+    def _release(self) -> None:
+        self._pending -= 1
+        self.metrics.gauge("repro_serve_pending").set(self._pending)
+
+    # --- GET routes -------------------------------------------------------
+
+    async def _handle_health(self, request: Request) -> Response:
+        from repro import __version__
+
+        payload = {
+            "status": "ok",
+            "api": API_VERSION,
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "pending": self._pending,
+            "inflight_evals": len(self._inflight_evals),
+        }
+        return Response(status=200,
+                        body=(json.dumps(payload) + "\n").encode("utf-8"))
+
+    async def _handle_cache(self, request: Request) -> Response:
+        cache = self.engine.cache
+        report = self.engine.report()
+        payload: dict[str, Any] = {
+            "api": API_VERSION,
+            "entries": len(cache) if cache is not None else 0,
+            "cache": dict(vars(cache.stats)) if cache is not None else None,
+            "stages": {
+                stage.name: {
+                    "calls": stage.calls,
+                    "evaluated": stage.evaluated,
+                    "cache_hits": stage.cache_hits,
+                    "cache_misses": stage.cache_misses,
+                    "dedup_hits": stage.dedup_hits,
+                    "wall_time": stage.wall_time,
+                }
+                for stage in report.stages
+            },
+            "serve": self.stats.to_jsonable(),
+        }
+        return Response(status=200,
+                        body=(json.dumps(payload) + "\n").encode("utf-8"))
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        text = prometheus_text(self.metrics)
+        return Response(status=200, body=text.encode("utf-8"),
+                        content_type="text/plain; version=0.0.4")
+
+    # --- POST /v1/eval ----------------------------------------------------
+
+    async def _handle_eval(self, request: Request) -> Response:
+        spec = parse_eval_body(request.body)
+        key = spec.fingerprint()
+        task = self._inflight_evals.get(key)
+        coalesced = task is not None
+        if task is None:
+            denied = self._admit()
+            if denied is not None:
+                return denied
+            task = asyncio.get_running_loop().create_task(
+                self._run_eval(spec))
+            self._inflight_evals[key] = task
+            task.add_done_callback(
+                lambda _done, key=key: self._eval_done(key))
+        else:
+            self.stats.coalesced += 1
+            self.metrics.counter("repro_serve_coalesced_total").inc()
+        # Shielded: a disconnecting follower (or owner) must not cancel
+        # the shared evaluation other clients are waiting on.
+        outcome = await asyncio.shield(task)
+        payload = {
+            "api": API_VERSION,
+            "result": evaluation_wire(outcome.evaluation),
+            "cached": outcome.cached,
+            "coalesced": coalesced,
+        }
+        return Response(status=200,
+                        body=(json.dumps(payload) + "\n").encode("utf-8"))
+
+    def _eval_done(self, key: str) -> None:
+        self._inflight_evals.pop(key, None)
+        self._release()
+
+    async def _run_eval(self, spec: DesignSpec) -> _EvalOutcome:
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None, "server not started"
+        return await loop.run_in_executor(
+            self._executor, self._eval_sync, spec)
+
+    def _eval_sync(self, spec: DesignSpec) -> _EvalOutcome:
+        # The bare (spec,) call shape matches what evaluate_specs builds
+        # under the default PDK, so served points and library sweeps
+        # share cache entries — a sweep warms /v1/eval and vice versa.
+        with self._engine_lock:
+            cached = False
+            cache = self.engine.cache
+            if cache is not None:
+                cached = call_key(evaluate_spec, (spec,), {}) in cache
+            result = self.engine.map(evaluate_spec, [(spec,)],
+                                     stage="serve.eval", jobs=1)[0]
+            return _EvalOutcome(evaluation=result, cached=cached)
+
+    # --- POST /v1/sweep (streaming) ---------------------------------------
+
+    async def _handle_sweep(self, request: Request,
+                            writer: asyncio.StreamWriter) -> Response | None:
+        """Stream a sweep as NDJSON; returns a Response only on rejection."""
+        sweep, options = parse_sweep_body(request.body)
+        denied = self._admit()
+        if denied is not None:
+            return denied
+        chunk_size = int(options.get("chunk_size", self.config.chunk_size))
+        prune = bool(options.get("prune", False))
+        batch = bool(options.get("batch", self.config.batch))
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+        cancelled = threading.Event()
+
+        def put(item: tuple) -> None:
+            # Runs on the worker thread; blocks when the client reads
+            # slowly, which is exactly the backpressure we want on the
+            # producer.  A dead loop/consumer surfaces as a timeout.
+            future = asyncio.run_coroutine_threadsafe(queue.put(item), loop)
+            try:
+                future.result(timeout=600)
+            except (concurrent.futures.TimeoutError,
+                    concurrent.futures.CancelledError):
+                cancelled.set()
+
+        assert self._executor is not None, "server not started"
+        worker = loop.run_in_executor(
+            self._executor, self._run_sweep_sync,
+            sweep, chunk_size, prune, batch, put, cancelled)
+
+        stream = StreamingBody(writer)
+        points = evaluated = pruned = chunks = 0
+        try:
+            await stream.start()
+            await self._send_event(stream, {
+                "event": "start", "api": API_VERSION, "points": len(sweep),
+                "chunk_size": chunk_size, "prune": prune, "batch": batch,
+            })
+            while True:
+                kind, item = await queue.get()
+                if kind == "chunk":
+                    chunks += 1
+                    points += item.size
+                    evaluated += len(item.evaluations)
+                    pruned += item.pruned
+                    for evaluation in item.evaluations:
+                        await self._send_event(stream, {
+                            "event": "evaluation",
+                            **evaluation_wire(evaluation),
+                        })
+                    await self._send_event(stream, {
+                        "event": "chunk", "index": item.index,
+                        "size": item.size, "pruned": item.pruned,
+                        "frontier_size": item.frontier_size,
+                        "seconds": item.seconds,
+                    })
+                    self.metrics.counter(
+                        "repro_serve_stream_points_total").inc(item.size)
+                elif kind == "error":
+                    await self._send_event(stream, {
+                        "event": "error", **error_envelope(item)})
+                    break
+                else:                                   # kind == "done"
+                    await self._send_event(stream, {
+                        "event": "end", "points": points,
+                        "evaluated": evaluated, "pruned": pruned,
+                        "chunks": chunks,
+                    })
+                    break
+            await stream.finish()
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            # Client went away mid-stream: stop producing, drain what the
+            # worker already queued, and leave the shared cache exactly as
+            # the completed chunks left it (their results stay valid).
+            cancelled.set()
+            self.stats.streams_cancelled += 1
+            self.metrics.counter("repro_serve_streams_cancelled_total").inc()
+        finally:
+            cancelled.set()
+            while True:                # unblock a producer stuck on put()
+                try:
+                    kind, _item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    if worker.done():
+                        break
+                    await asyncio.sleep(0.01)
+                    continue
+                if kind in ("done", "error"):
+                    break
+            try:
+                await worker
+            except Exception:                           # noqa: BLE001
+                pass                   # already surfaced as an error event
+            self._release()
+        return None
+
+    @staticmethod
+    async def _send_event(stream: StreamingBody,
+                          payload: Mapping[str, Any]) -> None:
+        """Write one NDJSON event line to the chunked body."""
+        await stream.send((json.dumps(payload) + "\n").encode("utf-8"))
+
+    def _run_sweep_sync(self, sweep, chunk_size: int, prune: bool,
+                        batch: bool, put: Callable[[tuple], None],
+                        cancelled: threading.Event) -> None:
+        """Worker-thread side of one sweep stream.
+
+        Holds the engine lock per chunk (not for the whole sweep), so
+        concurrent ``/v1/eval`` requests interleave with a long stream.
+        """
+        generator = stream_sweep(sweep, engine=self.engine,
+                                 chunk_size=chunk_size, prune=prune,
+                                 batch=batch)
+        try:
+            while not cancelled.is_set():
+                with self._engine_lock:
+                    chunk = next(generator, _DONE)
+                if chunk is _DONE:
+                    break
+                put(("chunk", chunk))
+            put(("done", None))
+        except Exception as error:                      # noqa: BLE001
+            put(("error", error))
+        finally:
+            generator.close()
+
+
+def serve(config: ServerConfig | None = None,
+          engine: EvaluationEngine | None = None) -> None:
+    """Run a :class:`ReproServer` until interrupted (the CLI entry point)."""
+
+    async def _main() -> None:
+        server = ReproServer(config=config, engine=engine)
+        host, port = await server.start()
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(api /{API_VERSION}/)", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

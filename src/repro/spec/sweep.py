@@ -38,14 +38,47 @@ __all__ = ["SweepSpec", "load_sweep_spec"]
 Axes = tuple[tuple[str, tuple[Any, ...]], ...]
 
 
+#: ``(path, values)`` grid axes whose duplicate warning already fired.
+#: Axis normalization runs once per *construction*, but one logical sweep
+#: is reconstructed many times along the streaming paths — wire decode on
+#: the server, checkpoint resume, chunk replay — which used to re-warn
+#: per reconstruction (once per chunk on streamed sweeps).  Keying the
+#: warning on the axis content makes "warn once per sweep" structural
+#: instead of relying on the process's ``warnings`` filters.
+_warned_duplicate_axes: set = set()
+
+
+def reset_duplicate_axis_warnings() -> None:
+    """Forget which duplicated grid axes have warned (for tests)."""
+    _warned_duplicate_axes.clear()
+
+
+def _warn_duplicate_axis(path: str, values: tuple, dropped: int) -> None:
+    try:
+        fingerprint = (path, values)
+        if fingerprint in _warned_duplicate_axes:
+            return
+        _warned_duplicate_axes.add(fingerprint)
+    except TypeError:
+        pass                       # unhashable values: always warn
+    warnings.warn(
+        f"grid axis {path!r} repeats {dropped} value(s); duplicates "
+        "are dropped (first occurrence wins)",
+        stacklevel=4)
+
+
 def _normalized_axes(kind: str, axes: Any) -> Axes:
     """Validate and freeze one axis block (mapping or pair sequence).
 
     Grid axes deduplicate repeated values (first occurrence wins) with a
     warning: a duplicate grid value would silently expand the same spec
-    twice, inflating every count derived from ``len(sweep)``.  Zip axes
-    keep duplicates — their values pair positionally with the other zip
-    axes, so a repeated value can still denote a distinct combination.
+    twice, inflating every count derived from ``len(sweep)``.  The
+    warning fires once per distinct ``(axis, values)`` content, however
+    many times the sweep is re-normalized (streaming and serving decode
+    the same sweep repeatedly); see
+    :func:`reset_duplicate_axis_warnings`.  Zip axes keep duplicates —
+    their values pair positionally with the other zip axes, so a
+    repeated value can still denote a distinct combination.
     """
     if isinstance(axes, Mapping):
         pairs = list(axes.items())
@@ -66,11 +99,8 @@ def _normalized_axes(kind: str, axes: Any) -> Axes:
         if kind == "grid":
             unique = tuple(dict.fromkeys(values))
             if len(unique) != len(values):
-                warnings.warn(
-                    f"grid axis {path!r} repeats "
-                    f"{len(values) - len(unique)} value(s); duplicates "
-                    "are dropped (first occurrence wins)",
-                    stacklevel=2)
+                _warn_duplicate_axis(path, values,
+                                     len(values) - len(unique))
                 values = unique
         require(len(values) > 0, f"{kind} axis {path!r} must not be empty")
         normalized.append((path, values))

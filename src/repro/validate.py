@@ -12,7 +12,6 @@ failures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.tech.pdk import PDK, foundry_m3d_pdk
 
@@ -39,8 +38,17 @@ def _within(measured: float, target: float, rel: float) -> bool:
 
 
 def run_validation(pdk: PDK | None = None) -> tuple[Check, ...]:
-    """Run every headline check and return the results."""
+    """Run every headline check and return the results.
+
+    Experiments run through their registry drivers with **one** shared
+    :class:`~repro.experiments.registry.ExperimentContext`, so the whole
+    validation shares a result cache and memo tables (the deprecated
+    ``run_*`` shims would rebuild both per call).
+    """
+    from repro.experiments.registry import ExperimentContext
+
     pdk = pdk if pdk is not None else foundry_m3d_pdk()
+    ctx = ExperimentContext.create(pdk=pdk)
     checks: list[Check] = []
 
     def add(name: str, paper: str, measured: str, passed: bool) -> None:
@@ -48,24 +56,24 @@ def run_validation(pdk: PDK | None = None) -> tuple[Check, ...]:
                             passed=passed))
 
     # Table I total.
-    from repro.experiments.table1 import run_table1
-    total = run_table1(pdk)[-1]
+    from repro.experiments.table1 import table1_experiment
+    total = table1_experiment(ctx)[-1]
     add("Table I total speedup", "5.64x", f"{total.speedup:.2f}x",
         _within(total.speedup, 5.64, 0.05))
     add("Table I total EDP", "5.66x", f"{total.edp_benefit:.2f}x",
         _within(total.edp_benefit, 5.66, 0.05))
 
     # Fig. 5 range.
-    from repro.experiments.fig5 import run_fig5
-    rows = run_fig5(pdk)
+    from repro.experiments.fig5 import fig5_experiment
+    rows = fig5_experiment(ctx)
     lo = min(r.edp_benefit for r in rows)
     hi = max(r.edp_benefit for r in rows)
     add("Fig. 5 EDP range", "5.7x-7.5x", f"{lo:.2f}x-{hi:.2f}x",
         _within(lo, 5.7, 0.05) and _within(hi, 7.5, 0.10))
 
     # Fig. 7 agreement and range.
-    from repro.experiments.fig7 import run_fig7
-    f7 = run_fig7(pdk)
+    from repro.experiments.fig7 import fig7_experiment
+    f7 = fig7_experiment(ctx)
     worst = max(r.edp_disagreement for r in f7)
     lo7 = min(r.analytic_edp for r in f7)
     hi7 = max(r.analytic_edp for r in f7)
@@ -107,8 +115,8 @@ def run_validation(pdk: PDK | None = None) -> tuple[Check, ...]:
         _within(y2, 6.9, 0.05))
 
     # Obs. 2 physical power.
-    from repro.experiments.casestudy import run_case_study
-    case = run_case_study(pdk)
+    from repro.experiments.casestudy import casestudy_experiment
+    case = casestudy_experiment(ctx)
     add("Obs. 2 upper-tier power", "<1%",
         f"{case.upper_tier_fraction * 100:.2f}%",
         case.upper_tier_fraction < 0.01)
@@ -117,15 +125,15 @@ def run_validation(pdk: PDK | None = None) -> tuple[Check, ...]:
         case.peak_density_ratio < 1.02)
 
     # Obs. 3 SRAM baseline.
-    from repro.experiments.obs3 import run_obs3
-    sram = next(r for r in run_obs3(pdk) if r.density_ratio == 2.0)
+    from repro.experiments.obs3 import obs3_experiment
+    sram = next(r for r in obs3_experiment(ctx) if r.density_ratio == 2.0)
     add("Obs. 3 SRAM baseline", "16 CS / 6.8x",
         f"{sram.n_cs} CS / {sram.edp_benefit:.2f}x",
         sram.n_cs == 16 and _within(sram.edp_benefit, 6.8, 0.05))
 
     # Intro contrast: folding-only prior work.
-    from repro.experiments.folding import run_folding
-    folded = run_folding(pdk)
+    from repro.experiments.folding import folding_experiment
+    folded = folding_experiment(ctx)
     add("Folding-only EDP ([3-4])", "1.1x-1.4x",
         f"{folded.folded_edp_benefit:.2f}x",
         1.05 <= folded.folded_edp_benefit <= 1.5)

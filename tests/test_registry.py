@@ -123,3 +123,48 @@ class TestMarkdown:
 
     def test_module_column_strips_package_prefix(self):
         assert "repro.experiments." not in registry_markdown()
+
+
+class TestShimDeprecation:
+    """The legacy ``run_*`` shims warn; the registry drivers do not."""
+
+    def test_run_shim_emits_deprecation_warning(self):
+        from repro.experiments.fig10 import run_obs10
+        with pytest.warns(DeprecationWarning,
+                          match=r"run_obs10\(\) is deprecated.*v2\.0.*"
+                                r"run_experiment\('obs10', ctx\)"):
+            run_obs10(powers=(1.0,))
+
+    def test_context_building_shim_warns(self):
+        from repro.experiments.fig8 import run_fig8
+        with pytest.warns(DeprecationWarning, match="run_fig8"):
+            run_fig8()
+
+    def test_registry_driver_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            run_experiment("obs10")
+
+    def test_every_shim_is_marked_deprecated(self):
+        """No ``run_*`` shim without the warning call (or a docstring
+        saying so) sneaks back in."""
+        import inspect
+        import repro.experiments as experiments_pkg
+
+        import pkgutil
+        for info in pkgutil.iter_modules(experiments_pkg.__path__):
+            module = __import__(f"repro.experiments.{info.name}",
+                                fromlist=["_"])
+            for name, fn in vars(module).items():
+                if not name.startswith("run_") or not callable(fn):
+                    continue
+                if getattr(fn, "__module__", None) != module.__name__:
+                    continue           # re-export (e.g. run_flow), not a shim
+                if name in ("run_experiment", "run_validation"):
+                    continue
+                source = inspect.getsource(fn)
+                assert "warn_deprecated_shim(" in source, (
+                    f"{module.__name__}.{name} is a legacy shim without a "
+                    f"DeprecationWarning")

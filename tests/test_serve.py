@@ -1,0 +1,403 @@
+"""Tests for the /v1 evaluation server (`repro serve`).
+
+Each test boots a real :class:`~repro.serve.ReproServer` on an ephemeral
+port inside one event loop and talks to it over actual sockets through
+the bundled :class:`~repro.serve.ServeClient`, so the full wire protocol
+— HTTP parsing, chunked NDJSON streaming, error envelopes — is what is
+under test, not handler internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+import pytest
+
+from repro.runtime.engine import EvaluationEngine
+from repro.serve import ReproServer, ServeClient, ServeError, ServerConfig
+from repro.spec import DesignSpec, evaluate_spec
+
+SPEC = {"arch": {}, "tech": {}, "workload": {"network": "resnet18"}}
+SWEEP = {"base": SPEC, "grid": {"tech.delta": [1.0, 1.5, 2.0]}}
+
+
+def serve_test(test: Callable[[ReproServer, ServeClient], Awaitable[Any]],
+               config: ServerConfig | None = None,
+               engine: EvaluationEngine | None = None) -> Any:
+    """Run ``test(server, client)`` against a live server on port 0."""
+
+    async def main() -> Any:
+        server = ReproServer(
+            config if config is not None else ServerConfig(port=0),
+            engine=engine if engine is not None else EvaluationEngine())
+        host, port = await server.start()
+        try:
+            return await test(server, ServeClient(host, port))
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+# --- basic routes ---------------------------------------------------------
+
+
+def test_health_endpoint():
+    async def check(server, client):
+        payload = await client.health()
+        assert payload["status"] == "ok"
+        assert payload["api"] == "v1"
+        assert payload["pending"] == 0
+
+    serve_test(check)
+
+
+def test_eval_matches_library_evaluation():
+    async def check(server, client):
+        payload = await client.evaluate(SPEC)
+        result = payload["result"]
+        expected = evaluate_spec(DesignSpec.from_jsonable(SPEC))
+        assert result["speedup"] == pytest.approx(expected.speedup)
+        assert result["edp_benefit"] == pytest.approx(expected.edp_benefit)
+        assert result["fingerprint"] == expected.spec.fingerprint()
+        assert payload["cached"] is False
+        assert payload["coalesced"] is False
+
+    serve_test(check)
+
+
+def test_eval_reports_cached_on_repeat():
+    async def check(server, client):
+        first = await client.evaluate(SPEC)
+        second = await client.evaluate(SPEC)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    serve_test(check)
+
+
+def test_wrapped_spec_body_accepted():
+    async def check(server, client):
+        bare = await client.evaluate(SPEC)
+        wrapped = await client.evaluate({"spec": SPEC})
+        assert wrapped["result"] == bare["result"]
+
+    serve_test(check)
+
+
+def test_unknown_route_404_envelope():
+    async def check(server, client):
+        status, _headers, body = await client._request("GET", "/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "not_found"
+
+    serve_test(check)
+
+
+def test_wrong_method_405_envelope():
+    async def check(server, client):
+        status, headers, body = await client._request("DELETE", "/v1/eval")
+        assert status == 405
+        assert json.loads(body)["error"]["type"] == "method_not_allowed"
+        assert "POST" in headers.get("allow", "")
+
+    serve_test(check)
+
+
+# --- error envelope: malformed input never becomes a 500 ------------------
+
+
+def test_malformed_json_yields_400_envelope_not_500():
+    async def check(server, client):
+        # _request can't send raw garbage; drive the socket directly.
+        reader, writer = await asyncio.open_connection(client.host,
+                                                       client.port)
+        garbage = b"{not json"
+        writer.write(
+            (f"POST /v1/eval HTTP/1.1\r\nHost: x\r\n"
+             f"Content-Length: {len(garbage)}\r\n"
+             f"Connection: close\r\n\r\n").encode() + garbage)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        status_line, _, rest = raw.partition(b"\r\n")
+        assert b"400" in status_line
+        envelope = json.loads(rest.partition(b"\r\n\r\n")[2])
+        assert envelope["error"]["type"] == "configuration_error"
+        assert "invalid JSON body" in envelope["error"]["message"]
+
+    serve_test(check)
+
+
+def test_invalid_spec_yields_422_envelope():
+    async def check(server, client):
+        with pytest.raises(ServeError) as info:
+            await client.evaluate({"bogus": 1})
+        assert info.value.status == 422
+        assert info.value.error_type == "configuration_error"
+
+    serve_test(check)
+
+
+def test_invalid_sweep_option_yields_400():
+    async def check(server, client):
+        with pytest.raises(ServeError) as info:
+            await client.sweep(SWEEP, options={"chunk_size": "nope"})
+        assert info.value.status == 400
+
+    serve_test(check)
+
+
+def test_non_object_body_yields_400():
+    async def check(server, client):
+        status, _headers, body = await client._request(
+            "POST", "/v1/eval", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in json.loads(body)["error"]["message"]
+
+    serve_test(check)
+
+
+# --- coalescing -----------------------------------------------------------
+
+
+def test_concurrent_identical_specs_evaluate_exactly_once():
+    engine = EvaluationEngine()
+
+    async def check(server, client):
+        results = await asyncio.gather(
+            *(client.evaluate(SPEC) for _ in range(24)))
+        stage = engine.report().stage("serve.eval")
+        # The acceptance criterion: N identical in-flight specs, ONE
+        # engine evaluation.  Late arrivals (after the owner finished)
+        # are cache hits, never re-evaluations.
+        assert stage.evaluated == 1
+        coalesced = sum(1 for r in results if r["coalesced"])
+        assert coalesced == server.stats.coalesced
+        assert coalesced + stage.calls == 24
+        fingerprints = {r["result"]["fingerprint"] for r in results}
+        assert len(fingerprints) == 1
+
+    serve_test(check, engine=engine)
+
+
+def test_distinct_specs_do_not_coalesce():
+    engine = EvaluationEngine()
+
+    async def check(server, client):
+        specs = [dict(SPEC, tech={"delta": delta})
+                 for delta in (1.0, 1.5, 2.0)]
+        await asyncio.gather(*(client.evaluate(s) for s in specs))
+        assert engine.report().stage("serve.eval").evaluated == 3
+
+    serve_test(check, engine=engine)
+
+
+# --- sweep streaming ------------------------------------------------------
+
+
+def test_sweep_streams_ndjson_events_in_order():
+    async def check(server, client):
+        events = await client.sweep(SWEEP, options={"chunk_size": 2})
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "end"
+        assert kinds.count("evaluation") == 3
+        assert kinds.count("chunk") == 2
+        end = events[-1]
+        assert end["points"] == 3
+        assert end["evaluated"] == 3
+        start = events[0]
+        assert start["points"] == 3
+        assert start["batch"] is True
+
+    serve_test(check)
+
+
+def test_sweep_matches_library_results():
+    async def check(server, client):
+        events = await client.sweep(SWEEP)
+        served = {event["fingerprint"]: event["speedup"]
+                  for event in events if event["event"] == "evaluation"}
+        from repro.spec import SweepSpec, evaluate_sweep
+        expected = evaluate_sweep(SweepSpec.from_jsonable(SWEEP),
+                                  engine=EvaluationEngine())
+        for evaluation in expected:
+            fingerprint = evaluation.spec.fingerprint()
+            assert served[fingerprint] == pytest.approx(evaluation.speedup)
+
+    serve_test(check)
+
+
+def test_bare_design_spec_is_one_point_sweep():
+    async def check(server, client):
+        status, _headers, body = await client._request(
+            "POST", "/v1/sweep", SPEC)
+        assert status == 200
+
+    serve_test(check)
+
+
+def test_sweep_warms_the_eval_cache():
+    engine = EvaluationEngine()
+
+    async def check(server, client):
+        await client.sweep(SWEEP)
+        payload = await client.evaluate(
+            {**SPEC, "tech": {"delta": 1.5}})
+        assert payload["cached"] is True
+
+    serve_test(check, engine=engine)
+
+
+def test_client_disconnect_cancels_sweep_without_poisoning_cache():
+    engine = EvaluationEngine()
+    big_sweep = {"base": SPEC,
+                 "grid": {"tech.delta": [round(1.0 + i * 0.05, 2)
+                                         for i in range(40)]}}
+
+    async def check(server, client):
+        stream = client.sweep_events(big_sweep, options={"chunk_size": 1})
+        async for event in stream:
+            if event["event"] == "evaluation":
+                break                     # hang up mid-stream
+        await stream.aclose()
+        # The server notices between chunk flushes and stops the worker.
+        for _ in range(200):
+            if server.stats.streams_cancelled and server._pending == 0:
+                break
+            await asyncio.sleep(0.05)
+        assert server.stats.streams_cancelled == 1
+        assert server._pending == 0
+        partial = engine.report().stage("sweep.evaluate").evaluated
+        assert partial < 40               # it really was cancelled early
+        # The shared cache is not poisoned: the same sweep re-runs to
+        # completion and every point matches a fresh engine's results.
+        events = await client.sweep(big_sweep, options={"chunk_size": 8})
+        end = events[-1]
+        assert end["event"] == "end"
+        assert end["points"] == 40
+        served = {e["fingerprint"]: e["edp_benefit"] for e in events
+                  if e["event"] == "evaluation"}
+        from repro.spec import SweepSpec, evaluate_sweep
+        expected = evaluate_sweep(SweepSpec.from_jsonable(big_sweep),
+                                  engine=EvaluationEngine())
+        assert len(served) == 40
+        for evaluation in expected:
+            assert served[evaluation.spec.fingerprint()] == pytest.approx(
+                evaluation.edp_benefit)
+
+    serve_test(check, engine=engine)
+
+
+# --- backpressure and quotas ----------------------------------------------
+
+
+def test_overload_yields_429_with_retry_after():
+    async def check(server, client):
+        with pytest.raises(ServeError) as info:
+            await client.evaluate(SPEC)
+        assert info.value.status == 429
+        assert info.value.error_type == "overloaded"
+        assert info.value.retry_after is not None
+        assert server.stats.rejected_overload == 1
+
+    serve_test(check, config=ServerConfig(port=0, max_pending=0))
+
+
+def test_sweep_overload_yields_429():
+    async def check(server, client):
+        with pytest.raises(ServeError) as info:
+            await client.sweep(SWEEP)
+        assert info.value.status == 429
+
+    serve_test(check, config=ServerConfig(port=0, max_pending=0))
+
+
+def test_quota_yields_429_rate_limited():
+    async def check(server, client):
+        limited = ServeClient(client.host, client.port, client_id="alice")
+        await limited.evaluate(SPEC)      # burst of 1: first is free
+        with pytest.raises(ServeError) as info:
+            await limited.evaluate(SPEC)
+        assert info.value.status == 429
+        assert info.value.error_type == "rate_limited"
+        assert info.value.retry_after > 0
+        # A different client has its own bucket.
+        other = ServeClient(client.host, client.port, client_id="bob")
+        payload = await other.evaluate(SPEC)
+        assert payload["result"]["speedup"] > 1
+        assert server.stats.rejected_quota == 1
+
+    serve_test(check, config=ServerConfig(port=0, quota_rate=0.001,
+                                          quota_burst=1))
+
+
+def test_quota_does_not_gate_reads():
+    async def check(server, client):
+        limited = ServeClient(client.host, client.port, client_id="alice")
+        await limited.evaluate(SPEC)
+        for _ in range(5):                # GETs bypass the token bucket
+            assert (await limited.health())["status"] == "ok"
+
+    serve_test(check, config=ServerConfig(port=0, quota_rate=0.001,
+                                          quota_burst=1))
+
+
+# --- observability endpoints ----------------------------------------------
+
+
+def test_metrics_endpoint_scrapes_prometheus_text():
+    async def check(server, client):
+        await client.evaluate(SPEC)
+        text = await client.metrics_text()
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_request_seconds" in text
+
+    serve_test(check)
+
+
+def test_cache_endpoint_reports_engine_and_serve_counters():
+    async def check(server, client):
+        await client.evaluate(SPEC)
+        await client.evaluate(SPEC)
+        payload = await client.cache()
+        assert payload["entries"] >= 1
+        assert payload["cache"]["stores"] >= 1
+        assert payload["stages"]["serve.eval"]["evaluated"] == 1
+        assert payload["serve"]["requests"] >= 3
+
+    serve_test(check)
+
+
+# --- protocol edges -------------------------------------------------------
+
+
+def test_oversized_body_yields_413():
+    async def check(server, client):
+        status, _headers, body = await client._request(
+            "POST", "/v1/eval", {"pad": "x" * 4096})
+        assert status == 413
+
+    serve_test(check, config=ServerConfig(port=0, max_body_bytes=1024))
+
+
+def test_keep_alive_serves_multiple_requests_per_connection():
+    async def check(server, client):
+        reader, writer = await asyncio.open_connection(client.host,
+                                                       client.port)
+        for _ in range(3):
+            writer.write(b"GET /v1/health HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"200 OK" in head
+            length = int(
+                [line.split(b":")[1] for line in head.split(b"\r\n")
+                 if line.lower().startswith(b"content-length")][0])
+            await reader.readexactly(length)
+        writer.close()
+
+    serve_test(check)

@@ -26,6 +26,7 @@ from repro.spec import (
     scaled_pdk,
 )
 from repro.spec.design import BASELINE_POLICIES, CS_PRESETS
+from repro.spec.sweep import reset_duplicate_axis_warnings
 from repro.spec.resolve import build_workload
 from repro.units import MEGABYTE
 from repro.workloads.models import resnet18
@@ -197,6 +198,7 @@ def test_duplicate_axis_rejected():
 
 
 def test_duplicate_grid_values_deduplicated_with_warning():
+    reset_duplicate_axis_warnings()
     with pytest.warns(UserWarning, match="grid axis 'tech.delta' repeats "
                                          "1 value"):
         sweep = SweepSpec(grid={"tech.delta": [1.0, 2.0, 1.0],
@@ -205,6 +207,36 @@ def test_duplicate_grid_values_deduplicated_with_warning():
     assert len(sweep) == 4
     deltas = [s.tech.delta for s in sweep.expand()]
     assert deltas == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_duplicate_grid_warning_fires_once_per_sweep_content():
+    """One logical sweep warns once, however often it is reconstructed.
+
+    Streaming and serving re-decode the same sweep repeatedly (wire
+    decode, checkpoint resume, chunk replay) — without the content guard
+    that re-warned once per chunk under an ``always`` warnings filter.
+    """
+    reset_duplicate_axis_warnings()
+    document = {"grid": {"tech.delta": [1.0, 2.0, 1.0]}}
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sweep = SweepSpec.from_jsonable(document)
+        # Re-normalizations of the same content: reconstruction, wire
+        # round-trip, and a chunked streaming run over the sweep.
+        SweepSpec.from_jsonable(document)
+        SweepSpec.from_jsonable(sweep.to_jsonable())
+        from repro.runtime.engine import EvaluationEngine
+        from repro.sweep import run_streaming_sweep
+
+        result = run_streaming_sweep(sweep, engine=EvaluationEngine(),
+                                     chunk_size=1)
+    assert result.points == 2          # duplicates dropped exactly once
+    dedup_warnings = [w for w in caught
+                      if "repeats" in str(w.message)]
+    assert len(dedup_warnings) == 1
+    # A *different* duplication still warns.
+    with pytest.warns(UserWarning, match="tech.beta"):
+        SweepSpec(grid={"tech.beta": [1.0, 1.0]})
 
 
 def test_unique_grid_values_warn_nothing():
