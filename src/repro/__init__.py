@@ -67,7 +67,12 @@ from repro.core import (
     execution_time,
     speedup,
 )
-from repro.physical import run_flow
+from repro.physical import (
+    FlowOutcome,
+    run_flow,
+    run_staged_flow,
+    run_staged_flows,
+)
 from repro.runtime import (
     EvaluationEngine,
     ResultCache,
@@ -78,6 +83,7 @@ from repro.runtime import (
 )
 from repro.spec import (
     DesignSpec,
+    FlowSpec,
     SweepSpec,
     evaluate_spec,
     evaluate_specs,
@@ -117,6 +123,9 @@ __all__ = [
     "edp_benefit",
     "analyze_network",
     "run_flow",
+    "FlowOutcome",
+    "run_staged_flow",
+    "run_staged_flows",
     "EvaluationEngine",
     "ResultCache",
     "configure",
@@ -125,6 +134,7 @@ __all__ = [
     "stable_key",
     "error_envelope",
     "DesignSpec",
+    "FlowSpec",
     "SweepSpec",
     "evaluate_spec",
     "evaluate_specs",

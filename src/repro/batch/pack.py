@@ -58,7 +58,13 @@ from repro.runtime.cache import MISSING
 from repro.runtime.keys import call_key
 from repro.runtime.memo import memo_table
 from repro.runtime.serialize import dumps, fingerprint_cache_enabled
-from repro.spec.design import ArchSpec, DesignSpec, TechSpec, WorkloadSpec
+from repro.spec.design import (
+    ArchSpec,
+    DesignSpec,
+    FlowSpec,
+    TechSpec,
+    WorkloadSpec,
+)
 from repro.spec.resolve import build_workload, tech_pdk
 from repro.tech.pdk import PDK
 from repro.workloads.layers import Layer, LayerKind
@@ -461,6 +467,12 @@ def _section_text(section) -> str:
         key = ("arch", section.capacity_bits, section.tier_pairs,
                section.n_cs, section.baseline, section.cs,
                section.precision_bits)
+    elif isinstance(section, FlowSpec):
+        key = ("flow", section.activity_cs, section.activity_channel,
+               section.activity_bus, section.frequency_mhz,
+               section.aspect_ratio, section.legalize, section.clock,
+               section.congestion, section.thermal, section.thermal_grid,
+               section.max_rise_k, section.max_power_density)
     else:
         key = ("workload", section.network, section.layer, section.batch)
     text = _SECTION_TEXTS.get(key)
@@ -474,6 +486,7 @@ def _section_text(section) -> str:
 
 def _spec_text(spec: DesignSpec) -> str:
     return (_SPEC_PREFIX + _section_text(spec.arch)
+            + ',"flow":' + _section_text(spec.flow)
             + ',"tech":' + _section_text(spec.tech)
             + ',"workload":' + _section_text(spec.workload) + "}}")
 

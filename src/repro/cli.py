@@ -9,7 +9,9 @@ Usage::
     python -m repro all                  # everything
     python -m repro dse --jobs 4 --trace out.json   # traced parallel run
     python -m repro eval --spec examples/spec.json   # one declarative point
+    python -m repro flow --spec examples/flow.json   # staged physical flow
     python -m repro sweep --spec examples/sweep.json # a declarative sweep
+    python -m repro sweep --spec sweep.json --physical --prune  # + feasibility
     python -m repro fig9 --spec my_spec.json         # retarget an experiment
     python -m repro serve --port 8348 --cache-dir /tmp/repro-cache  # HTTP API
 
@@ -131,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="points packed per batch-kernel invocation (default: the "
              "whole sweep, or one chunk when streaming)")
     parser.add_argument(
+        "--physical", action="store_true",
+        help="with 'eval'/'sweep': run every point through the staged "
+             "physical flow and report per-point feasibility (infeasible "
+             "points are results, not errors; they stay out of the "
+             "Pareto frontier)")
+    parser.add_argument(
         "--json", action="store_true",
         help="machine-readable failures: print the structured error "
              "envelope {error: {type, message, path}} on stderr instead "
@@ -206,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         return report_main()
     if names == ["serve"]:
         return _run_serve(args, engine)
+    if names == ["flow"]:
+        return _run_flow_command(args, engine, show_stats)
     if names in (["eval"], ["sweep"]):
         return _run_spec_command(names[0], args, engine, show_stats)
     if names == ["list"]:
@@ -217,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:10s} {description}")
         print("  all        run every experiment")
         print("  eval       evaluate one design spec (--spec spec.json)")
+        print("  flow       staged physical flow on one spec (--spec "
+              "spec.json)")
         print("  sweep      expand + evaluate a sweep spec (--spec sweep.json)")
         print("  validate   check every headline claim against the paper")
         print("  report     full reproduction report (tables + validation)")
@@ -313,6 +325,67 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
     return 0
 
 
+def _run_flow_command(args: argparse.Namespace, engine,
+                      show_stats: bool) -> int:
+    """Run the ``flow`` pseudo-command: the staged physical flow.
+
+    Resolves ``--spec`` into the 2D baseline / M3D design pair, drives
+    both through :func:`~repro.physical.flow.run_staged_flows` with the
+    spec's ``flow`` section (every stage dispatched through the engine
+    as ``flow.<stage>``, so ``--cache-dir`` makes re-runs incremental),
+    and prints per-design feasibility.  Infeasible designs are reported
+    rows, not errors.
+    """
+    from repro.errors import ReproError
+    from repro.physical.flow import run_staged_flows
+    from repro.spec import load_design_spec
+    from repro.spec.resolve import resolve
+    from repro.units import to_mm2
+
+    if args.spec is None:
+        return _fail(args, "'flow' needs --spec PATH (a JSON design spec)")
+    try:
+        spec = load_design_spec(args.spec)
+        point = resolve(spec)
+        outcomes = run_staged_flows(
+            (point.baseline, point.m3d), point.pdk, flow=spec.flow,
+            engine=engine)
+    except (OSError, ValueError, ReproError) as error:
+        return _fail(args, error, prefix=f"bad --spec {args.spec}: ")
+    rows = []
+    for label, outcome in zip(("2D baseline", "M3D"), outcomes):
+        feas = outcome.feasibility
+        timing = outcome.timing
+        rows.append([
+            label,
+            outcome.design.n_cs,
+            "-" if outcome.floorplan is None
+            else f"{to_mm2(outcome.floorplan.footprint):.1f}",
+            "-" if timing is None
+            else f"{timing.achieved_frequency / 1e6:.0f}",
+            "-" if timing is None else f"{feas.timing_slack * 1e9:.1f}",
+            f"{feas.track_utilization:.0%}",
+            f"{feas.ilv_utilization:.0%}",
+            "-" if outcome.thermal is None
+            else f"{outcome.thermal.hotspot_rise_k:.2f}",
+            feas.verdict,
+        ])
+    print(format_table(
+        f"Staged physical flow — {args.spec}",
+        ["design", "CS", "footprint mm^2", "fmax MHz", "slack ns",
+         "tracks", "ILVs", "hotspot K", "feasibility"],
+        rows,
+    ))
+    feasible = sum(outcome.feasible for outcome in outcomes)
+    print(f"\nfeasible designs: {feasible}/{len(outcomes)}")
+    if show_stats:
+        from repro.experiments.reporting import format_run_report
+
+        print()
+        print(format_run_report(engine.report()))
+    return 0
+
+
 def _run_spec_command(command: str, args: argparse.Namespace, engine,
                       show_stats: bool) -> int:
     """Run the ``eval`` / ``sweep`` pseudo-command against ``--spec``."""
@@ -334,7 +407,8 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
     try:
         if command == "eval":
             evaluations = evaluate_specs([load_design_spec(args.spec)],
-                                         engine=engine, batch=batch)
+                                         engine=engine, batch=batch,
+                                         physical=args.physical)
             title = f"Spec evaluation — {args.spec}"
         elif streaming:
             from repro.sweep import DEFAULT_CHUNK_SIZE, run_streaming_sweep
@@ -347,20 +421,25 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
             result = run_streaming_sweep(
                 sweep, engine=engine, chunk_size=chunk_size,
                 prune=args.prune, checkpoint=args.checkpoint_dir,
-                checkpoint_every=args.checkpoint_every, batch=batch)
+                checkpoint_every=args.checkpoint_every, batch=batch,
+                physical=args.physical)
             evaluations = result.evaluations
             title = (f"Streaming sweep — {args.spec} "
                      f"({result.points} points)")
+            infeasible = (f"{result.infeasible} infeasible, "
+                          if args.physical else "")
             summary = (f"streamed {result.points} points in "
                        f"{result.chunks} chunk(s): "
                        f"{result.evaluated} evaluated, "
+                       f"{infeasible}"
                        f"{result.pruned} pruned, "
                        f"{result.resumed_chunks} chunk(s) resumed; "
                        f"frontier size {len(result.frontier)}")
         else:
             sweep = load_sweep_spec(args.spec)
             evaluations = evaluate_sweep(sweep, engine=engine, batch=batch,
-                                         batch_size=args.batch_size)
+                                         batch_size=args.batch_size,
+                                         physical=args.physical)
             title = f"Sweep evaluation — {args.spec} ({len(sweep)} points)"
     except (OSError, ValueError, ReproError) as error:
         return _fail(args, error, prefix=f"bad --spec {args.spec}: ")

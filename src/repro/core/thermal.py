@@ -43,6 +43,23 @@ class ThermalStack:
         return (self.r_per_pair,) * pairs
 
 
+def vertical_conductance(cells_on_die: float,
+                         stack: ThermalStack | None = None) -> float:
+    """Per-cell through-package conductance to ambient, W/K.
+
+    The stack's junction-to-ambient resistance R0 describes the whole
+    die; a grid model splits it evenly over ``cells_on_die`` cells, so
+    each cell sees ``1 / (R0 * cells)``.  This is the single definition
+    both the scalar Eq. 17 budget (:func:`temperature_rise`) and the
+    spatial solver (:mod:`repro.physical.thermal_map`) derive their
+    vertical heat path from — the two feasibility checks cannot diverge.
+    """
+    stack = stack if stack is not None else ThermalStack()
+    require(cells_on_die > 0, "cell count must be positive")
+    require(stack.r_ambient > 0, "R0 must be positive for a grid model")
+    return 1.0 / (stack.r_ambient * cells_on_die)
+
+
 def temperature_rise(
     powers: Sequence[float],
     stack: ThermalStack | None = None,

@@ -17,7 +17,7 @@ from repro.experiments.registry import (
     warn_deprecated_shim,
 )
 from repro.experiments.reporting import format_table, percent, times
-from repro.physical.flow import FlowResult, run_flow
+from repro.physical.flow import FlowResult, run_staged_flows
 from repro.runtime.engine import EvaluationEngine
 from repro.spec.resolve import resolve
 from repro.units import MEGABYTE, to_mm2, to_mw
@@ -113,16 +113,21 @@ def casestudy_experiment(ctx: ExperimentContext,
                          capacity_bits: int | None = None) -> CaseStudyResult:
     """Run the flow on the 2D baseline and the iso-footprint M3D design.
 
-    Both flow runs go through the evaluation engine, so a warm cache
-    (memory or ``--cache-dir``) serves repeat runs without re-running the
-    physical flow, and ``jobs`` >= 2 runs the two designs concurrently.
-    ``capacity_bits`` (if given) overrides the context spec's capacity.
+    Both designs go through the staged pipeline
+    (:func:`~repro.physical.flow.run_staged_flows`) with the spec's
+    ``flow`` section, dispatched stage by stage through the evaluation
+    engine — a warm cache (memory or ``--cache-dir``) serves repeat runs
+    per stage, and ``jobs`` >= 2 runs the two designs concurrently
+    within each stage.  ``strict=True`` keeps the historical abort on a
+    timing miss.  ``capacity_bits`` (if given) overrides the context
+    spec's capacity.
     """
     changes = {} if capacity_bits is None \
         else {"arch.capacity_bits": capacity_bits}
-    point = resolve(ctx.design_spec(changes), ctx.pdk)
-    baseline, m3d = ctx.engine.map(
-        run_flow,
-        [(point.baseline, point.pdk), (point.m3d, point.pdk)],
-        stage="casestudy.run_flow", jobs=ctx.jobs)
-    return CaseStudyResult(baseline=baseline, m3d=m3d)
+    spec = ctx.design_spec(changes)
+    point = resolve(spec, ctx.pdk)
+    baseline, m3d = run_staged_flows(
+        (point.baseline, point.m3d), point.pdk, flow=spec.flow,
+        engine=ctx.engine, jobs=ctx.jobs, strict=True)
+    return CaseStudyResult(baseline=baseline.as_result(),
+                           m3d=m3d.as_result())

@@ -30,7 +30,7 @@ from repro.experiments.registry import (
 from repro.experiments.reporting import format_table, times
 from repro.perf.compare import compare_designs
 from repro.perf.simulator import simulate
-from repro.physical.flow import run_flow
+from repro.physical.flow import run_staged_flow
 from repro.runtime.engine import EvaluationEngine
 from repro.spec.resolve import resolve
 from repro.units import MEGABYTE, to_mm2
@@ -102,13 +102,14 @@ def folding_experiment(
     """
     changes = {} if capacity_bits is None \
         else {"arch.capacity_bits": capacity_bits}
-    point = resolve(ctx.design_spec(changes), ctx.pdk)
+    spec = ctx.design_spec(changes)
+    point = resolve(spec, ctx.pdk)
     pdk = point.pdk
     network = network if network is not None else point.network
 
-    (flow_2d,) = ctx.engine.map(
-        run_flow, [(point.baseline, pdk)],
-        stage="folding.run_flow", jobs=ctx.jobs)
+    flow_2d = run_staged_flow(
+        point.baseline, pdk, flow=spec.flow,
+        engine=ctx.engine, jobs=ctx.jobs, strict=True).as_result()
     baseline = flow_2d.design
 
     # Folded footprint: the memory tier and the logic tier overlap.

@@ -24,8 +24,23 @@ from repro.physical.floorplan import Floorplan, PlacedBlock, Rect, build_floorpl
 from repro.physical.placement import legalize_floorplan, placement_quality
 from repro.physical.routing import RoutingResult, route
 from repro.physical.timing import TimingResult, analyze_timing
-from repro.physical.power import PowerReport, analyze_power
-from repro.physical.flow import FlowResult, run_flow
+from repro.physical.power import ActivityFactors, PowerReport, analyze_power
+from repro.physical.clock import ClockTree, synthesize_clock_tree
+from repro.physical.congestion import (
+    CongestionReport,
+    analyze_congestion,
+    congestion_report,
+)
+from repro.physical.thermal import ThermalReport, analyze_thermal
+from repro.physical.flow import (
+    FLOW_STAGES,
+    FlowFeasibility,
+    FlowOutcome,
+    FlowResult,
+    run_flow,
+    run_staged_flow,
+    run_staged_flows,
+)
 
 __all__ = [
     "BlockKind",
@@ -46,8 +61,21 @@ __all__ = [
     "route",
     "TimingResult",
     "analyze_timing",
+    "ActivityFactors",
     "PowerReport",
     "analyze_power",
+    "ClockTree",
+    "synthesize_clock_tree",
+    "CongestionReport",
+    "analyze_congestion",
+    "congestion_report",
+    "ThermalReport",
+    "analyze_thermal",
+    "FLOW_STAGES",
+    "FlowFeasibility",
+    "FlowOutcome",
     "FlowResult",
     "run_flow",
+    "run_staged_flow",
+    "run_staged_flows",
 ]

@@ -12,14 +12,25 @@ verify:
   ILV capacity; the margin shrinks quadratically as the via pitch coarsens
   (Case 2's mechanism showing up as a routability limit rather than an
   area limit).
+
+:func:`congestion_report` is the staged-flow entry point — it takes the
+floorplan/routing artifacts directly so the engine can content-hash them
+as cache keys.  :func:`analyze_congestion` keeps the historical
+"completed flow in, report out" signature on top of it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.arch.accelerator import AcceleratorDesign
 from repro.errors import require
-from repro.physical.flow import FlowResult
+from repro.physical.floorplan import Floorplan
+from repro.physical.routing import RoutingResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow -> here)
+    from repro.physical.flow import FlowResult
 
 #: Signal routing layers available over the whole stack.
 ROUTING_LAYERS = 6
@@ -66,29 +77,29 @@ class CongestionReport:
                 and self.ilv_utilization <= 1.0)
 
 
-def analyze_congestion(flow: FlowResult) -> CongestionReport:
-    """Build the congestion report from a completed flow run."""
-    die = flow.floorplan.die
+def congestion_report(floorplan: Floorplan, routing: RoutingResult,
+                      design: AcceleratorDesign) -> CongestionReport:
+    """The congestion report from the placed-and-routed artifacts."""
+    die = floorplan.die
     tracks_per_layer = die.width / TRACK_PITCH
     capacity = (ROUTING_LAYERS * tracks_per_layer * die.height
                 * TRACK_UTILIZATION_LIMIT)
-    demand = flow.routing.total_wirelength
+    demand = routing.total_wirelength
 
-    design = flow.design
     if design.is_m3d:
         cells = design.bank_plan.array
         cell_vias = cells.capacity_bits * cells.cell.vias_per_cell
-        signal_vias = flow.routing.ilv_count
+        signal_vias = routing.ilv_count
         ilv_demand = float(cell_vias + signal_vias)
         # Capacity: the pitch-limited via sites over the cell-array
         # footprint (where the access-FET connections must land).
         pdk_area = design.area.cells
-        pitch = flow.design.bank_plan.array.ilv.pitch \
-            if flow.design.bank_plan.array.ilv is not None else None
+        pitch = design.bank_plan.array.ilv.pitch \
+            if design.bank_plan.array.ilv is not None else None
         require(pitch is not None, "M3D design must carry an ILV model")
         ilv_capacity = pdk_area / (pitch * pitch)
     else:
-        ilv_demand = float(flow.routing.ilv_count)
+        ilv_demand = float(routing.ilv_count)
         ilv_capacity = float("inf") if ilv_demand == 0 else die.area / (
             (0.46e-6) ** 2)
     return CongestionReport(
@@ -98,3 +109,8 @@ def analyze_congestion(flow: FlowResult) -> CongestionReport:
         ilv_demand=ilv_demand,
         ilv_capacity=ilv_capacity,
     )
+
+
+def analyze_congestion(flow: "FlowResult") -> CongestionReport:
+    """Build the congestion report from a completed flow run."""
+    return congestion_report(flow.floorplan, flow.routing, flow.design)

@@ -169,10 +169,16 @@ def _pack_row(names_areas: list[tuple[str, float]], band: Rect,
 
 
 def build_floorplan(netlist: Netlist, design: AcceleratorDesign,
-                    pdk: PDK) -> Floorplan:
-    """Floorplan one design: band placement per the module docstring."""
+                    pdk: PDK, aspect_ratio: float = 1.0) -> Floorplan:
+    """Floorplan one design: band placement per the module docstring.
+
+    ``aspect_ratio`` is the die's width/height ratio — the flow's
+    floorplan-shaping knob.  The die area is fixed by the design either
+    way; 1.0 keeps the historical square die.
+    """
+    require(aspect_ratio > 0, "aspect_ratio must be positive")
     die_area = design.area.footprint
-    width = math.sqrt(die_area)
+    width = math.sqrt(die_area * aspect_ratio)
     die = Rect(x=0.0, y=0.0, width=width, height=die_area / width)
 
     rram_blocks = [(b.name, b.area)

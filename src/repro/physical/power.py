@@ -107,10 +107,15 @@ def analyze_power(
     design: AcceleratorDesign,
     pdk: PDK,
     activity: ActivityFactors | None = None,
+    frequency_hz: float | None = None,
 ) -> PowerReport:
-    """Run the per-tier power model on a placed design."""
+    """Run the per-tier power model on a placed design.
+
+    ``frequency_hz`` overrides the design's architected clock (the flow
+    spec's target-frequency knob); ``None`` keeps ``design.frequency_hz``.
+    """
     activity = activity if activity is not None else ActivityFactors()
-    freq = design.frequency_hz
+    freq = design.frequency_hz if frequency_hz is None else frequency_hz
     precision = design.precision_bits
     lib = pdk.silicon_library
 

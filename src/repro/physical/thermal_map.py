@@ -18,8 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.thermal import ThermalStack, vertical_conductance
 from repro.errors import require
-from repro.tech import constants
 from repro.physical.floorplan import Floorplan
 from repro.physical.power import PowerReport
 
@@ -101,14 +101,16 @@ def solve_thermal_map(
     power: PowerReport,
     grid: int = GRID,
     iterations: int = 400,
+    stack: ThermalStack | None = None,
 ) -> ThermalMap:
     """Solve the steady-state grid model by Jacobi iteration."""
     require(iterations >= 1, "need at least one iteration")
     source, cell = power_density_grid(floorplan, power, grid)
     # Vertical conductance per cell from the stack's K/W resistance,
-    # apportioned by cell area share of the die.
+    # apportioned by cell area share of the die (shared definition in
+    # repro.core.thermal, so the scalar Eq. 17 check cannot diverge).
     cells_on_die = floorplan.die.area / (cell * cell)
-    g_vertical = 1.0 / (constants.THERMAL_R_AMBIENT * cells_on_die)
+    g_vertical = vertical_conductance(cells_on_die, stack)
     g_lateral = LATERAL_CONDUCTANCE
     temp = np.zeros_like(source)
     for _ in range(iterations):

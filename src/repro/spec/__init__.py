@@ -15,6 +15,7 @@
 from repro.spec.design import (
     ArchSpec,
     DesignSpec,
+    FlowSpec,
     TechSpec,
     WorkloadSpec,
     field_paths,
@@ -23,6 +24,7 @@ from repro.spec.design import (
 from repro.spec.sweep import SweepSpec, load_sweep_spec
 from repro.spec.resolve import ResolvedPoint, build_workload, resolve, scaled_pdk
 from repro.spec.evaluate import (
+    PhysicalSummary,
     SpecEvaluation,
     evaluate_spec,
     evaluate_specs,
@@ -33,6 +35,8 @@ from repro.spec.evaluate import (
 __all__ = [
     "ArchSpec",
     "DesignSpec",
+    "FlowSpec",
+    "PhysicalSummary",
     "ResolvedPoint",
     "SpecEvaluation",
     "SweepSpec",

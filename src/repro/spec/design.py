@@ -33,6 +33,7 @@ __all__ = [
     "BASELINE_POLICIES",
     "CS_PRESETS",
     "DesignSpec",
+    "FlowSpec",
     "TechSpec",
     "WorkloadSpec",
     "field_paths",
@@ -78,6 +79,12 @@ def _checked_int(name: str, value: Any, minimum: int) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
         raise ConfigurationError(f"{name} must be an integer, got {value!r}")
     require(value >= minimum, f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def _checked_bool(name: str, value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a boolean, got {value!r}")
     return value
 
 
@@ -236,8 +243,110 @@ class WorkloadSpec:
         return cls(**dict(data))
 
 
+@dataclass(frozen=True)
+class FlowSpec:
+    """Physical-design flow knobs for the staged P&R pipeline.
+
+    Everything :func:`repro.physical.flow.run_staged_flow` needs beyond
+    the design itself: switching-activity factors, an optional target
+    frequency override, die shaping, per-stage toggles, and the
+    feasibility budgets the :class:`~repro.physical.flow.FlowOutcome`
+    checks against.  The defaults reproduce the legacy ``run_flow``
+    physical results bit-identically (plus the clock / congestion /
+    thermal stages the legacy flow never ran).
+
+    Attributes:
+        activity_cs: CS compute-logic switching activity (Sec. III-C).
+        activity_channel: Weight-channel switching activity.
+        activity_bus: Writeback-bus switching activity.
+        frequency_mhz: Target clock override for timing/clock/power;
+            ``None`` uses each design's own architected frequency.
+        aspect_ratio: Die width/height ratio the floorplanner shapes the
+            die to (1.0 = the legacy square die).
+        legalize: Run the CS legalization (detailed-placement) stage.
+        clock: Run clock-tree synthesis.
+        congestion: Run routing-track / ILV congestion analysis.
+        thermal: Run the thermal-map solve.
+        thermal_grid: Thermal solver grid resolution (cells per side).
+        max_rise_k: Thermal feasibility budget — max tolerated hotspot
+            temperature rise over ambient, in kelvin.
+        max_power_density: Optional power-density feasibility cap in
+            W/m^2 (``None`` = unchecked).
+    """
+
+    activity_cs: float = 0.85
+    activity_channel: float = 0.05
+    activity_bus: float = 0.10
+    frequency_mhz: float | None = None
+    aspect_ratio: float = 1.0
+    legalize: bool = True
+    clock: bool = True
+    congestion: bool = True
+    thermal: bool = True
+    thermal_grid: int = 64
+    max_rise_k: float = 60.0
+    max_power_density: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("activity_cs", "activity_channel", "activity_bus"):
+            value = _checked_float(f"flow.{name}", getattr(self, name), 0.0)
+            require(value <= 1.0, f"flow.{name} must be <= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        if self.frequency_mhz is not None:
+            value = _checked_float("flow.frequency_mhz",
+                                   self.frequency_mhz, 0.0)
+            require(value > 0, "flow.frequency_mhz must be positive")
+            object.__setattr__(self, "frequency_mhz", value)
+        ratio = _checked_float("flow.aspect_ratio", self.aspect_ratio, 0.0)
+        require(ratio > 0, "flow.aspect_ratio must be positive")
+        object.__setattr__(self, "aspect_ratio", ratio)
+        for name in ("legalize", "clock", "congestion", "thermal"):
+            _checked_bool(f"flow.{name}", getattr(self, name))
+        _checked_int("flow.thermal_grid", self.thermal_grid, 4)
+        rise = _checked_float("flow.max_rise_k", self.max_rise_k, 0.0)
+        require(rise > 0, "flow.max_rise_k must be positive")
+        object.__setattr__(self, "max_rise_k", rise)
+        if self.max_power_density is not None:
+            cap = _checked_float("flow.max_power_density",
+                                 self.max_power_density, 0.0)
+            require(cap > 0, "flow.max_power_density must be positive")
+            object.__setattr__(self, "max_power_density", cap)
+
+    @property
+    def frequency_hz(self) -> float | None:
+        """The frequency override in hertz (``None`` = design default)."""
+        if self.frequency_mhz is None:
+            return None
+        return self.frequency_mhz * 1e6
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """Plain-JSON form (no tagged-codec payloads)."""
+        return {
+            "activity_cs": self.activity_cs,
+            "activity_channel": self.activity_channel,
+            "activity_bus": self.activity_bus,
+            "frequency_mhz": self.frequency_mhz,
+            "aspect_ratio": self.aspect_ratio,
+            "legalize": self.legalize,
+            "clock": self.clock,
+            "congestion": self.congestion,
+            "thermal": self.thermal,
+            "thermal_grid": self.thermal_grid,
+            "max_rise_k": self.max_rise_k,
+            "max_power_density": self.max_power_density,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FlowSpec":
+        """Inverse of :meth:`to_jsonable`; rejects unknown keys."""
+        _require_mapping("flow", data)
+        _check_keys("flow", data, tuple(f.name for f in fields(cls)))
+        return cls(**dict(data))
+
+
 _SECTIONS: tuple[tuple[str, type], ...] = (
     ("tech", TechSpec), ("arch", ArchSpec), ("workload", WorkloadSpec),
+    ("flow", FlowSpec),
 )
 
 
@@ -251,7 +360,7 @@ def field_paths() -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class DesignSpec:
-    """One declarative design point: tech + arch + workload.
+    """One declarative design point: tech + arch + workload + flow.
 
     The default spec is exactly the paper's case study — 64 MB RRAM,
     delta = beta = 1, one tier pair, the Sec. II CS, ResNet-18 at batch 1
@@ -261,6 +370,7 @@ class DesignSpec:
     tech: TechSpec = field(default_factory=TechSpec)
     arch: ArchSpec = field(default_factory=ArchSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    flow: FlowSpec = field(default_factory=FlowSpec)
 
     # --- serialization ----------------------------------------------------
 
@@ -270,6 +380,7 @@ class DesignSpec:
             "tech": self.tech.to_jsonable(),
             "arch": self.arch.to_jsonable(),
             "workload": self.workload.to_jsonable(),
+            "flow": self.flow.to_jsonable(),
         }
 
     @classmethod

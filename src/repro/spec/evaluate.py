@@ -7,12 +7,20 @@ call.  Because a spec is pure data, that cache key is a canonical-JSON
 hash of a few dozen bytes — it survives process restarts through the disk
 cache, and shipping a call to a ``--jobs N`` worker serializes the spec,
 not a tree of live design objects.
+
+``physical=True`` additionally drives both resolved designs through the
+staged physical flow (:func:`repro.physical.flow.run_staged_flow`, knobs
+from the spec's ``flow`` section) and attaches a :class:`PhysicalSummary`
+— including a feasibility verdict — to the evaluation.  An infeasible
+point (timing miss, unroutable, over the thermal budget) is a normal
+result carrying ``feasible=False``, never an exception, which is what
+lets physical-aware sweeps report infeasible regions instead of aborting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import require
 from repro.perf.compare import compare_designs
@@ -25,13 +33,84 @@ from repro.spec.sweep import SweepSpec
 from repro.tech.pdk import PDK
 from repro.units import MEGABYTE
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only (lazy import below)
+    from repro.spec.resolve import ResolvedPoint
+
 __all__ = [
+    "PhysicalSummary",
     "SpecEvaluation",
     "evaluate_spec",
     "evaluate_specs",
     "evaluate_sweep",
     "format_spec_evaluations",
 ]
+
+
+@dataclass(frozen=True)
+class PhysicalSummary:
+    """Physical-flow metrics of one evaluated design point.
+
+    The point is *feasible* when both chips of the comparison close
+    physically — the M3D design and its 2D baseline each meet timing,
+    route, and stay inside the power-density and thermal budgets of the
+    spec's ``flow`` section.  The scalar metrics describe the M3D design
+    (the paper's subject); ``power_density_ratio`` relates it to the 2D
+    baseline (Obs. 2).
+
+    Attributes:
+        feasible: Both designs closed every enabled check.
+        failed_stage: Flow stage that raised, if the flow could not
+            complete (``None`` otherwise).
+        timing_met: Both designs close timing at the target clock.
+        timing_slack: M3D slack at the target clock, seconds.
+        achieved_frequency: M3D maximum frequency, Hz (0 if unknown).
+        routable: Both designs fit their routing/ILV capacity.
+        track_utilization: M3D routing-track utilization.
+        ilv_utilization: M3D inter-layer-via utilization.
+        total_power: M3D chip power, watts.
+        peak_power_density: M3D peak block power density, W/m^2.
+        power_density_ok: Density inside the spec's cap (both designs).
+        power_density_ratio: M3D / 2D peak density (paper: ~1.01).
+        upper_tier_fraction: M3D power fraction in the BEOL tiers.
+        hotspot_rise_k: M3D hotspot temperature rise, K.
+        thermal_headroom_k: Budget minus M3D hotspot rise, K.
+        thermal_ok: Both designs inside the thermal budget.
+    """
+
+    feasible: bool
+    failed_stage: str | None
+    timing_met: bool
+    timing_slack: float
+    achieved_frequency: float
+    routable: bool
+    track_utilization: float
+    ilv_utilization: float
+    total_power: float
+    peak_power_density: float
+    power_density_ok: bool
+    power_density_ratio: float
+    upper_tier_fraction: float
+    hotspot_rise_k: float
+    thermal_headroom_k: float
+    thermal_ok: bool
+
+    @property
+    def verdict(self) -> str:
+        """Short diagnosis: ``"ok"`` or the failed check(s)."""
+        if self.feasible:
+            return "ok"
+        if self.failed_stage is not None:
+            return f"failed:{self.failed_stage}"
+        reasons = []
+        if not self.timing_met:
+            reasons.append("timing")
+        if not self.routable:
+            reasons.append("routing")
+        if not self.power_density_ok:
+            reasons.append("density")
+        if not self.thermal_ok:
+            reasons.append("thermal")
+        return "+".join(reasons) if reasons else "infeasible"
 
 
 @dataclass(frozen=True)
@@ -46,6 +125,8 @@ class SpecEvaluation:
         speedup: T_2D / T_3D on the spec's workload.
         energy_benefit: E_2D / E_3D.
         edp_benefit: Product of the two.
+        physical: Physical-flow summary (``None`` unless the evaluation
+            ran with ``physical=True``).
     """
 
     spec: DesignSpec
@@ -55,6 +136,12 @@ class SpecEvaluation:
     speedup: float
     energy_benefit: float
     edp_benefit: float
+    physical: PhysicalSummary | None = None
+
+    @property
+    def is_feasible(self) -> bool:
+        """Physically feasible (vacuously True without a physical run)."""
+        return self.physical is None or self.physical.feasible
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (used by the disk result cache)."""
@@ -69,8 +156,55 @@ class SpecEvaluation:
         return evaluation
 
 
-def evaluate_spec(spec: DesignSpec, pdk: PDK | None = None) -> SpecEvaluation:
-    """Resolve and simulate one design spec."""
+def _physical_summary(spec: DesignSpec,
+                      point: "ResolvedPoint") -> PhysicalSummary:
+    """Run both designs through the staged flow and condense the outcomes.
+
+    Single-design non-strict runs, so a stage error on either chip
+    becomes an infeasible summary instead of an exception.
+    """
+    from repro.physical.flow import run_staged_flow
+
+    m3d = run_staged_flow(point.m3d, point.pdk, flow=spec.flow)
+    base = run_staged_flow(point.baseline, point.pdk, flow=spec.flow)
+    fm, fb = m3d.feasibility, base.feasibility
+    ratio = 0.0
+    if m3d.power is not None and base.power is not None:
+        ratio = (m3d.power.peak_power_density
+                 / base.power.peak_power_density)
+    return PhysicalSummary(
+        feasible=m3d.feasible and base.feasible,
+        failed_stage=fm.failed_stage if fm.failed_stage is not None
+        else fb.failed_stage,
+        timing_met=fm.timing_met and fb.timing_met,
+        timing_slack=fm.timing_slack,
+        achieved_frequency=(m3d.timing.achieved_frequency
+                            if m3d.timing is not None else 0.0),
+        routable=fm.routable and fb.routable,
+        track_utilization=fm.track_utilization,
+        ilv_utilization=fm.ilv_utilization,
+        total_power=m3d.power.total if m3d.power is not None else 0.0,
+        peak_power_density=fm.peak_power_density,
+        power_density_ok=fm.power_density_ok and fb.power_density_ok,
+        power_density_ratio=ratio,
+        upper_tier_fraction=(m3d.power.upper_tier_fraction
+                             if m3d.power is not None else 0.0),
+        hotspot_rise_k=(m3d.thermal.hotspot_rise_k
+                        if m3d.thermal is not None else 0.0),
+        thermal_headroom_k=fm.thermal_headroom_k,
+        thermal_ok=fm.thermal_ok and fb.thermal_ok,
+    )
+
+
+def evaluate_spec(spec: DesignSpec, pdk: PDK | None = None,
+                  physical: bool = False) -> SpecEvaluation:
+    """Resolve and simulate one design spec.
+
+    ``physical=True`` additionally runs the staged physical flow on both
+    resolved designs (knobs from ``spec.flow``) and attaches a
+    :class:`PhysicalSummary`; infeasible points return normally with
+    ``physical.feasible == False``.
+    """
     point = resolve(spec, pdk)
     batch = spec.workload.batch
     benefit = compare_designs(
@@ -85,6 +219,7 @@ def evaluate_spec(spec: DesignSpec, pdk: PDK | None = None) -> SpecEvaluation:
         speedup=benefit.speedup,
         energy_benefit=benefit.energy_benefit,
         edp_benefit=benefit.edp_benefit,
+        physical=_physical_summary(spec, point) if physical else None,
     )
 
 
@@ -95,6 +230,7 @@ def evaluate_specs(
     jobs: int | None = None,
     batch: bool = False,
     batch_size: int | None = None,
+    physical: bool = False,
 ) -> tuple[SpecEvaluation, ...]:
     """Evaluate many specs as one engine batch.
 
@@ -111,13 +247,20 @@ def evaluate_specs(
     ``batch_size`` caps the points packed per kernel invocation (default:
     the whole sequence as one batch); specs the kernel cannot express
     fall back to scalar evaluation point by point.
+
+    ``physical=True`` runs the staged physical flow per point (see
+    :func:`evaluate_spec`).  The flow has no vectorized form, so
+    physical evaluations always take the scalar path — ``batch`` is
+    ignored for them — and cache under distinct keys (the ``physical``
+    keyword is part of the call's content hash).
     """
     engine = engine if engine is not None else default_engine()
+    kwargs = {"physical": True} if physical else {}
     if pdk is None:
-        calls: list[tuple] = [(spec,) for spec in specs]
+        calls: list[tuple] = [((spec,), kwargs) for spec in specs]
     else:
-        calls = [(spec, pdk) for spec in specs]
-    if not batch and batch_size is None:
+        calls = [((spec, pdk), kwargs) for spec in specs]
+    if physical or (not batch and batch_size is None):
         return tuple(engine.map(evaluate_spec, calls, stage="spec.evaluate",
                                 jobs=jobs))
     from repro.batch.kernel import BatchKernel
@@ -142,10 +285,12 @@ def evaluate_sweep(
     jobs: int | None = None,
     batch: bool = False,
     batch_size: int | None = None,
+    physical: bool = False,
 ) -> tuple[SpecEvaluation, ...]:
     """Expand a sweep and evaluate every point (in expansion order)."""
     return evaluate_specs(sweep.expand(), pdk=pdk, engine=engine, jobs=jobs,
-                          batch=batch, batch_size=batch_size)
+                          batch=batch, batch_size=batch_size,
+                          physical=physical)
 
 
 def format_spec_evaluations(
@@ -155,6 +300,8 @@ def format_spec_evaluations(
     """Render evaluations as the CLI's table (one row per spec)."""
     from repro.experiments.reporting import format_table, times
 
+    physical = any(evaluation.physical is not None
+                   for evaluation in evaluations)
     rows = []
     for evaluation in evaluations:
         spec = evaluation.spec
@@ -163,7 +310,7 @@ def format_spec_evaluations(
             workload += f" [{spec.workload.layer}]"
         if spec.workload.batch != 1:
             workload += f" x{spec.workload.batch}"
-        rows.append([
+        row = [
             workload,
             f"{spec.arch.capacity_bits / MEGABYTE:.0f} MB",
             f"{spec.tech.delta:g}",
@@ -174,10 +321,18 @@ def format_spec_evaluations(
             times(evaluation.speedup),
             times(evaluation.energy_benefit),
             times(evaluation.edp_benefit),
-        ])
-    return format_table(
-        title,
-        ["workload", "capacity", "delta", "beta", "Y", "2D CSs", "M3D CSs",
-         "speedup", "energy", "EDP benefit"],
-        rows,
-    )
+        ]
+        if physical:
+            summary = evaluation.physical
+            if summary is None:
+                row += ["-", "-"]
+            else:
+                fmax = f"{summary.achieved_frequency / 1e6:.0f} MHz" \
+                    if summary.achieved_frequency > 0 else "-"
+                row += [fmax, summary.verdict]
+        rows.append(row)
+    headers = ["workload", "capacity", "delta", "beta", "Y", "2D CSs",
+               "M3D CSs", "speedup", "energy", "EDP benefit"]
+    if physical:
+        headers += ["fmax", "physical"]
+    return format_table(title, headers, rows)

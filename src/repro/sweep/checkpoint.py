@@ -13,8 +13,9 @@ original object.
 
 Records for different sweeps never collide: each store keys its
 subdirectory by :func:`checkpoint_key`, a content hash over the sweep
-spec, the PDK, the chunk size (chunk boundaries move with it), and the
-pruning flag (a pruned chunk legitimately holds fewer evaluations).  Each
+spec, the PDK, the chunk size (chunk boundaries move with it), the
+pruning flag (a pruned chunk legitimately holds fewer evaluations), and
+the physical flag (physical evaluations carry extra payload).  Each
 record also embeds its chunk's spec hash, so a stale or foreign file —
 like a corrupt one — degrades to "re-evaluate this chunk", never to wrong
 results.
@@ -45,11 +46,12 @@ def chunk_hash(specs: Iterable[DesignSpec]) -> str:
 
 
 def checkpoint_key(sweep: SweepSpec, pdk: PDK | None = None,
-                   chunk_size: int = 1, prune: bool = False) -> str:
+                   chunk_size: int = 1, prune: bool = False,
+                   physical: bool = False) -> str:
     """Content hash identifying one streaming run's checkpoint store."""
     return stable_key("repro.sweep.checkpoint", sweep.to_jsonable(),
                       None if pdk is None else stable_key(pdk),
-                      chunk_size, prune)
+                      chunk_size, prune, physical)
 
 
 @dataclass(frozen=True)
@@ -96,11 +98,13 @@ class SweepCheckpoint:
     @classmethod
     def for_sweep(cls, directory: str | os.PathLike, sweep: SweepSpec,
                   pdk: PDK | None = None, chunk_size: int = 1,
-                  prune: bool = False) -> "SweepCheckpoint":
+                  prune: bool = False,
+                  physical: bool = False) -> "SweepCheckpoint":
         """The checkpoint store for one (sweep, pdk, chunking) identity."""
         return cls(directory, checkpoint_key(sweep, pdk=pdk,
                                              chunk_size=chunk_size,
-                                             prune=prune))
+                                             prune=prune,
+                                             physical=physical))
 
     def _path(self, index: int) -> Path:
         return self.directory / f"chunk-{index:08d}.json"

@@ -70,15 +70,29 @@ class ParetoFrontier:
         self._xs: list[float] = []
         self._ys: list[float] = []
         self._items: list[list[Any]] = []
+        self._infeasible = 0
 
     # --- updates ----------------------------------------------------------
 
-    def add(self, x: float, y: float, item: Any = None) -> bool:
+    @property
+    def infeasible(self) -> int:
+        """Points offered with ``feasible=False`` (never admitted)."""
+        return self._infeasible
+
+    def add(self, x: float, y: float, item: Any = None,
+            feasible: bool = True) -> bool:
         """Offer a point; returns True when it joins the frontier.
 
         A dominated point is rejected; an accepted point evicts every
         staircase step it dominates.  Exact ties join the existing step.
+        ``feasible=False`` marks a point that violates a hard constraint
+        (e.g. a physical-flow feasibility check): it is counted in
+        :attr:`infeasible` and rejected without touching the staircase,
+        so infeasible design points can never dominate feasible ones.
         """
+        if not feasible:
+            self._infeasible += 1
+            return False
         require(math.isfinite(x) and math.isfinite(y),
                 f"frontier objectives must be finite, got ({x!r}, {y!r})")
         pos = bisect_right(self._xs, x)

@@ -75,6 +75,9 @@ class SweepChunk:
         resumed: True when the chunk was replayed from a checkpoint.
         frontier_size: Frontier size *after* folding this chunk in.
         seconds: Wall-clock time spent producing the chunk.
+        infeasible: Evaluated points whose physical flow failed a
+            feasibility check (present in ``evaluations``, excluded
+            from the frontier); always 0 for non-physical sweeps.
     """
 
     index: int
@@ -84,6 +87,7 @@ class SweepChunk:
     resumed: bool
     frontier_size: int
     seconds: float
+    infeasible: int = 0
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,11 @@ class StreamingSweepResult:
             :class:`~repro.spec.evaluate.SpecEvaluation` objects.
         evaluations: Every evaluation in sweep order, or ``None`` when
             the drive ran with ``collect=False`` (bounded-memory mode).
+        infeasible: Evaluated points excluded from the frontier because
+            their physical flow failed a feasibility check.  Infeasible
+            points are *results*, not errors: they appear in
+            ``evaluations`` with a :class:`~repro.spec.evaluate
+            .PhysicalSummary` naming the violated checks.
     """
 
     chunks: int
@@ -108,6 +117,7 @@ class StreamingSweepResult:
     resumed_chunks: int
     frontier: ParetoFrontier
     evaluations: tuple[SpecEvaluation, ...] | None = field(default=None)
+    infeasible: int = 0
 
     @property
     def evaluated(self) -> int:
@@ -120,12 +130,13 @@ class StreamingSweepResult:
 
 
 def _calls(specs: "tuple[DesignSpec, ...] | list[DesignSpec]",
-           pdk: PDK | None) -> list[tuple]:
+           pdk: PDK | None, physical: bool = False) -> list[tuple]:
     """Engine call specs mirroring ``evaluate_specs``'s shapes, so the
     streaming path hits the same cache entries as the eager path."""
+    kwargs: dict = {"physical": True} if physical else {}
     if pdk is None:
-        return [(spec,) for spec in specs]
-    return [(spec, pdk) for spec in specs]
+        return [((spec,), kwargs) for spec in specs]
+    return [((spec, pdk), kwargs) for spec in specs]
 
 
 def stream_sweep(
@@ -139,6 +150,7 @@ def stream_sweep(
     checkpoint_every: int = 1,
     frontier: ParetoFrontier | None = None,
     batch: bool = False,
+    physical: bool = False,
 ) -> Iterator[SweepChunk]:
     """Lazily evaluate ``sweep`` chunk by chunk, yielding each chunk.
 
@@ -159,12 +171,21 @@ def stream_sweep(
     per-point scalar dispatch; points the kernel cannot express fall
     back to scalar evaluation inside the batch.  Cache keys, checkpoint
     records and results match the scalar path (within 1e-9 on numpy).
+
+    ``physical=True`` runs every evaluated point through the staged
+    physical flow (``evaluate_spec(..., physical=True)``) and gates the
+    frontier on flow feasibility: a point that fails timing, routing,
+    power density, or thermal checks still yields a full evaluation (so
+    sweeps *report* infeasible points instead of aborting) but is never
+    admitted to the frontier.  The physical path is scalar-only, so
+    ``batch`` is ignored when ``physical`` is set, mirroring
+    ``evaluate_specs``.
     """
     require(checkpoint_every >= 1, "checkpoint_every must be >= 1")
     engine = engine if engine is not None else default_engine()
     frontier = frontier if frontier is not None else ParetoFrontier()
     kernel = key_fn = None
-    if batch:
+    if batch and not physical:
         from repro.batch.kernel import BatchKernel
         from repro.batch.pack import spec_call_key
 
@@ -175,7 +196,8 @@ def stream_sweep(
         store = checkpoint
     else:
         store = SweepCheckpoint.for_sweep(
-            checkpoint, sweep, pdk=pdk, chunk_size=chunk_size, prune=prune)
+            checkpoint, sweep, pdk=pdk, chunk_size=chunk_size, prune=prune,
+            physical=physical)
     pending: list[ChunkRecord] = []
 
     def flush() -> None:
@@ -216,7 +238,8 @@ def stream_sweep(
                             stage="sweep.evaluate", key_fn=key_fn))
                     else:
                         evaluations = tuple(engine.map(
-                            evaluate_spec, _calls(survivors, pdk),
+                            evaluate_spec,
+                            _calls(survivors, pdk, physical=physical),
                             stage="sweep.evaluate", jobs=jobs))
                     if store is not None:
                         pending.append(ChunkRecord(
@@ -224,11 +247,16 @@ def stream_sweep(
                             pruned=pruned, evaluations=evaluations))
                         if len(pending) >= checkpoint_every:
                             flush()
+                infeasible = 0
                 for evaluation in evaluations:
+                    feasible = evaluation.is_feasible
+                    infeasible += not feasible
                     frontier.add(evaluation.footprint,
-                                 evaluation.edp_benefit, evaluation)
+                                 evaluation.edp_benefit, evaluation,
+                                 feasible=feasible)
                 if sp:
                     sp.set(pruned=pruned, evaluated=len(evaluations),
+                           infeasible=infeasible,
                            resumed=record is not None,
                            frontier=len(frontier))
             elapsed = time.perf_counter() - start
@@ -241,6 +269,9 @@ def stream_sweep(
                                  status=status).inc(len(evaluations))
                 registry.counter("repro_sweep_points_total",
                                  status="pruned").inc(pruned)
+                if infeasible:
+                    registry.counter("repro_sweep_points_total",
+                                     status="infeasible").inc(infeasible)
                 registry.gauge("repro_sweep_frontier_size") \
                     .set(len(frontier))
                 registry.histogram("repro_sweep_chunk_seconds") \
@@ -248,7 +279,8 @@ def stream_sweep(
             yield SweepChunk(
                 index=index, size=len(chunk), evaluations=evaluations,
                 pruned=pruned, resumed=record is not None,
-                frontier_size=len(frontier), seconds=elapsed)
+                frontier_size=len(frontier), seconds=elapsed,
+                infeasible=infeasible)
     finally:
         if store is not None:
             flush()
@@ -265,6 +297,7 @@ def run_streaming_sweep(
     checkpoint_every: int = 1,
     collect: bool = True,
     batch: bool = False,
+    physical: bool = False,
 ) -> StreamingSweepResult:
     """Drive :func:`stream_sweep` to completion and aggregate the run.
 
@@ -273,22 +306,27 @@ def run_streaming_sweep(
     100k-point sweep run in bounded RSS
     (``benchmarks/bench_streaming_sweep.py`` measures exactly this).
     ``batch=True`` evaluates each chunk through the vectorized kernel.
+    ``physical=True`` adds the staged physical flow per point and keeps
+    infeasible points out of the frontier (they stay in the results,
+    counted by :attr:`StreamingSweepResult.infeasible`).
     """
     frontier = ParetoFrontier()
     evaluations: list[SpecEvaluation] | None = [] if collect else None
-    chunks = points = pruned = resumed = 0
+    chunks = points = pruned = resumed = infeasible = 0
     for chunk in stream_sweep(
             sweep, pdk=pdk, engine=engine, jobs=jobs,
             chunk_size=chunk_size, prune=prune, checkpoint=checkpoint,
             checkpoint_every=checkpoint_every, frontier=frontier,
-            batch=batch):
+            batch=batch, physical=physical):
         chunks += 1
         points += chunk.size
         pruned += chunk.pruned
         resumed += chunk.resumed
+        infeasible += chunk.infeasible
         if evaluations is not None:
             evaluations.extend(chunk.evaluations)
     return StreamingSweepResult(
         chunks=chunks, points=points, pruned=pruned,
         resumed_chunks=resumed, frontier=frontier,
-        evaluations=None if evaluations is None else tuple(evaluations))
+        evaluations=None if evaluations is None else tuple(evaluations),
+        infeasible=infeasible)

@@ -29,11 +29,13 @@ PUBLIC_API = frozenset({
     "simulate", "compare_designs", "Workload", "DesignPoint",
     "execution_time", "energy", "speedup", "edp_benefit", "analyze_network",
     "run_flow",
+    # staged physical flow
+    "FlowOutcome", "run_staged_flow", "run_staged_flows",
     # runtime
     "EvaluationEngine", "ResultCache", "configure", "default_engine",
     "pmap", "stable_key",
     # declarative specs
-    "DesignSpec", "SweepSpec", "evaluate_spec", "evaluate_specs",
+    "DesignSpec", "FlowSpec", "SweepSpec", "evaluate_spec", "evaluate_specs",
     "evaluate_sweep", "load_design_spec", "load_sweep_spec",
     # streaming sweeps
     "run_streaming_sweep", "stream_sweep",

@@ -56,7 +56,7 @@ def test_round_trip_identity():
 
 def test_json_form_is_plain():
     data = json.loads(DesignSpec().to_json())
-    assert set(data) == {"tech", "arch", "workload"}
+    assert set(data) == {"tech", "arch", "workload", "flow"}
     assert data["arch"]["capacity_bits"] == 64 * MEGABYTE
 
 
@@ -160,6 +160,7 @@ def test_field_paths_cover_all_sections():
     assert "tech.delta" in paths
     assert "arch.capacity_bits" in paths
     assert "workload.network" in paths
+    assert "flow.frequency_mhz" in paths
 
 
 # --- sweeps ----------------------------------------------------------------------
