@@ -31,6 +31,7 @@ Subpackages
 * :mod:`repro.spec` — declarative JSON design/sweep specs.
 * :mod:`repro.sweep` — streaming sweep executor with Pareto pruning.
 * :mod:`repro.serve` — the ``repro serve`` HTTP evaluation server (/v1).
+* :mod:`repro.faults` — deterministic fault injection for chaos tests.
 
 The names in ``__all__`` are the **declared public API**: they follow the
 semantic-versioning contract (`tests/test_public_api.py` snapshots the
@@ -40,12 +41,17 @@ may change between minor versions.
 
 from repro.errors import (
     ConfigurationError,
+    EvaluationFailure,
     FloorplanError,
     MappingError,
     ModelError,
+    PermanentError,
+    PoisonTaskError,
     ReproError,
+    TransientError,
     error_envelope,
 )
+from repro.faults import FaultPlan, FaultRule, injected_faults
 from repro.tech import foundry_m3d_pdk
 from repro.arch import baseline_2d_design, case_study_cs, m3d_design
 from repro.workloads import (
@@ -76,6 +82,7 @@ from repro.physical import (
 from repro.runtime import (
     EvaluationEngine,
     ResultCache,
+    RetryPolicy,
     configure,
     default_engine,
     pmap,
@@ -102,6 +109,14 @@ __all__ = [
     "ModelError",
     "FloorplanError",
     "MappingError",
+    "TransientError",
+    "PermanentError",
+    "PoisonTaskError",
+    "EvaluationFailure",
+    "FaultPlan",
+    "FaultRule",
+    "injected_faults",
+    "RetryPolicy",
     "foundry_m3d_pdk",
     "baseline_2d_design",
     "m3d_design",

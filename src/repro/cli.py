@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
              "benefit) — exact: the surviving frontier equals the "
              "exhaustive one")
     parser.add_argument(
+        "--max-failures", type=int, default=0, metavar="N",
+        help="with 'sweep' (streaming): tolerate up to N failed points, "
+             "recording each as a structured failure instead of aborting "
+             "(0 = strict, -1 = unlimited); failed points land in the "
+             "checkpoint and are retried on resume")
+    parser.add_argument(
         "--batch", action="store_true",
         help="with 'eval'/'sweep': evaluate points through the vectorized "
              "batch kernel (numpy when available, pure-python fallback "
@@ -161,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quota-burst", type=int, default=64, metavar="N",
         help="with 'serve': per-client token-bucket burst size "
              "(default 64)")
+    parser.add_argument(
+        "--request-timeout", type=float, default=0.0, metavar="S",
+        help="with 'serve': per-request deadline in seconds (504 beyond "
+             "it; sweep streams bound each inter-chunk gap; 0 = off)")
+    parser.add_argument(
+        "--drain-seconds", type=float, default=10.0, metavar="S",
+        help="with 'serve': how long a SIGTERM drain waits for in-flight "
+             "requests and open streams before exiting (default 10)")
     return parser
 
 
@@ -191,7 +205,22 @@ def _fail(args: argparse.Namespace, error: "BaseException | str",
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Ctrl-C exits 130 after terminating any live worker pool, so an
+    interrupted parallel sweep leaves no orphaned forkserver workers.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        from repro.runtime.pmap import shutdown_pool
+
+        shutdown_pool(wait=False)
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.no_cache and args.cache_dir:
         return _fail(args, "--no-cache and --cache-dir are mutually "
@@ -312,6 +341,10 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         return _fail(args, "--quota-rate must be >= 0 (0 = unlimited)")
     if args.quota_burst < 1:
         return _fail(args, "--quota-burst must be >= 1")
+    if args.request_timeout < 0:
+        return _fail(args, "--request-timeout must be >= 0 (0 = off)")
+    if args.drain_seconds < 0:
+        return _fail(args, "--drain-seconds must be >= 0")
     config = ServerConfig(
         host=args.host,
         port=args.port if args.port is not None else DEFAULT_PORT,
@@ -320,6 +353,8 @@ def _run_serve(args: argparse.Namespace, engine) -> int:
         quota_burst=args.quota_burst,
         chunk_size=args.chunk_size if args.chunk_size is not None
         else DEFAULT_CHUNK_SIZE,
+        request_timeout=args.request_timeout,
+        drain_seconds=args.drain_seconds,
     )
     serve(config, engine=engine)
     return 0
@@ -403,44 +438,57 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
                            f"or sweep spec)")
     streaming = bool(args.stream or args.checkpoint_dir or args.prune)
     batch = bool(args.batch or args.batch_size is not None)
+    observe = bool(args.profile or args.trace or args.trace_csv
+                   or args.metrics)
+    if observe:
+        from repro.obs.trace import trace
+        observation = trace()
+    else:
+        observation = contextlib.nullcontext(None)
     summary = None
     try:
-        if command == "eval":
-            evaluations = evaluate_specs([load_design_spec(args.spec)],
-                                         engine=engine, batch=batch,
-                                         physical=args.physical)
-            title = f"Spec evaluation — {args.spec}"
-        elif streaming:
-            from repro.sweep import DEFAULT_CHUNK_SIZE, run_streaming_sweep
+        with observation as tracer:
+            if command == "eval":
+                evaluations = evaluate_specs([load_design_spec(args.spec)],
+                                             engine=engine, batch=batch,
+                                             physical=args.physical)
+                title = f"Spec evaluation — {args.spec}"
+            elif streaming:
+                from repro.sweep import DEFAULT_CHUNK_SIZE, run_streaming_sweep
 
-            sweep = load_sweep_spec(args.spec)
-            chunk_size = args.chunk_size
-            if chunk_size is None:
-                chunk_size = args.batch_size if args.batch_size is not None \
-                    else DEFAULT_CHUNK_SIZE
-            result = run_streaming_sweep(
-                sweep, engine=engine, chunk_size=chunk_size,
-                prune=args.prune, checkpoint=args.checkpoint_dir,
-                checkpoint_every=args.checkpoint_every, batch=batch,
-                physical=args.physical)
-            evaluations = result.evaluations
-            title = (f"Streaming sweep — {args.spec} "
-                     f"({result.points} points)")
-            infeasible = (f"{result.infeasible} infeasible, "
-                          if args.physical else "")
-            summary = (f"streamed {result.points} points in "
-                       f"{result.chunks} chunk(s): "
-                       f"{result.evaluated} evaluated, "
-                       f"{infeasible}"
-                       f"{result.pruned} pruned, "
-                       f"{result.resumed_chunks} chunk(s) resumed; "
-                       f"frontier size {len(result.frontier)}")
-        else:
-            sweep = load_sweep_spec(args.spec)
-            evaluations = evaluate_sweep(sweep, engine=engine, batch=batch,
-                                         batch_size=args.batch_size,
-                                         physical=args.physical)
-            title = f"Sweep evaluation — {args.spec} ({len(sweep)} points)"
+                sweep = load_sweep_spec(args.spec)
+                chunk_size = args.chunk_size
+                if chunk_size is None:
+                    chunk_size = args.batch_size \
+                        if args.batch_size is not None else DEFAULT_CHUNK_SIZE
+                result = run_streaming_sweep(
+                    sweep, engine=engine, chunk_size=chunk_size,
+                    prune=args.prune, checkpoint=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every, batch=batch,
+                    physical=args.physical, max_failures=args.max_failures)
+                evaluations = result.evaluations
+                title = (f"Streaming sweep — {args.spec} "
+                         f"({result.points} points)")
+                infeasible = (f"{result.infeasible} infeasible, "
+                              if args.physical else "")
+                failed = (f"{result.failed} failed, "
+                          if args.max_failures != 0 or result.failed else "")
+                summary = (f"streamed {result.points} points in "
+                           f"{result.chunks} chunk(s): "
+                           f"{result.evaluated} evaluated, "
+                           f"{infeasible}"
+                           f"{failed}"
+                           f"{result.pruned} pruned, "
+                           f"{result.resumed_chunks} chunk(s) resumed; "
+                           f"frontier size {len(result.frontier)}")
+            else:
+                sweep = load_sweep_spec(args.spec)
+                evaluations = evaluate_sweep(sweep, engine=engine,
+                                             batch=batch,
+                                             batch_size=args.batch_size,
+                                             physical=args.physical)
+                title = (f"Sweep evaluation — {args.spec} "
+                         f"({len(sweep)} points)")
     except (OSError, ValueError, ReproError) as error:
         return _fail(args, error, prefix=f"bad --spec {args.spec}: ")
     print(format_spec_evaluations(evaluations, title=title))
@@ -451,6 +499,8 @@ def _run_spec_command(command: str, args: argparse.Namespace, engine,
 
         print()
         print(format_run_report(engine.report()))
+    if observe:
+        _export_observations(args, tracer)
     return 0
 
 

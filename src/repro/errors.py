@@ -23,6 +23,7 @@ existing ones never change meaning.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -41,6 +42,34 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    Raised (or used as a classification) for worker-side failures caused
+    by the *environment* rather than the task itself: a timed-out
+    evaluation, a lost worker, an injected chaos fault.  The supervised
+    dispatcher in :mod:`repro.runtime.pmap` retries transient failures
+    with seeded exponential backoff before giving up.
+    """
+
+
+class PermanentError(ReproError):
+    """A failure that retrying cannot fix (bad input, logic error).
+
+    Task exceptions that are not :class:`TransientError` are classified
+    permanent: the task fails immediately without burning retry budget.
+    """
+
+
+class PoisonTaskError(ReproError):
+    """A task that repeatedly killed the worker pool and was quarantined.
+
+    When a single task crashes the pool ``max_pool_deaths`` times it is
+    recorded as failed instead of being retried forever (or triggering a
+    full serial rerun that would crash the parent process too).
+    """
 
 
 class ModelError(ReproError):
@@ -110,3 +139,54 @@ def error_envelope(error: BaseException,
     if path is None:
         path = getattr(error, "path", None)
     return envelope(error_type(error), str(error), path)
+
+
+@dataclass(frozen=True)
+class EvaluationFailure:
+    """Structured record of one failed evaluation in a partial-results run.
+
+    This is the *data* form of an exception: what the streaming sweep
+    stores in chunk checkpoints, what ``--max-failures`` surfaces, and
+    what resume uses to retry only the points that actually failed.  It
+    round-trips through the generic dataclass codec
+    (:mod:`repro.runtime.serialize`), so checkpoints written by a
+    crashing run deserialize cleanly on resume.
+
+    Attributes:
+        error_type: Snake_case exception tag (:func:`error_type`).
+        message: Human-readable failure text (includes the remote
+            traceback summary when the failure crossed a process).
+        path: Dotted spec path the error is about, when known.
+        retries: Attributed transient retries this task consumed.
+        pool_deaths: Worker-pool deaths attributed to this task.
+        spec: The failed point's design spec, when the failure occurred
+            inside a sweep (``None`` for bare engine calls).
+        index: Position of the failed point within its sweep chunk.
+    """
+
+    error_type: str
+    message: str
+    path: str | None = None
+    retries: int = 0
+    pool_deaths: int = 0
+    spec: Any = None
+    index: int | None = None
+
+    @classmethod
+    def from_exception(cls, error: BaseException, *, retries: int = 0,
+                       pool_deaths: int = 0, spec: Any = None,
+                       index: int | None = None) -> "EvaluationFailure":
+        """Lower a caught exception into its structured record."""
+        return cls(
+            error_type=error_type(error),
+            message=str(error),
+            path=getattr(error, "path", None),
+            retries=retries,
+            pool_deaths=pool_deaths,
+            spec=spec,
+            index=index,
+        )
+
+    def envelope(self) -> dict[str, Any]:
+        """The failure in canonical error-envelope shape."""
+        return envelope(self.error_type, self.message, self.path)

@@ -59,14 +59,15 @@ def format_run_report(report: "RunReport") -> str:
     """Render an engine :class:`~repro.runtime.engine.RunReport`.
 
     One row per stage (calls, cache hits/misses, in-batch dedup hits,
-    evaluated count, wall time) plus per-table memo hit rates, search
-    counters, and a greppable summary line —
-    ``total: C calls, H hits, M misses, E evaluated, T s`` — which the CI
-    cache-smoke job matches on (a fully warm run shows ``, 0 misses,``).
+    evaluated count, retries, recorded failures, wall time) plus
+    per-table memo hit rates, search counters, and a greppable summary
+    line — ``total: C calls, H hits, M misses, E evaluated, R retries,
+    F failed, T s`` — whose leading fields the CI cache-smoke job
+    matches on (a fully warm run shows ``, 0 misses,``).
     """
     rows = [
         [stage.name, stage.calls, stage.cache_hits, stage.cache_misses,
-         stage.dedup_hits, stage.evaluated,
+         stage.dedup_hits, stage.evaluated, stage.retries, stage.failures,
          _rate(stage.cache_hits + stage.dedup_hits, stage.calls),
          f"{stage.wall_time:.3f} s"]
         for stage in report.stages
@@ -74,7 +75,7 @@ def format_run_report(report: "RunReport") -> str:
     table = format_table(
         f"Evaluation runtime — {report.jobs} job(s)",
         ["stage", "calls", "hits", "misses", "dedup", "evaluated",
-         "hit rate", "wall time"],
+         "retries", "failed", "hit rate", "wall time"],
         rows,
     )
     sections = [table]
@@ -97,6 +98,7 @@ def format_run_report(report: "RunReport") -> str:
         ))
     summary = (f"\ntotal: {report.calls} calls, {report.cache_hits} hits, "
                f"{report.cache_misses} misses, {report.evaluated} evaluated, "
+               f"{report.retries} retries, {report.failures} failed, "
                f"{report.wall_time:.3f} s")
     return "\n\n".join(sections) + summary
 

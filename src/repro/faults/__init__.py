@@ -1,0 +1,42 @@
+"""Deterministic fault injection (chaos harness) for the repro runtime.
+
+See :mod:`repro.faults.inject` for the model: a seeded
+:class:`FaultPlan` whose rules fire as a pure function of
+``(seed, rule, token)``, activated programmatically or through the
+``REPRO_FAULTS`` environment variable so injected faults reach
+forkserver pool workers.
+"""
+
+from repro.faults.inject import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    corrupt_text,
+    in_worker,
+    injected_faults,
+    install_plan,
+    mark_worker,
+    maybe_inject,
+    perturb_task,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear_plan",
+    "corrupt_text",
+    "in_worker",
+    "injected_faults",
+    "install_plan",
+    "mark_worker",
+    "maybe_inject",
+    "perturb_task",
+]

@@ -1,0 +1,389 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+The production failure modes this library must survive — a worker
+process dying mid-task, an evaluation hanging, a flaky transient error,
+a torn or bit-rotted cache file — are exactly the ones that are hardest
+to reproduce in CI.  This module makes them *deterministic*: a
+:class:`FaultPlan` is a seed plus a list of :class:`FaultRule` entries,
+and whether a fault fires for a given task is a **pure function** of
+``(seed, rule, token)`` — independent of scheduling, worker count, or
+wall-clock time.  Two runs with the same plan inject the same faults at
+the same points, so chaos tests can assert exact retry counts and
+bit-identical results for every non-failed point.
+
+Injection sites
+---------------
+* ``task.crash`` — the worker calls ``os._exit`` before running the
+  task (only ever fires inside a pool worker, never in the parent).
+* ``task.hang`` — the worker sleeps for ``hang_seconds`` so per-task
+  timeouts can be exercised.
+* ``task.transient`` — raises :class:`~repro.errors.TransientError`,
+  exercising the seeded-backoff retry path.
+* ``cache.corrupt`` / ``checkpoint.corrupt`` — the serialized text is
+  deterministically mangled before it hits disk, exercising the
+  quarantine-and-re-evaluate paths.
+
+Activation
+----------
+Programmatic: :func:`install_plan` / the :func:`injected_faults` context
+manager.  Environmental: the ``REPRO_FAULTS`` variable holding either
+inline plan JSON or ``@/path/to/plan.json`` — the env route is what the
+CI chaos-smoke job uses, and both routes are shipped into forkserver
+workers by the pool initializer in :mod:`repro.runtime.pmap`.
+
+``times`` limits (a crash that fires once, then lets the retry succeed)
+need memory that survives the crash itself, so firings are recorded in a
+file **ledger** under ``state_dir``: one byte appended per firing, count
+= file size.  Without a ``state_dir`` the ledger is in-process only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConfigurationError, TransientError, require
+
+__all__ = [
+    "ENV_VAR",
+    "CRASH_EXIT_CODE",
+    "FAULT_SITES",
+    "FaultRule",
+    "FaultPlan",
+    "active_plan",
+    "clear_plan",
+    "corrupt_text",
+    "in_worker",
+    "injected_faults",
+    "install_plan",
+    "mark_worker",
+    "maybe_inject",
+    "perturb_task",
+]
+
+#: Environment variable activating a plan: inline JSON or ``@path``.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status used by injected worker crashes (distinctive in ps/logs).
+CRASH_EXIT_CODE = 86
+
+#: Every site :func:`maybe_inject` / :func:`corrupt_text` recognizes.
+FAULT_SITES = (
+    "task.crash",
+    "task.hang",
+    "task.transient",
+    "cache.corrupt",
+    "checkpoint.corrupt",
+)
+
+#: Sites that must only ever fire inside a pool worker process.
+_WORKER_ONLY_SITES = frozenset({"task.crash", "task.hang"})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where*, *how often*, and *how many times*.
+
+    Attributes:
+        site: One of :data:`FAULT_SITES`.
+        rate: Probability a given token is selected, decided by seeded
+            hash (ignored when ``match`` is set).
+        match: Substring filter — the rule selects exactly the tokens
+            containing it.  This is how a test targets one poison spec.
+        times: Firings per ``(rule, token)`` before the rule goes quiet
+            for that token; ``0`` means unlimited.
+        hang_seconds: Sleep length for ``task.hang``.
+    """
+
+    site: str
+    rate: float = 0.0
+    match: str | None = None
+    times: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        require(self.site in FAULT_SITES,
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {', '.join(FAULT_SITES)}")
+        require(0.0 <= self.rate <= 1.0,
+                f"fault rate must be in [0, 1], got {self.rate}")
+        require(self.times >= 0,
+                f"fault times must be >= 0, got {self.times}")
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"site": self.site, "rate": self.rate, "match": self.match,
+                "times": self.times, "hang_seconds": self.hang_seconds}
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FaultRule":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault rule must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {
+            "site", "rate", "match", "times", "hang_seconds"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault rule key(s): {', '.join(unknown)}")
+        if "site" not in data:
+            raise ConfigurationError("fault rule is missing 'site'")
+        return cls(**dict(data))
+
+
+# In-process firing counts, used when a plan has no state_dir.
+_MEMORY_LEDGER: dict[str, int] = {}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus rules: the complete, reproducible chaos schedule.
+
+    Whether a rule selects a token is pure — :meth:`selects` lets a test
+    compute the exact expected injection schedule up front and assert
+    the observed retry counters against it.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(
+            rule if isinstance(rule, FaultRule)
+            else FaultRule.from_jsonable(rule)
+            for rule in self.rules))
+
+    # -- pure selection -------------------------------------------------
+    def selected_rules(self, site: str,
+                       token: str) -> tuple[FaultRule, ...]:
+        """Rules at ``site`` that select ``token`` (ledger ignored)."""
+        return tuple(rule for rule in self.rules
+                     if rule.site == site
+                     and _rule_selects(self.seed, rule, token))
+
+    def selects(self, site: str, token: str) -> bool:
+        """Pure: would any rule at ``site`` ever fire for ``token``?"""
+        return bool(self.selected_rules(site, token))
+
+    # -- ledger ---------------------------------------------------------
+    def _ledger_key(self, rule: FaultRule, token: str) -> str:
+        text = f"{rule.site}|{rule.rate}|{rule.match}|{token}"
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:40]
+
+    def fire_count(self, rule: FaultRule, token: str) -> int:
+        """How many times ``rule`` has fired for ``token`` so far."""
+        key = self._ledger_key(rule, token)
+        if self.state_dir is None:
+            return _MEMORY_LEDGER.get(key, 0)
+        try:
+            return os.path.getsize(os.path.join(self.state_dir, key))
+        except OSError:
+            return 0
+
+    def claim_count(self, site: str, token: str) -> int:
+        """Total recorded firings at ``site`` for ``token``, all rules.
+
+        This is how the dispatch supervisor attributes a pool death to
+        the task whose injected crash actually fired (rather than
+        blaming every in-flight task).
+        """
+        return sum(self.fire_count(rule, token)
+                   for rule in self.rules if rule.site == site)
+
+    def _claim(self, rule: FaultRule, token: str) -> bool:
+        """Record one firing; False when the rule's budget is spent."""
+        count = self.fire_count(rule, token)
+        if rule.times and count >= rule.times:
+            return False
+        key = self._ledger_key(rule, token)
+        if self.state_dir is None:
+            _MEMORY_LEDGER[key] = count + 1
+            return True
+        try:
+            os.makedirs(self.state_dir, exist_ok=True)
+            with open(os.path.join(self.state_dir, key), "ab") as handle:
+                handle.write(b"!")
+        except OSError:
+            return False
+        return True
+
+    # -- serialization --------------------------------------------------
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"seed": self.seed, "state_dir": self.state_dir,
+                "rules": [rule.to_jsonable() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_jsonable(), sort_keys=True)
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"fault plan must be an object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"seed", "rules", "state_dir"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan key(s): {', '.join(unknown)}")
+        rules = data.get("rules", ())
+        if not isinstance(rules, (list, tuple)):
+            raise ConfigurationError("fault plan 'rules' must be a list")
+        return cls(seed=int(data.get("seed", 0)),
+                   rules=tuple(rules),
+                   state_dir=data.get("state_dir"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"invalid fault plan JSON: {error}") from error
+        return cls.from_jsonable(data)
+
+
+def _rule_selects(seed: int, rule: FaultRule, token: str) -> bool:
+    """Pure per-token selection: substring match or seeded hash draw."""
+    if rule.match is not None:
+        return rule.match in token
+    if rule.rate <= 0.0:
+        return False
+    digest = hashlib.sha256(
+        f"{seed}|{rule.site}|{rule.rate}|{token}".encode("utf-8")).digest()
+    draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return draw < rule.rate
+
+
+# -- activation ---------------------------------------------------------
+
+_active: FaultPlan | None = None
+_env_cache: tuple[str, FaultPlan] | None = None
+_in_worker = False
+
+
+def _load_env_plan(raw: str) -> FaultPlan:
+    if raw.startswith("@"):
+        with open(raw[1:], "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    return FaultPlan.from_json(raw)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in effect: installed plan first, then ``REPRO_FAULTS``."""
+    if _active is not None:
+        return _active
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    global _env_cache
+    if _env_cache is None or _env_cache[0] != raw:
+        _env_cache = (raw, _load_env_plan(raw))
+    return _env_cache[1]
+
+
+def install_plan(plan: FaultPlan | None) -> None:
+    """Activate ``plan`` process-wide (``None`` falls back to the env)."""
+    global _active
+    _active = plan
+    _MEMORY_LEDGER.clear()
+
+
+def clear_plan() -> None:
+    """Deactivate any installed plan and forget in-process firings."""
+    install_plan(None)
+
+
+@contextlib.contextmanager
+def injected_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope ``plan`` to a ``with`` block (tests' preferred activation)."""
+    previous = _active
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_plan(previous)
+
+
+def mark_worker(active: bool = True) -> None:
+    """Flag this process as a pool worker (crash/hang sites arm only here)."""
+    global _in_worker
+    _in_worker = active
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process."""
+    return _in_worker
+
+
+# -- injection ----------------------------------------------------------
+
+def maybe_inject(site: str, token: str) -> None:
+    """Fire any due fault at ``site`` for ``token`` (no-op without a plan).
+
+    Crash and hang sites are guarded by :func:`mark_worker` so a plan
+    can never take down the parent process or a serial run; their ledger
+    is only charged when the fault actually fires.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for rule in plan.selected_rules(site, token):
+        if site in _WORKER_ONLY_SITES and not _in_worker:
+            continue
+        if not plan._claim(rule, token):
+            continue
+        if site == "task.crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif site == "task.hang":
+            time.sleep(rule.hang_seconds)
+        elif site == "task.transient":
+            raise TransientError(
+                f"injected transient fault (token {token[:12]})")
+
+
+def perturb_task(token: str) -> None:
+    """Run every task-level site, crash first (matches real failure order)."""
+    maybe_inject("task.crash", token)
+    maybe_inject("task.hang", token)
+    maybe_inject("task.transient", token)
+
+
+def _mangle(seed: int, token: str, text: str) -> str:
+    """Deterministically corrupt ``text`` (truncate / zero / garble)."""
+    digest = hashlib.sha256(f"{seed}|corrupt|{token}".encode("utf-8"))
+    mode = digest.digest()[0] % 3
+    if mode == 0 and len(text) > 4:
+        broken = text[: len(text) // 2]
+    elif mode == 1:
+        middle = max(1, len(text) // 2)
+        broken = text[:middle] + "\x00\x00#CORRUPT#" + text[middle + 1:]
+    else:
+        broken = text.rstrip().rstrip("}]") + "{{{"
+    try:
+        json.loads(broken)
+    except (ValueError, UnicodeDecodeError):
+        return broken
+    # Whatever survived parsing gets an unambiguous poison prefix.
+    return "\x00" + text
+
+
+def corrupt_text(site: str, token: str, text: str) -> str:
+    """Return ``text`` mangled when a corruption fault is due, else as-is.
+
+    Writers (`runtime/cache.py`, `sweep/checkpoint.py`) pass their
+    serialized payload through here just before the atomic write; the
+    corrupted bytes still land atomically, so the *read* path's
+    quarantine logic is what gets exercised — exactly the torn-file /
+    bit-rot scenario.
+    """
+    plan = active_plan()
+    if plan is None:
+        return text
+    for rule in plan.selected_rules(site, token):
+        if not plan._claim(rule, token):
+            continue
+        return _mangle(plan.seed, token, text)
+    return text

@@ -6,7 +6,11 @@ Public surface:
   with per-stage instrumentation; :func:`~repro.runtime.engine.default_engine`
   / :func:`~repro.runtime.engine.configure` manage the process-wide default.
 * :func:`~repro.runtime.pmap.pmap` — deterministic process-pool map with
-  ordered results and a serial fallback.
+  ordered results and a serial fallback; the supervised dispatcher
+  behind it (:func:`~repro.runtime.pmap.pmap_outcomes`) adds per-task
+  timeouts, seeded-backoff retries under a :class:`~repro.runtime.pmap.
+  RetryPolicy`, pool respawn on worker death, and poison-task
+  quarantine.
 * :class:`~repro.runtime.cache.ResultCache` — content-addressed LRU +
   optional on-disk JSON store.
 * :func:`~repro.runtime.keys.stable_key` — cross-process content hash of
@@ -44,7 +48,17 @@ from repro.runtime.memo import (
     reset_memoization,
     set_memoization,
 )
-from repro.runtime.pmap import default_jobs, pmap, pmap_calls, shutdown_pool
+from repro.runtime.pmap import (
+    DEFAULT_RETRY_POLICY,
+    DispatchReport,
+    RetryPolicy,
+    TaskOutcome,
+    default_jobs,
+    pmap,
+    pmap_calls,
+    pmap_outcomes,
+    shutdown_pool,
+)
 from repro.runtime.serialize import (
     clear_fingerprint_cache,
     dumps,
@@ -79,9 +93,14 @@ __all__ = [
     "memoization_enabled",
     "reset_memoization",
     "set_memoization",
+    "DEFAULT_RETRY_POLICY",
+    "DispatchReport",
+    "RetryPolicy",
+    "TaskOutcome",
     "default_jobs",
     "pmap",
     "pmap_calls",
+    "pmap_outcomes",
     "shutdown_pool",
     "clear_fingerprint_cache",
     "dumps",

@@ -5,7 +5,11 @@ writes one JSON file per key under ``directory`` using the generic codec of
 :mod:`repro.runtime.serialize`, so a warm cache directory survives process
 restarts and is shared between workers.  Disk writes are atomic
 (temp file + ``os.replace``), and unreadable or tampered files degrade to
-a miss instead of an error.
+a miss instead of an error — a corrupt entry is additionally
+**quarantined** (renamed to ``<key>.corrupt``) so the next write starts
+clean and the bad bytes stay on disk for inspection.  The write path is
+a registered :mod:`repro.faults` corruption site (``cache.corrupt``),
+which is how chaos tests exercise the quarantine deterministically.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import require
+from repro.faults import corrupt_text as _corrupt_text
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.trace import is_enabled as _obs_enabled, span as _span
 from repro.runtime.serialize import dumps, loads
@@ -57,6 +62,7 @@ class CacheStats:
         disk_hits: Subset of ``hits`` served from the disk tier.
         misses: Lookups that found nothing.
         stores: Values written into the cache.
+        corrupt: Disk entries that failed to decode and were quarantined.
     """
 
     hits: int = 0
@@ -64,6 +70,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
 
 class ResultCache:
@@ -138,7 +145,24 @@ class ResultCache:
                 return loads(text)
             except (ValueError, TypeError, KeyError, AttributeError,
                     ImportError):
+                self._quarantine(path)
                 return MISSING
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it can never be served stale.
+
+        The rename is best-effort (a read-only directory just leaves the
+        undecodable file in place, still a permanent miss); the
+        ``.corrupt`` suffix keeps the evidence while guaranteeing the
+        key re-evaluates and the next write starts from a clean slate.
+        """
+        self.stats.corrupt += 1
+        if _obs_enabled():
+            _metrics_registry().counter("repro_cache_corrupt_total").inc()
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def _disk_put(self, key: str, value: Any) -> None:
         if self.directory is None:
@@ -152,5 +176,8 @@ class ResultCache:
                 sp.set(bytes=len(text))
         if _obs_enabled():
             _metrics_registry().counter("repro_cache_disk_writes_total").inc()
+        # Fault-injection site: a chaos plan may mangle the bytes here,
+        # exercising the read path's quarantine deterministically.
+        text = _corrupt_text("cache.corrupt", key, text)
         # Failed writes (read-only or full disk) keep going on memory only.
         atomic_write_text(self._disk_path(key), text)

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import require
+from repro.errors import EvaluationFailure, require
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.trace import (
     Span,
@@ -38,7 +38,12 @@ from repro.obs.trace import (
 from repro.runtime.cache import MISSING, ResultCache
 from repro.runtime.keys import call_key
 from repro.runtime.memo import CounterStats, MemoStats, counter_stats, memo_stats
-from repro.runtime.pmap import pmap_calls
+from repro.runtime.pmap import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    TaskOutcome,
+    pmap_outcomes,
+)
 
 CallSpec = "tuple[tuple, dict]"
 
@@ -58,6 +63,11 @@ class StageStats:
         uncacheable: Calls whose arguments have no stable key (evaluated
             every time, never stored).
         wall_time: Wall-clock seconds spent in this stage.
+        retries: Transient retries the supervised dispatcher consumed
+            (deterministic under a seeded fault plan).
+        pool_deaths: Worker-pool deaths attributed during this stage.
+        failures: Calls recorded as :class:`~repro.errors.EvaluationFailure`
+            (partial-results mode only; the raise path counts nothing).
     """
 
     name: str
@@ -68,6 +78,9 @@ class StageStats:
     dedup_hits: int = 0
     uncacheable: int = 0
     wall_time: float = 0.0
+    retries: int = 0
+    pool_deaths: int = 0
+    failures: int = 0
 
 
 @dataclass(frozen=True)
@@ -121,6 +134,21 @@ class RunReport:
         """Total stage wall-clock seconds."""
         return sum(stage.wall_time for stage in self.stages)
 
+    @property
+    def retries(self) -> int:
+        """Total transient retries across stages."""
+        return sum(stage.retries for stage in self.stages)
+
+    @property
+    def pool_deaths(self) -> int:
+        """Total worker-pool deaths across stages."""
+        return sum(stage.pool_deaths for stage in self.stages)
+
+    @property
+    def failures(self) -> int:
+        """Total calls recorded as failed across stages."""
+        return sum(stage.failures for stage in self.stages)
+
     def stage(self, name: str) -> StageStats:
         """Look up one stage's counters by name."""
         for stage in self.stages:
@@ -141,7 +169,8 @@ class _MutableStage:
     """Accumulator behind one :class:`StageStats` snapshot."""
 
     __slots__ = ("name", "calls", "evaluated", "cache_hits",
-                 "cache_misses", "dedup_hits", "uncacheable", "wall_time")
+                 "cache_misses", "dedup_hits", "uncacheable", "wall_time",
+                 "retries", "pool_deaths", "failures")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -152,13 +181,17 @@ class _MutableStage:
         self.dedup_hits = 0
         self.uncacheable = 0
         self.wall_time = 0.0
+        self.retries = 0
+        self.pool_deaths = 0
+        self.failures = 0
 
     def snapshot(self) -> StageStats:
         return StageStats(
             name=self.name, calls=self.calls, evaluated=self.evaluated,
             cache_hits=self.cache_hits, cache_misses=self.cache_misses,
             dedup_hits=self.dedup_hits, uncacheable=self.uncacheable,
-            wall_time=self.wall_time)
+            wall_time=self.wall_time, retries=self.retries,
+            pool_deaths=self.pool_deaths, failures=self.failures)
 
 
 class EvaluationEngine:
@@ -168,9 +201,12 @@ class EvaluationEngine:
                  cache: ResultCache | None = None,
                  cache_dir: str | None = None,
                  use_cache: bool = True,
-                 max_memory_entries: int = 4096) -> None:
+                 max_memory_entries: int = 4096,
+                 retry_policy: RetryPolicy | None = None) -> None:
         require(jobs >= 0, "jobs must be >= 0 (0 = one per CPU)")
         self.jobs = jobs
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else DEFAULT_RETRY_POLICY)
         if not use_cache:
             self.cache: ResultCache | None = None
         elif cache is not None:
@@ -182,7 +218,7 @@ class EvaluationEngine:
 
     def map(self, fn: Callable[..., Any], calls: Iterable[Any],
             stage: str | None = None, jobs: int | None = None,
-            dedup: bool = True) -> list:
+            dedup: bool = True, on_error: str = "raise") -> list:
         """Evaluate ``fn`` over ``calls``, returning results in order.
 
         Each element of ``calls`` is a ``dict`` (keyword arguments), a
@@ -195,13 +231,22 @@ class EvaluationEngine:
         ``jobs`` overrides the engine's worker count for this map only —
         sweeps thread their ``jobs`` argument through here rather than
         mutating the (shared) engine.
+
+        ``on_error`` selects the failure contract: ``"raise"`` (the
+        default) re-raises the first failed call's exception in input
+        order; ``"record"`` enables **partial-results mode** — each
+        failed call yields an :class:`~repro.errors.EvaluationFailure`
+        in its result slot (never cached, shared by dedup followers)
+        while every other call still returns its value.
         """
-        return self._map(fn, calls, stage=stage, jobs=jobs, dedup=dedup)
+        return self._map(fn, calls, stage=stage, jobs=jobs, dedup=dedup,
+                         on_error=on_error)
 
     def map_batched(self, fn: Callable[..., Any], calls: Iterable[Any],
                     batch_fn: Callable[[list], list],
                     stage: str | None = None, dedup: bool = True,
-                    key_fn: Callable[..., str] | None = None) -> list:
+                    key_fn: Callable[..., str] | None = None,
+                    on_error: str = "raise") -> list:
         """Like :meth:`map`, but cache-missing calls evaluate through one
         ``batch_fn(pending_calls)`` invocation instead of per-call
         dispatch.
@@ -220,19 +265,28 @@ class EvaluationEngine:
         :func:`~repro.runtime.keys.call_key` with a faster
         *key-identical* implementation; it must raise ``TypeError``
         exactly when ``call_key`` would.
+
+        With ``on_error="record"`` a batch-kernel exception falls back
+        to supervised scalar dispatch, which isolates the failing
+        point(s) instead of losing the whole chunk.
         """
         return self._map(fn, calls, stage=stage, jobs=None, dedup=dedup,
-                         executor=batch_fn, key_fn=key_fn)
+                         executor=batch_fn, key_fn=key_fn,
+                         on_error=on_error)
 
     def _map(self, fn: Callable[..., Any], calls: Iterable[Any],
              stage: str | None, jobs: int | None, dedup: bool,
              executor: "Callable[[list], list] | None" = None,
-             key_fn: "Callable[..., str] | None" = None) -> list:
+             key_fn: "Callable[..., str] | None" = None,
+             on_error: str = "raise") -> list:
+        require(on_error in ("raise", "record"),
+                f"on_error must be 'raise' or 'record', got {on_error!r}")
         specs = [self._normalize(item) for item in calls]
         tally = self._stage(stage if stage is not None else fn.__qualname__)
         start = time.perf_counter()
         tally.calls += len(specs)
-        before = (tally.cache_hits, tally.dedup_hits, tally.evaluated)
+        before = (tally.cache_hits, tally.dedup_hits, tally.evaluated,
+                  tally.retries, tally.failures)
         # Opened/closed manually (not ``with``) to keep the long body at
         # its original indentation; the except below closes it on error
         # so the tracer's open-span stack cannot wedge.
@@ -240,7 +294,8 @@ class EvaluationEngine:
         map_span.__enter__()
         try:
             results = self._map_body(fn, specs, tally, jobs, dedup,
-                                     executor=executor, key_fn=key_fn)
+                                     executor=executor, key_fn=key_fn,
+                                     on_error=on_error)
         except BaseException:
             map_span.__exit__(None, None, None)
             raise
@@ -261,7 +316,8 @@ class EvaluationEngine:
                   specs: "list[tuple[tuple, dict]]", tally: "_MutableStage",
                   jobs: int | None, dedup: bool,
                   executor: "Callable[[list], list] | None" = None,
-                  key_fn: "Callable[..., str] | None" = None) -> list:
+                  key_fn: "Callable[..., str] | None" = None,
+                  on_error: str = "raise") -> list:
         """The cache/dedup/evaluate core of :meth:`map`/:meth:`map_batched`."""
         make_key = key_fn if key_fn is not None else call_key
         keys: list[str | None] = []
@@ -300,20 +356,49 @@ class EvaluationEngine:
             pending.append(index)
 
         if pending:
+            pending_specs = [specs[i] for i in pending]
+            evaluated: "list | None" = None
             if executor is not None:
-                evaluated = executor([specs[i] for i in pending])
-                require(len(evaluated) == len(pending),
-                        "batch executor must return one result per call")
+                try:
+                    evaluated = executor(pending_specs)
+                except Exception:
+                    if on_error != "record":
+                        raise
+                    # The vectorized kernel died on the whole chunk;
+                    # supervised scalar dispatch isolates the bad point.
+                    evaluated = None
+                if evaluated is not None:
+                    require(len(evaluated) == len(pending),
+                            "batch executor must return one result per call")
+            if evaluated is not None:
+                outcomes = [TaskOutcome(value=value) for value in evaluated]
             else:
-                evaluated = pmap_calls(
-                    fn, [specs[i] for i in pending],
+                report = pmap_outcomes(
+                    fn, pending_specs,
                     jobs=self.jobs if jobs is None else jobs,
-                    invariants=self._invariants([specs[i] for i in pending]))
+                    invariants=self._invariants(pending_specs),
+                    policy=self.retry_policy)
+                tally.retries += report.retries
+                tally.pool_deaths += report.pool_deaths
+                outcomes = report.outcomes
+            if on_error == "raise":
+                for outcome in outcomes:
+                    if outcome.error is not None:
+                        raise outcome.error
             tally.evaluated += len(pending)
-            for index, value in zip(pending, evaluated):
+            for index, outcome in zip(pending, outcomes):
+                if outcome.ok:
+                    value = outcome.value
+                    if keys[index] is not None and self.cache is not None:
+                        self.cache.put(keys[index], value)
+                else:
+                    # Failures are never cached: a retried run must
+                    # re-evaluate, not replay the failure.
+                    value = EvaluationFailure.from_exception(
+                        outcome.error, retries=outcome.retries,
+                        pool_deaths=outcome.pool_deaths)
+                    tally.failures += 1
                 results[index] = value
-                if keys[index] is not None and self.cache is not None:
-                    self.cache.put(keys[index], value)
                 for follower in followers.get(index, ()):
                     results[follower] = value
 
@@ -330,6 +415,10 @@ class EvaluationEngine:
             .inc(tally.dedup_hits - before[1])
         registry.counter("repro_engine_evaluated_total", stage=stage) \
             .inc(tally.evaluated - before[2])
+        registry.counter("repro_retries_total", stage=stage) \
+            .inc(tally.retries - before[3])
+        registry.counter("repro_task_failures_total", stage=stage) \
+            .inc(tally.failures - before[4])
         registry.histogram("repro_engine_stage_seconds", stage=stage) \
             .observe(elapsed)
 

@@ -21,6 +21,12 @@ close to one evaluation as their requests allow:
 * **quotas** — optional per-client token buckets (keyed by the
   ``x-client-id`` header, falling back to the peer address) bound any
   single client's admission rate, again via 429 + ``Retry-After``.
+* **fault tolerance** — a circuit breaker trips after consecutive
+  unexpected engine failures (503 ``circuit_open`` with a half-open
+  probe after cooldown), optional per-request deadlines answer 504
+  ``deadline_exceeded`` (streams get an in-band error event), and
+  SIGTERM drains in-flight work — open NDJSON streams included —
+  before the process exits.
 
 Evaluations are synchronous CPU work, so they run on a small thread pool
 behind an engine lock: the event loop stays free to accept, coalesce and
@@ -34,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import json
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -89,6 +96,19 @@ class ServerConfig:
         batch: Evaluate sweep chunks through the vectorized batch
             kernel by default (per-request ``options.batch`` overrides).
         max_body_bytes: Request-body cap (413 beyond it).
+        request_timeout: Per-request deadline in seconds; 0 disables.
+            Non-streaming requests that overrun answer 504
+            ``deadline_exceeded``; a sweep stream applies it to each
+            inter-chunk gap and ends the stream with an error event.
+        drain_seconds: How long a SIGTERM-triggered drain waits for
+            in-flight requests (including open NDJSON streams) to
+            finish before the process exits anyway.
+        breaker_threshold: Consecutive *unexpected* engine failures
+            (``ReproError`` never counts — that blames the request)
+            that trip the circuit breaker; 0 disables it.  While open,
+            POST work answers 503 ``circuit_open`` + ``Retry-After``.
+        breaker_reset_seconds: Cooldown before an open breaker admits
+            one half-open probe whose outcome closes or re-opens it.
     """
 
     host: str = "127.0.0.1"
@@ -100,6 +120,10 @@ class ServerConfig:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     batch: bool = True
     max_body_bytes: int = 8 * 1024 * 1024
+    request_timeout: float = 0.0
+    drain_seconds: float = 10.0
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
 
 
 class _TokenBucket:
@@ -124,6 +148,70 @@ class _TokenBucket:
         return (1.0 - self.tokens) / self.rate
 
 
+class _CircuitBreaker:
+    """Trips open after ``threshold`` consecutive engine failures.
+
+    Only unexpected exceptions count — a :class:`~repro.errors.ReproError`
+    blames the request, not the engine.  While open, new engine work is
+    refused; after ``reset_seconds`` exactly one half-open probe is
+    admitted, and its outcome closes or re-opens the circuit.  All
+    transitions run under a lock because sweep workers record outcomes
+    from executor threads while the event loop asks for admission.
+    """
+
+    __slots__ = ("threshold", "reset_seconds", "_lock", "_failures",
+                 "_opened_at", "_probing")
+
+    def __init__(self, threshold: int, reset_seconds: float) -> None:
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            return "half_open" if self._probing else "open"
+
+    def allow(self, now: float) -> float:
+        """0.0 when admitted, else seconds until the next probe slot."""
+        if self.threshold <= 0:
+            return 0.0
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            elapsed = now - self._opened_at
+            if elapsed >= self.reset_seconds and not self._probing:
+                self._probing = True        # half-open: exactly one probe
+                return 0.0
+            return max(self.reset_seconds - elapsed, 0.001)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self, now: float) -> bool:
+        """Count one engine failure; True when this call opened the circuit."""
+        if self.threshold <= 0:
+            return False
+        with self._lock:
+            self._failures += 1
+            if self._probing:               # failed probe: re-open
+                self._opened_at = now
+                self._probing = False
+                return True
+            if self._opened_at is None and self._failures >= self.threshold:
+                self._opened_at = now
+                return True
+            return False
+
+
 @dataclass
 class _ServeStats:
     """Server-side counters surfaced by ``/v1/cache`` and the benchmark.
@@ -133,6 +221,9 @@ class _ServeStats:
         coalesced: Eval requests that shared an in-flight evaluation.
         rejected_overload: Requests refused by the pending budget.
         rejected_quota: Requests refused by a client's token bucket.
+        rejected_breaker: Requests refused by the open circuit breaker.
+        rejected_draining: Requests refused during SIGTERM drain.
+        deadline_exceeded: Requests (or stream gaps) past the deadline.
         streams_cancelled: Sweep streams cancelled by client disconnect.
         peak_pending: High-water mark of admitted concurrent work.
         peak_inflight: High-water mark of concurrently open requests
@@ -143,6 +234,9 @@ class _ServeStats:
     coalesced: int = 0
     rejected_overload: int = 0
     rejected_quota: int = 0
+    rejected_breaker: int = 0
+    rejected_draining: int = 0
+    deadline_exceeded: int = 0
     streams_cancelled: int = 0
     peak_pending: int = 0
     peak_inflight: int = 0
@@ -179,6 +273,9 @@ class ReproServer:
         self.metrics: MetricsRegistry = _metrics_registry()
         self.started = time.time()
         self._engine_lock = threading.Lock()
+        self._breaker = _CircuitBreaker(self.config.breaker_threshold,
+                                        self.config.breaker_reset_seconds)
+        self._draining = False
         self._inflight_evals: dict[str, asyncio.Task] = {}
         self._pending = 0
         self._open_requests = 0
@@ -216,6 +313,27 @@ class ReproServer:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: stop accepting, let in-flight work finish.
+
+        Closes the listening socket, flips the server into draining mode
+        (new POST work on surviving keep-alive connections answers 503
+        ``shutting_down``), then waits up to ``timeout`` (default
+        ``config.drain_seconds``) for every open request — including
+        in-flight NDJSON sweep streams — to complete.  Returns ``True``
+        when the server drained fully, ``False`` on timeout.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        budget = self.config.drain_seconds if timeout is None else timeout
+        deadline = time.monotonic() + max(budget, 0.0)
+        while self._open_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return self._open_requests == 0
 
     async def stop(self) -> None:
         """Stop accepting and release the worker threads."""
@@ -257,7 +375,7 @@ class ReproServer:
                     self._open_requests -= 1
                     self._observe(request, status,
                                   time.perf_counter() - started)
-                if not request.keep_alive:
+                if not request.keep_alive or self._draining:
                     break
         except ProtocolError as error:
             await self._best_effort_error(writer, error.status, str(error))
@@ -290,13 +408,20 @@ class ReproServer:
         if route is None and not is_sweep:
             return self._route_miss(request)
         if request.method == "POST":
-            denied = self._check_quota(request)
+            denied = self._check_draining() or self._check_breaker() \
+                or self._check_quota(request)
             if denied is not None:
                 return denied
         try:
             if is_sweep:
                 # The only route that owns the writer: it streams NDJSON.
                 return await self._handle_sweep(request, writer)
+            if self.config.request_timeout > 0:
+                try:
+                    return await asyncio.wait_for(
+                        route(request), self.config.request_timeout)
+                except asyncio.TimeoutError:
+                    return self._deadline_response()
             return await route(request)
         except ReproError as error:
             return self._error_response(error)
@@ -342,6 +467,43 @@ class ReproServer:
         self.metrics.gauge("repro_serve_inflight").set(self._open_requests)
 
     # --- admission control ------------------------------------------------
+
+    def _check_draining(self) -> Response | None:
+        if not self._draining:
+            return None
+        self.stats.rejected_draining += 1
+        self.metrics.counter("repro_serve_rejected_total",
+                             reason="draining").inc()
+        body = (json.dumps(envelope(
+            "shutting_down",
+            "server is draining and accepts no new work")) + "\n") \
+            .encode("utf-8")
+        return Response(status=503, body=body,
+                        headers={"Retry-After": "1"})
+
+    def _check_breaker(self) -> Response | None:
+        wait = self._breaker.allow(time.monotonic())
+        if wait <= 0:
+            return None
+        self.stats.rejected_breaker += 1
+        self.metrics.counter("repro_serve_rejected_total",
+                             reason="breaker").inc()
+        body = (json.dumps(envelope(
+            "circuit_open",
+            f"engine failing persistently "
+            f"({self._breaker.threshold} consecutive failures); "
+            f"circuit re-probes after cooldown")) + "\n").encode("utf-8")
+        return Response(status=503, body=body,
+                        headers={"Retry-After": f"{wait:.3f}"})
+
+    def _deadline_response(self) -> Response:
+        self.stats.deadline_exceeded += 1
+        self.metrics.counter("repro_serve_deadline_total").inc()
+        body = (json.dumps(envelope(
+            "deadline_exceeded",
+            f"request exceeded the {self.config.request_timeout:g} s "
+            f"deadline")) + "\n").encode("utf-8")
+        return Response(status=504, body=body)
 
     def _check_quota(self, request: Request) -> Response | None:
         if self.config.quota_rate <= 0:
@@ -403,6 +565,8 @@ class ReproServer:
             "uptime_seconds": round(time.time() - self.started, 3),
             "pending": self._pending,
             "inflight_evals": len(self._inflight_evals),
+            "breaker": self._breaker.state,
+            "draining": self._draining,
         }
         return Response(status=200,
                         body=(json.dumps(payload) + "\n").encode("utf-8"))
@@ -473,8 +637,20 @@ class ReproServer:
     async def _run_eval(self, spec: DesignSpec) -> _EvalOutcome:
         loop = asyncio.get_running_loop()
         assert self._executor is not None, "server not started"
-        return await loop.run_in_executor(
-            self._executor, self._eval_sync, spec)
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._eval_sync, spec)
+        except ReproError:
+            raise                   # blames the request, not the engine
+        except Exception:
+            self._record_engine_failure()
+            raise
+        self._breaker.record_success()
+        return outcome
+
+    def _record_engine_failure(self) -> None:
+        if self._breaker.record_failure(time.monotonic()):
+            self.metrics.counter("repro_serve_breaker_opened_total").inc()
 
     def _eval_sync(self, spec: DesignSpec) -> _EvalOutcome:
         # The bare (spec,) call shape matches what evaluate_specs builds
@@ -531,7 +707,22 @@ class ReproServer:
                 "chunk_size": chunk_size, "prune": prune, "batch": batch,
             })
             while True:
-                kind, item = await queue.get()
+                # The per-request deadline bounds each inter-chunk gap:
+                # a stuck engine surfaces as an in-band error event
+                # instead of a silently hung stream.
+                gap = self.config.request_timeout or None
+                try:
+                    kind, item = await asyncio.wait_for(queue.get(), gap)
+                except asyncio.TimeoutError:
+                    cancelled.set()
+                    self.stats.deadline_exceeded += 1
+                    self.metrics.counter("repro_serve_deadline_total").inc()
+                    await self._send_event(stream, {
+                        "event": "error", **envelope(
+                            "deadline_exceeded",
+                            f"no chunk within the "
+                            f"{self.config.request_timeout:g} s deadline")})
+                    break
                 if kind == "chunk":
                     chunks += 1
                     points += item.size
@@ -612,8 +803,11 @@ class ReproServer:
                 if chunk is _DONE:
                     break
                 put(("chunk", chunk))
+            self._breaker.record_success()
             put(("done", None))
         except Exception as error:                      # noqa: BLE001
+            if not isinstance(error, ReproError):
+                self._record_engine_failure()
             put(("error", error))
         finally:
             generator.close()
@@ -621,16 +815,48 @@ class ReproServer:
 
 def serve(config: ServerConfig | None = None,
           engine: EvaluationEngine | None = None) -> None:
-    """Run a :class:`ReproServer` until interrupted (the CLI entry point)."""
+    """Run a :class:`ReproServer` until interrupted (the CLI entry point).
+
+    SIGTERM and SIGINT both trigger a graceful drain: the listener
+    closes immediately (a supervisor's replacement can bind), in-flight
+    requests — including open NDJSON sweep streams — get
+    ``config.drain_seconds`` to finish, then the process exits cleanly.
+    """
 
     async def _main() -> None:
         server = ReproServer(config=config, engine=engine)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        handled = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass            # non-Unix loop: fall back to KeyboardInterrupt
+        # Handlers first, listener second: a SIGTERM that races the
+        # startup print must already find the graceful path installed.
         host, port = await server.start()
         print(f"repro serve listening on http://{host}:{port} "
               f"(api /{API_VERSION}/)", flush=True)
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait({forever, stopper},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if stop.is_set():
+                print("repro serve draining "
+                      f"(up to {server.config.drain_seconds:g} s) ...",
+                      flush=True)
+                drained = await server.drain()
+                print("repro serve drained cleanly" if drained
+                      else "repro serve drain timed out; exiting anyway",
+                      flush=True)
         finally:
+            forever.cancel()
+            stopper.cancel()
+            for signum in handled:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.errors import require
+from repro.errors import EvaluationFailure, require
+from repro.faults import corrupt_text as _corrupt_text
 from repro.runtime.cache import atomic_write_text
 from repro.runtime.keys import stable_key
 from repro.runtime.serialize import dumps, loads
@@ -64,13 +65,20 @@ class ChunkRecord:
             refuses a record whose hash does not match the live chunk.
         pruned: Points skipped by certified frontier domination.
         evaluations: Results of the points that were evaluated, in spec
-            order (``len(evaluations) + pruned`` = chunk size).
+            order (``len(evaluations) + pruned + len(failures)`` = chunk
+            size).
+        failures: Structured records of points that failed in
+            partial-results mode, each carrying its chunk-local spec
+            index — resume retries exactly these points and nothing
+            else.  Defaults to empty, so records written before this
+            field existed deserialize unchanged.
     """
 
     index: int
     specs_hash: str
     pruned: int
     evaluations: tuple[SpecEvaluation, ...]
+    failures: tuple[EvaluationFailure, ...] = ()
 
 
 class SweepCheckpoint:
@@ -139,6 +147,9 @@ class SweepCheckpoint:
             text = dumps(record)
         except TypeError:
             return False
+        # Fault-injection site: chaos plans corrupt checkpoint bytes
+        # here to prove torn records degrade to re-evaluation.
+        text = _corrupt_text("checkpoint.corrupt", record.specs_hash, text)
         return atomic_write_text(self._path(record.index), text)
 
     def __len__(self) -> int:

@@ -35,10 +35,10 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
-from repro.errors import require
+from repro.errors import EvaluationFailure, PermanentError, require
 from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.trace import is_enabled as _obs_enabled, span as _span
 from repro.runtime.engine import EvaluationEngine, default_engine
@@ -78,6 +78,10 @@ class SweepChunk:
         infeasible: Evaluated points whose physical flow failed a
             feasibility check (present in ``evaluations``, excluded
             from the frontier); always 0 for non-physical sweeps.
+        failures: Points that failed in partial-results mode
+            (``max_failures != 0``), as structured
+            :class:`~repro.errors.EvaluationFailure` records carrying
+            the failed spec; absent from ``evaluations``.
     """
 
     index: int
@@ -88,6 +92,12 @@ class SweepChunk:
     frontier_size: int
     seconds: float
     infeasible: int = 0
+    failures: tuple[EvaluationFailure, ...] = ()
+
+    @property
+    def failed(self) -> int:
+        """Points recorded as failed in this chunk."""
+        return len(self.failures)
 
 
 @dataclass(frozen=True)
@@ -109,6 +119,9 @@ class StreamingSweepResult:
             points are *results*, not errors: they appear in
             ``evaluations`` with a :class:`~repro.spec.evaluate
             .PhysicalSummary` naming the violated checks.
+        failures: Structured records of every point that failed in
+            partial-results mode (``max_failures != 0``), in sweep
+            order.  Always retained, even with ``collect=False``.
     """
 
     chunks: int
@@ -118,11 +131,17 @@ class StreamingSweepResult:
     frontier: ParetoFrontier
     evaluations: tuple[SpecEvaluation, ...] | None = field(default=None)
     infeasible: int = 0
+    failures: tuple[EvaluationFailure, ...] = ()
+
+    @property
+    def failed(self) -> int:
+        """Points recorded as failed across the whole sweep."""
+        return len(self.failures)
 
     @property
     def evaluated(self) -> int:
         """Points that produced an evaluation (replays included)."""
-        return self.points - self.pruned
+        return self.points - self.pruned - self.failed
 
     def frontier_evaluations(self) -> tuple[SpecEvaluation, ...]:
         """The Pareto-optimal evaluations, by ascending footprint."""
@@ -151,6 +170,7 @@ def stream_sweep(
     frontier: ParetoFrontier | None = None,
     batch: bool = False,
     physical: bool = False,
+    max_failures: int = 0,
 ) -> Iterator[SweepChunk]:
     """Lazily evaluate ``sweep`` chunk by chunk, yielding each chunk.
 
@@ -180,6 +200,16 @@ def stream_sweep(
     admitted to the frontier.  The physical path is scalar-only, so
     ``batch`` is ignored when ``physical`` is set, mirroring
     ``evaluate_specs``.
+
+    ``max_failures`` selects **partial-results mode**: with the default
+    ``0`` the first failed point raises (the classic all-or-nothing
+    contract); a positive budget records up to that many failed points
+    as :class:`~repro.errors.EvaluationFailure` entries — in the yielded
+    chunks *and* in the checkpoint records, so a resumed run retries
+    exactly the failed points and nothing else — and raises
+    :class:`~repro.errors.PermanentError` only once the budget is
+    exceeded (the breaching chunk's record is flushed first, so no
+    completed work is lost); a negative value means unlimited.
     """
     require(checkpoint_every >= 1, "checkpoint_every must be >= 1")
     engine = engine if engine is not None else default_engine()
@@ -199,10 +229,57 @@ def stream_sweep(
             checkpoint, sweep, pdk=pdk, chunk_size=chunk_size, prune=prune,
             physical=physical)
     pending: list[ChunkRecord] = []
+    on_error = "raise" if max_failures == 0 else "record"
+    failed_total = 0
 
     def flush() -> None:
         while pending:
             store.store(pending.pop(0))
+
+    def split(specs, raw):
+        """Separate engine results into evaluations and spec-annotated
+        failures (slot = position in the chunk's survivor order)."""
+        evaluations: list[SpecEvaluation] = []
+        failures: list[EvaluationFailure] = []
+        for slot, (spec, value) in enumerate(zip(specs, raw)):
+            if isinstance(value, EvaluationFailure):
+                failures.append(replace(value, spec=spec, index=slot))
+            else:
+                evaluations.append(value)
+        return tuple(evaluations), tuple(failures)
+
+    def retry_failures(record: ChunkRecord) -> ChunkRecord:
+        """Resume path: re-evaluate only a record's failed points.
+
+        Successful retries are merged back into their original survivor
+        slots; points that fail again stay recorded (same slots), so
+        repeated resumes keep converging without re-evaluating anything
+        that already succeeded.
+        """
+        retry_specs = [failure.spec for failure in record.failures]
+        raw = engine.map(
+            evaluate_spec, _calls(retry_specs, pdk, physical=physical),
+            stage="sweep.evaluate", jobs=jobs, on_error=on_error)
+        recovered: dict[int, SpecEvaluation] = {}
+        still_failed: list[EvaluationFailure] = []
+        for failure, value in zip(record.failures, raw):
+            if isinstance(value, EvaluationFailure):
+                still_failed.append(replace(
+                    value, spec=failure.spec, index=failure.index))
+            else:
+                recovered[failure.index] = value
+        slots = len(record.evaluations) + len(record.failures)
+        failed_slots = {failure.index for failure in record.failures}
+        ordered: list[SpecEvaluation] = []
+        replay = iter(record.evaluations)
+        for slot in range(slots):
+            if slot in failed_slots:
+                if slot in recovered:
+                    ordered.append(recovered[slot])
+            else:
+                ordered.append(next(replay))
+        return replace(record, evaluations=tuple(ordered),
+                       failures=tuple(still_failed))
 
     try:
         for index, chunk in enumerate(sweep.chunks(chunk_size)):
@@ -211,8 +288,15 @@ def stream_sweep(
             record = None if store is None else store.get(index, specs_hash)
             with _span("sweep.chunk", index=index, size=len(chunk)) as sp:
                 if record is not None:
+                    if record.failures:
+                        record = retry_failures(record)
+                        if store is not None:
+                            pending.append(record)
+                            if len(pending) >= checkpoint_every:
+                                flush()
                     evaluations = record.evaluations
                     pruned = record.pruned
+                    failures = record.failures
                 else:
                     survivors = chunk
                     pruned = 0
@@ -231,20 +315,26 @@ def stream_sweep(
                         survivors = tuple(kept)
                     if not survivors:
                         evaluations = ()
+                        failures = ()
                     elif kernel is not None:
-                        evaluations = tuple(engine.map_batched(
+                        raw = engine.map_batched(
                             evaluate_spec, _calls(survivors, pdk),
                             batch_fn=kernel.evaluate_calls,
-                            stage="sweep.evaluate", key_fn=key_fn))
+                            stage="sweep.evaluate", key_fn=key_fn,
+                            on_error=on_error)
+                        evaluations, failures = split(survivors, raw)
                     else:
-                        evaluations = tuple(engine.map(
+                        raw = engine.map(
                             evaluate_spec,
                             _calls(survivors, pdk, physical=physical),
-                            stage="sweep.evaluate", jobs=jobs))
+                            stage="sweep.evaluate", jobs=jobs,
+                            on_error=on_error)
+                        evaluations, failures = split(survivors, raw)
                     if store is not None:
                         pending.append(ChunkRecord(
                             index=index, specs_hash=specs_hash,
-                            pruned=pruned, evaluations=evaluations))
+                            pruned=pruned, evaluations=evaluations,
+                            failures=failures))
                         if len(pending) >= checkpoint_every:
                             flush()
                 infeasible = 0
@@ -256,10 +346,11 @@ def stream_sweep(
                                  feasible=feasible)
                 if sp:
                     sp.set(pruned=pruned, evaluated=len(evaluations),
-                           infeasible=infeasible,
+                           infeasible=infeasible, failed=len(failures),
                            resumed=record is not None,
                            frontier=len(frontier))
             elapsed = time.perf_counter() - start
+            failed_total += len(failures)
             if _obs_enabled():
                 registry = _metrics_registry()
                 status = "resumed" if record is not None else "computed"
@@ -272,15 +363,27 @@ def stream_sweep(
                 if infeasible:
                     registry.counter("repro_sweep_points_total",
                                      status="infeasible").inc(infeasible)
+                if failures:
+                    registry.counter("repro_sweep_points_total",
+                                     status="failed").inc(len(failures))
                 registry.gauge("repro_sweep_frontier_size") \
                     .set(len(frontier))
                 registry.histogram("repro_sweep_chunk_seconds") \
                     .observe(elapsed)
+            if max_failures > 0 and failed_total > max_failures:
+                # Flush the breaching chunk's record first: the failed
+                # points are on disk, so a resume retries exactly them.
+                if store is not None:
+                    flush()
+                raise PermanentError(
+                    f"sweep exceeded --max-failures={max_failures}: "
+                    f"{failed_total} point(s) failed; last: "
+                    f"{failures[-1].error_type}: {failures[-1].message}")
             yield SweepChunk(
                 index=index, size=len(chunk), evaluations=evaluations,
                 pruned=pruned, resumed=record is not None,
                 frontier_size=len(frontier), seconds=elapsed,
-                infeasible=infeasible)
+                infeasible=infeasible, failures=failures)
     finally:
         if store is not None:
             flush()
@@ -298,6 +401,7 @@ def run_streaming_sweep(
     collect: bool = True,
     batch: bool = False,
     physical: bool = False,
+    max_failures: int = 0,
 ) -> StreamingSweepResult:
     """Drive :func:`stream_sweep` to completion and aggregate the run.
 
@@ -309,24 +413,30 @@ def run_streaming_sweep(
     ``physical=True`` adds the staged physical flow per point and keeps
     infeasible points out of the frontier (they stay in the results,
     counted by :attr:`StreamingSweepResult.infeasible`).
+    ``max_failures`` enables partial-results mode exactly as in
+    :func:`stream_sweep`; recorded failures aggregate into
+    :attr:`StreamingSweepResult.failures` (kept even with
+    ``collect=False`` — failure records are small).
     """
     frontier = ParetoFrontier()
     evaluations: list[SpecEvaluation] | None = [] if collect else None
+    failures: list[EvaluationFailure] = []
     chunks = points = pruned = resumed = infeasible = 0
     for chunk in stream_sweep(
             sweep, pdk=pdk, engine=engine, jobs=jobs,
             chunk_size=chunk_size, prune=prune, checkpoint=checkpoint,
             checkpoint_every=checkpoint_every, frontier=frontier,
-            batch=batch, physical=physical):
+            batch=batch, physical=physical, max_failures=max_failures):
         chunks += 1
         points += chunk.size
         pruned += chunk.pruned
         resumed += chunk.resumed
         infeasible += chunk.infeasible
+        failures.extend(chunk.failures)
         if evaluations is not None:
             evaluations.extend(chunk.evaluations)
     return StreamingSweepResult(
         chunks=chunks, points=points, pruned=pruned,
         resumed_chunks=resumed, frontier=frontier,
         evaluations=None if evaluations is None else tuple(evaluations),
-        infeasible=infeasible)
+        infeasible=infeasible, failures=tuple(failures))

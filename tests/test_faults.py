@@ -1,0 +1,251 @@
+"""Tests for the deterministic fault-injection harness (`repro.faults`).
+
+The harness's contract is purity: whether a fault fires for a token is a
+function of (seed, rule, token) only, so a chaos test can compute its
+exact injection schedule up front.  These tests pin that contract plus
+the ledger semantics (`times` budgets that survive process death via the
+file ledger), env-var activation, the worker-only guard on crash/hang
+sites, and the corruption helper the cache/checkpoint writers call.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, TransientError
+from repro.faults import (
+    ENV_VAR,
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    corrupt_text,
+    in_worker,
+    injected_faults,
+    install_plan,
+    mark_worker,
+    maybe_inject,
+    perturb_task,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts with no plan, no env var, parent-process mode."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    clear_plan()
+    mark_worker(False)
+    yield
+    clear_plan()
+    mark_worker(False)
+
+
+# --- rule and plan validation ---------------------------------------------
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultRule(site="task.meltdown", rate=0.5)
+
+
+def test_rate_out_of_range_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultRule(site="task.transient", rate=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultRule(site="task.transient", rate=-0.1)
+
+
+def test_negative_times_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultRule(site="task.transient", rate=0.1, times=-1)
+
+
+def test_plan_round_trips_through_json():
+    plan = FaultPlan(seed=7, rules=(
+        FaultRule(site="task.crash", rate=0.01),
+        FaultRule(site="cache.corrupt", match="abc", times=0),
+    ), state_dir="/tmp/ledger")
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_jsonable({"seed": 1, "surprise": True})
+    with pytest.raises(ConfigurationError):
+        FaultRule.from_jsonable({"site": "task.crash", "color": "red"})
+
+
+def test_plan_rejects_invalid_json():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_json("{not json")
+
+
+# --- pure selection --------------------------------------------------------
+
+
+def test_selection_is_deterministic_and_seed_dependent():
+    tokens = [f"token-{i}" for i in range(2000)]
+    rule = FaultRule(site="task.transient", rate=0.05)
+    plan_a = FaultPlan(seed=1, rules=(rule,))
+    plan_b = FaultPlan(seed=1, rules=(rule,))
+    plan_c = FaultPlan(seed=2, rules=(rule,))
+    selected_a = {t for t in tokens if plan_a.selects("task.transient", t)}
+    selected_b = {t for t in tokens if plan_b.selects("task.transient", t)}
+    selected_c = {t for t in tokens if plan_c.selects("task.transient", t)}
+    assert selected_a == selected_b
+    assert selected_a != selected_c
+    # The seeded hash draw tracks the requested rate (5% of 2000 = 100).
+    assert 50 <= len(selected_a) <= 160
+
+
+def test_match_targets_exactly_the_matching_tokens():
+    plan = FaultPlan(rules=(FaultRule(site="task.crash", match="poison"),))
+    assert plan.selects("task.crash", "the-poison-task")
+    assert not plan.selects("task.crash", "a-healthy-task")
+    assert not plan.selects("task.transient", "the-poison-task")
+
+
+def test_zero_rate_never_selects():
+    plan = FaultPlan(rules=(FaultRule(site="task.transient", rate=0.0),))
+    assert not any(plan.selects("task.transient", f"t{i}")
+                   for i in range(100))
+
+
+# --- firing and ledger -----------------------------------------------------
+
+
+def test_transient_fires_exactly_times_then_goes_quiet():
+    rule = FaultRule(site="task.transient", match="flaky", times=2)
+    with injected_faults(FaultPlan(rules=(rule,))) as plan:
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                maybe_inject("task.transient", "flaky-task")
+        # Budget spent: the third call is a no-op.
+        maybe_inject("task.transient", "flaky-task")
+        assert plan.fire_count(rule, "flaky-task") == 2
+
+
+def test_unlimited_times_keeps_firing_and_recording():
+    rule = FaultRule(site="task.transient", match="flaky", times=0)
+    with injected_faults(FaultPlan(rules=(rule,))) as plan:
+        for _ in range(5):
+            with pytest.raises(TransientError):
+                maybe_inject("task.transient", "flaky-task")
+        assert plan.fire_count(rule, "flaky-task") == 5
+
+
+def test_file_ledger_survives_a_fresh_plan_instance(tmp_path):
+    """`times` memory lives on disk, so it survives a worker crash."""
+    rule = FaultRule(site="task.transient", match="flaky", times=1)
+    first = FaultPlan(rules=(rule,), state_dir=str(tmp_path))
+    with injected_faults(first):
+        with pytest.raises(TransientError):
+            maybe_inject("task.transient", "flaky-task")
+    # A brand-new plan object (as a respawned worker would build from
+    # JSON) sees the firing and stays quiet.
+    second = FaultPlan.from_json(first.to_json())
+    assert second.fire_count(rule, "flaky-task") == 1
+    with injected_faults(second):
+        maybe_inject("task.transient", "flaky-task")  # no raise
+    assert second.claim_count("task.transient", "flaky-task") == 1
+
+
+def test_worker_only_sites_never_fire_in_the_parent():
+    """A crash rule must not take down the parent, nor charge the ledger."""
+    rule = FaultRule(site="task.crash", match="", times=1)  # matches all
+    with injected_faults(FaultPlan(rules=(rule,))) as plan:
+        maybe_inject("task.crash", "any-task")   # would os._exit in a worker
+        assert plan.fire_count(rule, "any-task") == 0
+        assert not in_worker()
+
+
+def test_perturb_task_runs_the_transient_site():
+    rule = FaultRule(site="task.transient", match="flaky", times=1)
+    with injected_faults(FaultPlan(rules=(rule,))):
+        with pytest.raises(TransientError):
+            perturb_task("flaky-task")
+        perturb_task("flaky-task")               # budget spent
+
+
+# --- activation ------------------------------------------------------------
+
+
+def test_no_plan_means_no_op():
+    assert active_plan() is None
+    maybe_inject("task.transient", "anything")
+    assert corrupt_text("cache.corrupt", "key", "text") == "text"
+
+
+def test_env_var_inline_json_activates(monkeypatch):
+    plan = FaultPlan(seed=3, rules=(
+        FaultRule(site="task.transient", rate=0.5),))
+    monkeypatch.setenv(ENV_VAR, plan.to_json())
+    assert active_plan() == plan
+
+
+def test_env_var_at_path_activates(monkeypatch, tmp_path):
+    plan = FaultPlan(seed=4, rules=(
+        FaultRule(site="cache.corrupt", rate=0.25),))
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(), encoding="utf-8")
+    monkeypatch.setenv(ENV_VAR, f"@{path}")
+    assert active_plan() == plan
+
+
+def test_installed_plan_shadows_the_env(monkeypatch):
+    env_plan = FaultPlan(seed=5)
+    monkeypatch.setenv(ENV_VAR, env_plan.to_json())
+    installed = FaultPlan(seed=6)
+    install_plan(installed)
+    assert active_plan() == installed
+    clear_plan()
+    assert active_plan() == env_plan
+
+
+def test_injected_faults_restores_the_previous_plan():
+    outer = FaultPlan(seed=10)
+    install_plan(outer)
+    with injected_faults(FaultPlan(seed=11)):
+        assert active_plan() == FaultPlan(seed=11)
+    assert active_plan() == outer
+
+
+# --- corruption helper -----------------------------------------------------
+
+
+def test_corrupt_text_breaks_json_deterministically():
+    rule = FaultRule(site="cache.corrupt", match="victim", times=0)
+    payload = json.dumps({"value": list(range(50))})
+    with injected_faults(FaultPlan(seed=1, rules=(rule,))):
+        broken = corrupt_text("cache.corrupt", "victim-key", payload)
+    assert broken != payload
+    with pytest.raises(ValueError):
+        json.loads(broken)
+    # Same seed, same token, same payload -> identical corruption.
+    with injected_faults(FaultPlan(seed=1, rules=(rule,))):
+        again = corrupt_text("cache.corrupt", "victim-key", payload)
+    assert again == broken
+
+
+def test_corrupt_text_respects_the_times_budget():
+    rule = FaultRule(site="cache.corrupt", match="victim", times=1)
+    with injected_faults(FaultPlan(rules=(rule,))):
+        first = corrupt_text("cache.corrupt", "victim-key", "{}")
+        second = corrupt_text("cache.corrupt", "victim-key", "{}")
+    assert first != "{}"
+    assert second == "{}"
+
+
+def test_corrupt_text_leaves_unselected_tokens_alone():
+    rule = FaultRule(site="cache.corrupt", match="victim")
+    with injected_faults(FaultPlan(rules=(rule,))):
+        assert corrupt_text("cache.corrupt", "innocent", "{}") == "{}"
+        assert corrupt_text("checkpoint.corrupt", "victim", "{}") == "{}"
+
+
+def test_every_declared_site_is_accepted():
+    for site in FAULT_SITES:
+        FaultRule(site=site, rate=0.1)

@@ -18,9 +18,12 @@ import repro
 #: The frozen public surface.  Additions are API decisions: update this
 #: set, README, and DESIGN.md together.  Removals are breaking changes.
 PUBLIC_API = frozenset({
-    # errors
+    # errors + failure taxonomy
     "ReproError", "ConfigurationError", "ModelError", "FloorplanError",
-    "MappingError", "error_envelope",
+    "MappingError", "TransientError", "PermanentError", "PoisonTaskError",
+    "EvaluationFailure", "error_envelope",
+    # fault injection + retry policy
+    "FaultPlan", "FaultRule", "injected_faults", "RetryPolicy",
     # technology + architecture + workloads
     "foundry_m3d_pdk", "baseline_2d_design", "m3d_design", "case_study_cs",
     "alexnet", "vgg16", "resnet18", "resnet34", "resnet50", "resnet152",
@@ -94,7 +97,8 @@ def test_error_envelope_shape_is_frozen():
 
 def test_public_exceptions_form_one_hierarchy():
     for name in ("ConfigurationError", "ModelError", "FloorplanError",
-                 "MappingError"):
+                 "MappingError", "TransientError", "PermanentError",
+                 "PoisonTaskError"):
         assert issubclass(getattr(repro, name), repro.ReproError)
     with pytest.raises(repro.ReproError):
         raise repro.ConfigurationError("x")

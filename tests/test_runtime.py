@@ -558,3 +558,112 @@ class TestDefaultEngine:
         engine = default_engine()
         assert engine.jobs == 1
         assert engine.cache is not None
+
+
+class TestSupervisedDispatch:
+    """The fault-tolerant dispatcher behind pmap: retries, timeouts,
+    pool respawn, and poison quarantine — all deterministic under a
+    seeded fault plan."""
+
+    @staticmethod
+    def _token(fn, *args):
+        from repro.runtime.keys import call_key
+
+        return call_key(fn, args, {})
+
+    def test_transient_retry_is_counted_and_succeeds(self):
+        from repro.faults import FaultPlan, FaultRule, injected_faults
+        from repro.runtime.pmap import RetryPolicy, pmap_outcomes
+
+        plan = FaultPlan(rules=(FaultRule(
+            site="task.transient", match=self._token(_square, 2),
+            times=1),))
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+        with injected_faults(plan):
+            report = pmap_outcomes(_square, [((2,), {}), ((3,), {})],
+                                   jobs=1, policy=policy)
+        assert [o.value for o in report.outcomes] == [4, 9]
+        assert [o.retries for o in report.outcomes] == [1, 0]
+        assert report.retries == 1
+        assert report.failures == 0
+
+    def test_exhausted_retries_record_the_transient_error(self):
+        from repro.errors import TransientError
+        from repro.faults import FaultPlan, FaultRule, injected_faults
+        from repro.runtime.pmap import RetryPolicy, pmap_outcomes
+
+        plan = FaultPlan(rules=(FaultRule(
+            site="task.transient", match=self._token(_square, 2),
+            times=0),))
+        policy = RetryPolicy(max_retries=1, backoff_base=0.0)
+        with injected_faults(plan):
+            report = pmap_outcomes(_square, [((2,), {}), ((3,), {})],
+                                   jobs=1, policy=policy)
+        failed, fine = report.outcomes
+        assert not failed.ok and isinstance(failed.error, TransientError)
+        assert failed.retries == 1
+        assert fine.ok and fine.value == 9
+
+    def test_transient_counts_match_between_serial_and_parallel(
+            self, tmp_path):
+        from dataclasses import replace
+        from repro.faults import FaultPlan, FaultRule, injected_faults
+        from repro.runtime.pmap import RetryPolicy, pmap_outcomes
+
+        calls = [((x,), {}) for x in range(20)]
+        # `times` budgets need the shared file ledger to span workers:
+        # one fresh ledger per run keeps the two runs independent.
+        plan = FaultPlan(seed=5, state_dir=str(tmp_path / "serial"),
+                         rules=(FaultRule(
+                             site="task.transient", rate=0.3, times=1),))
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+        with injected_faults(plan):
+            serial = pmap_outcomes(_square, calls, jobs=1, policy=policy)
+        with injected_faults(replace(plan,
+                                     state_dir=str(tmp_path / "par"))):
+            parallel = pmap_outcomes(_square, calls, jobs=2, policy=policy)
+        assert serial.retries == parallel.retries > 0
+        assert [o.value for o in serial.outcomes] \
+            == [o.value for o in parallel.outcomes]
+
+    def test_poison_task_is_quarantined_not_retried_forever(self, tmp_path):
+        from repro.errors import PoisonTaskError
+        from repro.faults import FaultPlan, FaultRule, injected_faults
+        from repro.runtime.pmap import RetryPolicy, pmap_outcomes
+
+        calls = [((x,), {}) for x in range(8)]
+        plan = FaultPlan(state_dir=str(tmp_path), rules=(FaultRule(
+            site="task.crash", match=self._token(_square, 3), times=0),))
+        policy = RetryPolicy(max_retries=1, backoff_base=0.0,
+                             max_pool_deaths=2)
+        with injected_faults(plan):
+            report = pmap_outcomes(_square, calls, jobs=2, policy=policy)
+        outcomes = report.outcomes
+        assert not outcomes[3].ok
+        assert isinstance(outcomes[3].error, PoisonTaskError)
+        assert outcomes[3].pool_deaths == 2
+        for index, outcome in enumerate(outcomes):
+            if index != 3:
+                assert outcome.ok and outcome.value == index * index
+        assert report.pool_deaths == 2
+
+    def test_hung_task_times_out_and_retries(self, tmp_path):
+        from repro.faults import FaultPlan, FaultRule, injected_faults
+        from repro.runtime.pmap import RetryPolicy, pmap_outcomes
+
+        calls = [((x,), {}) for x in range(6)]
+        plan = FaultPlan(state_dir=str(tmp_path), rules=(FaultRule(
+            site="task.hang", match=self._token(_square, 2), times=1,
+            hang_seconds=30.0),))
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0,
+                             task_timeout=0.8)
+        with injected_faults(plan):
+            report = pmap_outcomes(_square, calls, jobs=2, policy=policy)
+        assert [o.value for o in report.outcomes] \
+            == [x * x for x in range(6)]
+        assert report.timeouts == 1
+        assert report.outcomes[2].retries >= 1
+
+    def test_pmap_calls_raises_the_original_error_type(self):
+        with pytest.raises(ValueError, match="task failure for 1"):
+            pmap_calls(_boom, [((1,), {})], jobs=2)

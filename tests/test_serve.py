@@ -401,3 +401,160 @@ def test_keep_alive_serves_multiple_requests_per_connection():
         writer.close()
 
     serve_test(check)
+
+
+# --- fault tolerance: circuit breaker, deadlines, graceful drain ----------
+
+
+class _FlakyEngine(EvaluationEngine):
+    """Fails the first ``failures`` engine calls, then behaves normally."""
+
+    def __init__(self, failures: int,
+                 error: type[Exception] = RuntimeError) -> None:
+        super().__init__()
+        self.remaining = failures
+        self.error = error
+
+    def map(self, *args, **kwargs):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error("engine sick")
+        return super().map(*args, **kwargs)
+
+
+class _SlowEngine(EvaluationEngine):
+    """Sleeps before every engine call (exercises deadlines and drain)."""
+
+    def __init__(self, delay: float) -> None:
+        super().__init__()
+        self.delay = delay
+
+    def map(self, *args, **kwargs):
+        import time as _time
+
+        _time.sleep(self.delay)
+        return super().map(*args, **kwargs)
+
+
+def test_breaker_opens_after_consecutive_engine_failures():
+    async def check(server, client):
+        for _ in range(2):
+            with pytest.raises(ServeError) as excinfo:
+                await client.evaluate(SPEC)
+            assert excinfo.value.status == 500
+        # Threshold reached: the circuit is open, work is refused fast.
+        with pytest.raises(ServeError) as excinfo:
+            await client.evaluate(SPEC)
+        assert excinfo.value.status == 503
+        assert excinfo.value.error_type == "circuit_open"
+        assert excinfo.value.retry_after is not None
+        assert server.stats.rejected_breaker == 1
+        assert (await client.health())["breaker"] == "open"
+
+    serve_test(check,
+               config=ServerConfig(port=0, breaker_threshold=2,
+                                   breaker_reset_seconds=60.0),
+               engine=_FlakyEngine(failures=10))
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    async def check(server, client):
+        with pytest.raises(ServeError) as excinfo:
+            await client.evaluate(SPEC)
+        assert excinfo.value.status == 500
+        with pytest.raises(ServeError) as excinfo:
+            await client.evaluate(SPEC)
+        assert excinfo.value.status == 503
+        await asyncio.sleep(0.12)            # past the cooldown
+        # The engine has recovered: the half-open probe succeeds and
+        # closes the circuit for everyone after it.
+        payload = await client.evaluate(SPEC)
+        assert payload["result"]["speedup"] > 0
+        assert (await client.health())["breaker"] == "closed"
+        payload = await client.evaluate(SPEC)
+        assert payload["cached"] is True
+
+    serve_test(check,
+               config=ServerConfig(port=0, breaker_threshold=1,
+                                   breaker_reset_seconds=0.05),
+               engine=_FlakyEngine(failures=1))
+
+
+def test_repro_errors_never_trip_the_breaker():
+    from repro.errors import ConfigurationError
+
+    async def check(server, client):
+        for _ in range(3):
+            with pytest.raises(ServeError) as excinfo:
+                await client.evaluate(SPEC)
+            assert excinfo.value.status != 503
+        assert server.stats.rejected_breaker == 0
+        assert (await client.health())["breaker"] == "closed"
+
+    serve_test(check,
+               config=ServerConfig(port=0, breaker_threshold=1),
+               engine=_FlakyEngine(failures=10, error=ConfigurationError))
+
+
+def test_request_deadline_yields_504():
+    async def check(server, client):
+        with pytest.raises(ServeError) as excinfo:
+            await client.evaluate(SPEC)
+        assert excinfo.value.status == 504
+        assert excinfo.value.error_type == "deadline_exceeded"
+        assert server.stats.deadline_exceeded == 1
+
+    serve_test(check,
+               config=ServerConfig(port=0, request_timeout=0.05),
+               engine=_SlowEngine(delay=0.5))
+
+
+def test_drain_waits_for_inflight_work_then_refuses_new_posts():
+    async def check(server, client):
+        inflight = asyncio.ensure_future(client.evaluate(SPEC))
+        await asyncio.sleep(0.05)            # the eval is on the thread
+        drained = await server.drain(timeout=5.0)
+        assert drained is True               # ...and was allowed to finish
+        payload = await inflight
+        assert payload["result"]["speedup"] > 0
+        denied = server._check_draining()
+        assert denied is not None and denied.status == 503
+        assert (await _health_direct(server)) == "closed-port"
+
+    async def _health_direct(server):
+        try:
+            reader, writer = await asyncio.open_connection(
+                server.config.host, server.config.port)
+        except OSError:
+            return "closed-port"
+        writer.close()
+        return "still-open"
+
+    serve_test(check, engine=_SlowEngine(delay=0.2))
+
+
+def test_sigterm_drains_and_exits_cleanly(tmp_path):
+    """End-to-end: `repro serve` under SIGTERM drains and exits 0."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--drain-seconds", "5"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        text=True)
+    try:
+        line = process.stdout.readline()
+        assert "listening on" in line
+        process.send_signal(signal.SIGTERM)
+        output = process.communicate(timeout=15)[0]
+    except Exception:
+        process.kill()
+        raise
+    assert process.returncode == 0
+    assert "draining" in output
+    assert "drained cleanly" in output
